@@ -1,0 +1,88 @@
+"""Micro-benchmarks of the library itself (real wall-clock time).
+
+Unlike the experiment benchmarks (which report *virtual* seconds),
+these measure how fast the simulator executes on the host — the number
+that matters to someone extending this repository.  pytest-benchmark
+runs them with real rounds.
+"""
+
+from repro.cluster import build_cluster
+from repro.datasets import generate_maccrobat
+from repro.relational import FieldType, Schema, Table, column_greater, hash_join
+from repro.rayx import run_script
+from repro.sim import Environment
+from repro.workflow import Workflow, run_workflow
+from repro.workflow.operators import FilterOperator, SinkOperator, TableSource
+
+SCHEMA = Schema.of(id=FieldType.INT, score=FieldType.FLOAT)
+TABLE = Table.from_rows(SCHEMA, [[i, (i % 10) / 10.0] for i in range(5000)])
+
+
+def test_engine_throughput_filter_chain(benchmark):
+    """5k tuples through a 3-stage filter chain."""
+
+    def run():
+        wf = Workflow("micro")
+        src = wf.add_operator(TableSource("src", TABLE))
+        previous = src
+        for index in range(3):
+            op = wf.add_operator(
+                FilterOperator(f"f{index}", column_greater("score", -1))
+            )
+            wf.link(previous, op)
+            previous = op
+        sink = wf.add_operator(SinkOperator("sink"))
+        wf.link(previous, sink)
+        return run_workflow(build_cluster(Environment()), wf)
+
+    result = benchmark(run)
+    assert len(result.table()) == 5000
+
+
+def test_simulation_kernel_event_rate(benchmark):
+    """Raw kernel throughput: 30k timeout events."""
+
+    def run():
+        env = Environment()
+
+        def ticker(env):
+            for _ in range(30_000):
+                yield env.timeout(0.001)
+
+        env.run(until=env.process(ticker(env)))
+        return env.now
+
+    now = benchmark(run)
+    assert now > 29.0
+
+
+def test_rayx_task_dispatch_rate(benchmark):
+    """500 trivial remote tasks through the scheduler."""
+
+    def noop(ctx):
+        return None
+
+    def run():
+        def driver(rt):
+            refs = [rt.submit(noop) for _ in range(500)]
+            yield from rt.get_all(refs)
+            return rt.tasks_completed
+
+        return run_script(build_cluster(Environment()), driver, num_cpus=8)
+
+    assert benchmark(run) == 500
+
+
+def test_relational_hash_join_speed(benchmark):
+    left_schema = Schema.of(k=FieldType.INT, a=FieldType.INT)
+    right_schema = Schema.of(k=FieldType.INT, b=FieldType.INT)
+    left = Table.from_rows(left_schema, [[i % 997, i] for i in range(20_000)])
+    right = Table.from_rows(right_schema, [[i % 997, i] for i in range(5_000)])
+
+    out = benchmark(hash_join, left, right, "k", "k")
+    assert len(out) > 0
+
+
+def test_maccrobat_generation_speed(benchmark):
+    reports = benchmark(generate_maccrobat, 50, 7)
+    assert len(reports) == 50

@@ -1,0 +1,56 @@
+"""Benchmarks for the extension experiments (beyond the paper)."""
+
+from repro.experiments.exp_extensions import (
+    run_dice_extended_scaling,
+    run_kge_small_scale_workers,
+    run_wef_workers_extension,
+)
+
+
+def _by_x(report, series):
+    return {row.x: row.measured for row in report.series(series)}
+
+
+def test_ext_wef_distributed_workers(benchmark, record_report):
+    report = benchmark.pedantic(
+        lambda: run_wef_workers_extension(num_tweets=100), rounds=1, iterations=1
+    )
+    record_report(report)
+    distributed = _by_x(report, "distributed model-averaging")
+    (sequential,) = report.measured_series("sequential (paper's setting)")
+    assert distributed[4] < distributed[2] < distributed[1]
+    # Near-linear scaling of the compute-bound part.
+    assert distributed[1] / distributed[4] > 2.5
+    # One distributed worker ~ the sequential baseline (same math).
+    assert abs(distributed[1] - sequential) / sequential < 0.1
+
+
+def test_ext_dice_extended_scaling(benchmark, record_report):
+    report = benchmark.pedantic(
+        lambda: run_dice_extended_scaling(sizes=(200, 400)), rounds=1, iterations=1
+    )
+    record_report(report)
+    script = _by_x(report, "script")
+    workflow = _by_x(report, "workflow")
+    # Linearity persists beyond the paper's range...
+    assert 1.8 < script[400] / script[200] < 2.2
+    # ...and the workflow's lead converges toward the marginal ratio.
+    assert 1.9 < script[400] / workflow[400] < 2.6
+
+
+def test_ext_kge_small_scale_workers(benchmark, record_report):
+    report = benchmark.pedantic(
+        lambda: run_kge_small_scale_workers(), rounds=1, iterations=1
+    )
+    record_report(report)
+    script = _by_x(report, "script")
+    workflow = _by_x(report, "workflow")
+    # The script wins at every worker count at this scale...
+    for count in (1, 2, 4):
+        assert script[count] < workflow[count]
+    # ...and its lead GROWS with workers: the workflow's fixed
+    # table-install cost does not parallelize, so it looms larger as
+    # the per-tuple work shrinks.
+    assert (workflow[4] - script[4]) / script[4] > (
+        workflow[1] - script[1]
+    ) / script[1]

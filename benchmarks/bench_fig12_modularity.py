@@ -1,0 +1,30 @@
+"""Benchmark E1: the paper's modularity experiment (Fig 12a + 12b)."""
+
+from repro.experiments import run_fig12a, run_fig12b
+
+
+def test_fig12a_lines_of_code(benchmark, record_report):
+    report = benchmark.pedantic(run_fig12a, rounds=1, iterations=1)
+    record_report(report)
+    # Qualitative target: both paradigms land in the same order of
+    # magnitude, with DICE the largest implementation on both sides
+    # (as in the paper's Fig 12a).
+    script = {row.x: row.measured for row in report.series("script")}
+    workflow = {row.x: row.measured for row in report.series("workflow")}
+    assert max(script, key=script.get) == "dice"
+    assert max(workflow, key=workflow.get) == "dice"
+    for task in ("dice", "wef", "gotta", "kge"):
+        assert script[task] > 0
+        assert workflow[task] > 0
+
+
+def test_fig12b_kge_operator_count(benchmark, record_report):
+    report = benchmark.pedantic(run_fig12b, rounds=1, iterations=1)
+    record_report(report)
+    times = {row.x: row.measured for row in report.series("workflow")}
+    # Pipelining gain 1 -> 5 operators, diminishing at 6 (paper: 19.7%
+    # faster at 5 operators, 0.95% slower again at 6).
+    assert times[5] < times[1]
+    assert (times[1] - times[5]) / times[1] > 0.05
+    assert times[6] >= times[5]
+    assert abs(times[6] - times[5]) / times[5] < 0.05

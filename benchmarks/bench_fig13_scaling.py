@@ -1,0 +1,60 @@
+"""Benchmark E3: the paper's dataset-scaling experiment (Fig 13a-d)."""
+
+from repro.experiments import run_fig13a, run_fig13b, run_fig13c, run_fig13d
+
+
+def _by_x(report, series):
+    return {row.x: row.measured for row in report.series(series)}
+
+
+def test_fig13a_dice_scaling(benchmark, record_report):
+    report = benchmark.pedantic(run_fig13a, rounds=1, iterations=1)
+    record_report(report)
+    script = _by_x(report, "script")
+    workflow = _by_x(report, "workflow")
+    # Paper: workflow wins at every size; the gap widens with scale
+    # (37% at 10 pairs -> 122% at 200 pairs).
+    for size in script:
+        assert workflow[size] < script[size]
+    gap_small = script[10] / workflow[10]
+    gap_large = script[200] / workflow[200]
+    assert gap_large > gap_small
+    assert gap_large > 1.8  # paper: 2.22x
+
+
+def test_fig13b_wef_scaling(benchmark, record_report):
+    report = benchmark.pedantic(run_fig13b, rounds=1, iterations=1)
+    record_report(report)
+    script = _by_x(report, "script")
+    workflow = _by_x(report, "workflow")
+    # Paper: both linear and within ~3% of each other.
+    for size in script:
+        assert abs(script[size] - workflow[size]) / script[size] < 0.06
+    # Linearity: time per tweet roughly constant.
+    slope_low = (script[300] - script[200]) / 100
+    slope_high = (script[400] - script[300]) / 100
+    assert abs(slope_low - slope_high) / slope_low < 0.25
+
+
+def test_fig13c_kge_scaling(benchmark, record_report):
+    report = benchmark.pedantic(run_fig13c, rounds=1, iterations=1)
+    record_report(report)
+    script = _by_x(report, "script")
+    workflow = _by_x(report, "workflow")
+    # Paper: script wins KGE at both scales (workflow 28-33% slower).
+    for size in script:
+        assert script[size] < workflow[size]
+    assert 1.2 < workflow[6800] / script[6800] < 1.7  # paper 1.50
+    assert 1.2 < workflow[68000] / script[68000] < 1.7  # paper 1.38
+
+
+def test_fig13d_gotta_scaling(benchmark, record_report):
+    report = benchmark.pedantic(run_fig13d, rounds=1, iterations=1)
+    record_report(report)
+    script = _by_x(report, "script")
+    workflow = _by_x(report, "workflow")
+    # Paper: workflow 2.5-3.1x faster at every size.
+    for size in script:
+        assert script[size] / workflow[size] > 2.0
+    # Sub-linear script growth (fixed model/object-store costs).
+    assert script[16] < 16 * script[1]

@@ -1,0 +1,47 @@
+"""Benchmark E4: the paper's worker-scaling experiment (Fig 14a-c)."""
+
+from repro.experiments import run_fig14a, run_fig14b, run_fig14c
+
+
+def _by_x(report, series):
+    return {row.x: row.measured for row in report.series(series)}
+
+
+def test_fig14a_dice_workers(benchmark, record_report):
+    report = benchmark.pedantic(run_fig14a, rounds=1, iterations=1)
+    record_report(report)
+    script = _by_x(report, "script")
+    workflow = _by_x(report, "workflow")
+    for count in (1, 2, 4):
+        # Paper: Texera outperforms the script at every worker count.
+        assert workflow[count] < script[count]
+    # Both decrease with workers; the script closes part of the gap.
+    assert script[4] < script[2] < script[1]
+    assert workflow[4] < workflow[2] < workflow[1]
+    assert script[4] / workflow[4] < script[1] / workflow[1]
+
+
+def test_fig14b_gotta_workers(benchmark, record_report):
+    report = benchmark.pedantic(run_fig14b, rounds=1, iterations=1)
+    record_report(report)
+    script = _by_x(report, "script")
+    workflow = _by_x(report, "workflow")
+    for count in (1, 2, 4):
+        assert workflow[count] < script[count]
+    assert script[4] < script[2] < script[1]
+    assert workflow[4] < workflow[2] < workflow[1]
+    # Paper: the script recovers ~70% of the relative difference.
+    assert script[4] / workflow[4] < script[1] / workflow[1]
+
+
+def test_fig14c_kge_workers(benchmark, record_report):
+    report = benchmark.pedantic(run_fig14c, rounds=1, iterations=1)
+    record_report(report)
+    script = _by_x(report, "script")
+    workflow = _by_x(report, "workflow")
+    for count in (1, 2, 4):
+        # Paper: the script consistently outperforms the workflow.
+        assert script[count] < workflow[count]
+    # Near-linear scaling on both sides (paper: "intuitive reductions").
+    assert script[1] / script[4] > 2.5
+    assert workflow[1] / workflow[4] > 2.5

@@ -1,0 +1,17 @@
+"""Benchmark E2: the paper's language-efficiency experiment (Table I)."""
+
+from repro.experiments import run_table1
+
+
+def test_table1_scala_vs_python_operators(benchmark, record_report):
+    report = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    record_report(report)
+    scala = {row.x: row.measured for row in report.series("scala-operators")}
+    python = {row.x: row.measured for row in report.series("python-operators")}
+    # Paper: Scala 28% faster at 6.8k, only ~1% faster at 68k.
+    small_gain = (python[6800] - scala[6800]) / scala[6800]
+    large_gain = (python[68000] - scala[68000]) / scala[68000]
+    assert scala[6800] < python[6800]
+    assert small_gain > 0.10
+    assert -0.02 < large_gain < 0.05
+    assert large_gain < small_gain

@@ -1,0 +1,34 @@
+"""Shared helpers for the experiment benchmarks."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_report(results_dir, benchmark):
+    """Save an ExperimentReport to disk and attach it to the benchmark."""
+
+    def _record(report):
+        (results_dir / f"{report.experiment_id}.txt").write_text(
+            report.to_text() + "\n", encoding="utf-8"
+        )
+        benchmark.extra_info["experiment"] = report.experiment_id
+        max_err = report.max_relative_error()
+        if max_err is not None:
+            benchmark.extra_info["max_relative_error"] = round(max_err, 3)
+        print()
+        print(report.to_text())
+        return report
+
+    return _record

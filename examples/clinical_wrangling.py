@@ -1,0 +1,63 @@
+"""Clinical data wrangling: the paper's DICE task end to end.
+
+Generates a synthetic MACCROBAT corpus (clinical case reports with
+BRAT-style annotations), runs the DICE event-extraction wrangle under
+both paradigms, verifies they agree, and shows why the workflow's
+pipelined execution wins this task (paper Fig 13a).
+
+Run:  python examples/clinical_wrangling.py
+"""
+
+from repro.datasets import generate_maccrobat
+from repro.storage import serialize_annotations
+from repro.tasks import fresh_cluster
+from repro.tasks.dice import run_dice_script, run_dice_workflow
+
+NUM_REPORTS = 50
+
+
+def main():
+    reports = generate_maccrobat(num_docs=NUM_REPORTS, seed=7)
+
+    print("=== a sample case report (text file) ===")
+    sample = reports[0]
+    print(sample.text[:240], "...\n")
+    print("=== its annotation file (BRAT format, paper Fig 3) ===")
+    print("\n".join(serialize_annotations(sample.annotations).splitlines()[:8]))
+    print("...\n")
+
+    script = run_dice_script(fresh_cluster(), reports)
+    workflow = run_dice_workflow(fresh_cluster(), reports)
+
+    print("=== MACCROBAT-EE output (first 5 rows) ===")
+    for row in script.output.head(5):
+        print(
+            f"  [{row['doc_id']} s{row['sentence_index']}] "
+            f"{row['trigger_type']}={row['trigger_text']!r} "
+            f"args={row['arg_role']}:{row['arg_text']!r}"
+        )
+
+    same = sorted(map(repr, script.output)) == sorted(map(repr, workflow.output))
+    print(f"\nparadigms agree on all {len(script.output)} rows: {same}")
+
+    print(f"\nscript paradigm:   {script.elapsed_s:7.2f} virtual seconds")
+    print(f"workflow paradigm: {workflow.elapsed_s:7.2f} virtual seconds")
+    speedup = (script.elapsed_s - workflow.elapsed_s) / workflow.elapsed_s
+    print(
+        f"-> the workflow is {speedup:.0%} faster: its per-document stages "
+        "pipeline, while the notebook cells run stage after stage "
+        "(paper Section IV-E, Fig 13a)."
+    )
+
+    print("\n=== scaling the workers (paper Fig 14a) ===")
+    for workers in (1, 2, 4):
+        s = run_dice_script(fresh_cluster(), reports, num_cpus=workers)
+        w = run_dice_workflow(fresh_cluster(), reports, num_workers=workers)
+        print(
+            f"  {workers} worker(s): script {s.elapsed_s:7.2f}s   "
+            f"workflow {w.elapsed_s:7.2f}s"
+        )
+
+
+if __name__ == "__main__":
+    main()

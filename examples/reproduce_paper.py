@@ -1,0 +1,17 @@
+"""Regenerate every table and figure of the paper's evaluation.
+
+A thin wrapper around the package CLI (``python -m repro``): runs all
+ten experiment reproductions and prints each report with the paper's
+numbers side by side.  ``--quick`` shrinks the dataset scales.
+
+Run:  python examples/reproduce_paper.py [--quick] [experiment ...]
+
+e.g.  python examples/reproduce_paper.py --quick fig13a table1
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""Model training: the paper's WEF ensemble on wildfire tweets.
+
+Fine-tunes the four climate-framing classifiers under both paradigms,
+shows that they learn the same models (identical SGD trajectory), and
+evaluates them on held-out tweets.
+
+Run:  python examples/wildfire_training.py
+"""
+
+from repro.datasets import FRAMINGS, generate_wildfire_tweets, train_test_split
+from repro.ml import accuracy, f1_score
+from repro.tasks import fresh_cluster
+from repro.tasks.wef import run_wef_script, run_wef_workflow
+
+
+def main():
+    tweets = generate_wildfire_tweets(num_tweets=400, seed=11)
+    train, test = train_test_split(tweets, train_fraction=0.8)
+    print(f"corpus: {len(train)} training / {len(test)} held-out tweets\n")
+
+    script = run_wef_script(fresh_cluster(), train)
+    workflow = run_wef_workflow(fresh_cluster(), train)
+
+    print("=== loss curves (per framing model) ===")
+    by_model = {}
+    for row in script.output:
+        by_model.setdefault(row["model_name"], []).append(row["loss"])
+    for framing, losses in by_model.items():
+        curve = " -> ".join(f"{loss:.3f}" for loss in losses)
+        print(f"  {framing:28s} {curve}")
+
+    print("\n=== held-out evaluation (workflow-trained models) ===")
+    for framing in FRAMINGS:
+        model = workflow.extras["models"][framing]
+        truth = [t.label_of(framing) for t in test]
+        predictions = [model.predict(t.text) for t in test]
+        print(
+            f"  {framing:28s} accuracy={accuracy(truth, predictions):.2f} "
+            f"f1={f1_score(truth, predictions):.2f}"
+        )
+
+    print(f"\nscript paradigm:   {script.elapsed_s:8.1f} virtual seconds")
+    print(f"workflow paradigm: {workflow.elapsed_s:8.1f} virtual seconds")
+    print(
+        "-> nearly identical (paper Fig 13b): training is sequential "
+        "single-core SGD on both platforms; neither paradigm can "
+        "parallelize it."
+    )
+
+
+if __name__ == "__main__":
+    main()

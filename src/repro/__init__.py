@@ -1,0 +1,19 @@
+"""repro — reproduction of "Data Science Tasks Implemented with Scripts
+versus GUI-Based Workflows: The Good, the Bad, and the Ugly" (ICDE 2024).
+
+Top-level convenience surface; see README.md for the tour:
+
+* the simulated testbed: :func:`repro.cluster.build_cluster`;
+* the script paradigm: :func:`repro.rayx.run_script`;
+* the workflow paradigm: :class:`repro.workflow.Workflow` +
+  :func:`repro.workflow.run_workflow`;
+* the paper's tasks: :mod:`repro.tasks`;
+* the paper's evaluation: :mod:`repro.experiments`.
+"""
+
+from repro.config import ReproConfig, default_config
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproConfig", "default_config", "ReproError", "__version__"]

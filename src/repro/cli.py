@@ -1,0 +1,86 @@
+"""Command-line interface: ``python -m repro [experiment ...]``.
+
+Runs the requested experiment reproductions (default: all) and prints
+each measured-vs-paper table.  ``--quick`` uses reduced dataset scales.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.exp_language import run_table1
+from repro.experiments.exp_modularity import run_fig12a, run_fig12b
+from repro.experiments.exp_scaling import (
+    run_fig13a,
+    run_fig13b,
+    run_fig13c,
+    run_fig13d,
+)
+from repro.experiments.exp_workers import run_fig14a, run_fig14b, run_fig14c
+
+__all__ = ["main", "QUICK_EXPERIMENTS"]
+
+#: Reduced-scale variants (seconds instead of minutes).
+QUICK_EXPERIMENTS = {
+    "fig12a": run_fig12a,
+    "fig12b": lambda: run_fig12b(num_candidates=1500, universe_size=4000),
+    "table1": lambda: run_table1(sizes=(1500, 4000), universe_size=4000),
+    "fig13a": lambda: run_fig13a(sizes=(10, 40)),
+    "fig13b": lambda: run_fig13b(sizes=(50, 100)),
+    "fig13c": lambda: run_fig13c(sizes=(1500, 4000), universe_size=4000),
+    "fig13d": lambda: run_fig13d(sizes=(1, 4)),
+    "fig14a": lambda: run_fig14a(num_docs=40),
+    "fig14b": run_fig14b,
+    "fig14c": lambda: run_fig14c(num_candidates=4000, universe_size=4000),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce the tables and figures of 'Data Science Tasks "
+            "Implemented with Scripts versus GUI-Based Workflows' (ICDE 2024)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="experiment",
+        help=f"which to run; choices: {', '.join(sorted(ALL_EXPERIMENTS))} "
+        "(default: all)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced dataset scales"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiments and exit"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    registry = QUICK_EXPERIMENTS if args.quick else ALL_EXPERIMENTS
+    if args.list:
+        for name in sorted(registry):
+            print(name)
+        return 0
+    names = args.experiments or sorted(registry)
+    unknown = [name for name in names if name not in registry]
+    if unknown:
+        parser.error(
+            f"unknown experiments {unknown}; choices: {sorted(registry)}"
+        )
+    for name in names:
+        print(registry[name]().to_text())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

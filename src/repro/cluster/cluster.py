@@ -1,0 +1,89 @@
+"""Cluster topology: the paper's controller + four worker machines."""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List
+
+from repro.config import ClusterTopologyConfig, ReproConfig, default_config
+from repro.cluster.network import Network
+from repro.cluster.node import Node
+from repro.cluster.serialization import CodecSuite, make_codecs
+from repro.errors import UnknownNode
+from repro.sim import Environment
+
+__all__ = ["Cluster", "build_cluster"]
+
+CONTROLLER = "controller"
+
+
+class Cluster:
+    """A simulated deployment: one controller node plus worker nodes.
+
+    Both engines run on this object.  The Ray-like runtime treats the
+    controller as the head node hosting the driver; the workflow engine
+    treats it as the Texera controller hosting the web GUI.  Worker
+    nodes are named ``worker-0`` .. ``worker-N-1``.
+    """
+
+    def __init__(self, env: Environment, config: ReproConfig) -> None:
+        self.env = env
+        self.config = config
+        topology: ClusterTopologyConfig = config.topology
+        self.controller = Node(env, CONTROLLER, topology.machine)
+        self.workers: List[Node] = [
+            Node(env, f"worker-{i}", topology.machine)
+            for i in range(topology.num_workers)
+        ]
+        self._nodes: Dict[str, Node] = {CONTROLLER: self.controller}
+        for worker in self.workers:
+            self._nodes[worker.name] = worker
+        self.network = Network(env, topology.network)
+        self.codecs: CodecSuite = make_codecs(config.serialization)
+
+    # -- topology ------------------------------------------------------------
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.workers)
+
+    def node(self, name: str) -> Node:
+        """Look a node up by name; raises :class:`UnknownNode`."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise UnknownNode(
+                f"no node named {name!r}; have {sorted(self._nodes)}"
+            ) from None
+
+    def node_names(self) -> List[str]:
+        return list(self._nodes)
+
+    def worker_round_robin(self, index: int) -> Node:
+        """Deterministic worker assignment for the i-th placement."""
+        return self.workers[index % self.num_workers]
+
+    # -- data movement ---------------------------------------------------------
+
+    def transfer(self, src: str, dst: str, nbytes: int) -> Generator:
+        """Simulation process moving ``nbytes`` between two nodes."""
+        self.node(src)
+        self.node(dst)
+        result = yield self.env.process(self.network.transfer(src, dst, nbytes))
+        return result
+
+    # -- accounting -------------------------------------------------------------
+
+    def total_busy_seconds(self) -> float:
+        """Aggregate CPU-seconds consumed across all nodes."""
+        return sum(node.busy_seconds for node in self._nodes.values())
+
+    def __repr__(self) -> str:
+        return f"<Cluster controller + {self.num_workers} workers @ t={self.env.now:.2f}s>"
+
+
+def build_cluster(env: Environment, config: ReproConfig = None) -> Cluster:
+    """Construct the paper's testbed topology on ``env``.
+
+    ``config`` defaults to the calibrated :func:`repro.config.default_config`.
+    """
+    return Cluster(env, config or default_config())

@@ -1,0 +1,103 @@
+"""A simulated cluster machine: vCPU pool plus RAM accounting."""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.config import MachineConfig
+from repro.errors import InsufficientResources
+from repro.sim import Environment, Resource
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One VM of the paper's testbed (8 vCPUs, 64 GB RAM by default).
+
+    CPU time is the contended resource: processes call :meth:`compute`
+    (a simulation process) to occupy ``cores`` vCPUs for a duration.
+    Co-scheduled work on the same node genuinely queues, which is how
+    the simulation reproduces contention effects.
+
+    RAM is tracked as a simple high-water counter — enough to model the
+    paper's observation that Ray's object store "required a lot of
+    memory", and to fail loudly if a task plan would not fit on the
+    testbed machine.
+    """
+
+    def __init__(self, env: Environment, name: str, machine: MachineConfig) -> None:
+        self.env = env
+        self.name = name
+        self.machine = machine
+        self.cpus = Resource(env, capacity=machine.num_cpus)
+        self.ram_used = 0
+        self.ram_peak = 0
+        self.busy_seconds = 0.0
+
+    @property
+    def num_cpus(self) -> int:
+        return self.machine.num_cpus
+
+    @property
+    def ram_bytes(self) -> int:
+        return self.machine.ram_bytes
+
+    @property
+    def ram_free(self) -> int:
+        return self.machine.ram_bytes - self.ram_used
+
+    # -- CPU ---------------------------------------------------------------
+
+    def compute(self, duration_s: float, cores: int = 1) -> Generator:
+        """Simulation process: hold ``cores`` vCPUs for ``duration_s``.
+
+        The duration is wall time on this node — callers that split
+        work across cores are responsible for dividing their single-
+        core work by the effective parallelism first (see
+        ``repro.ml.flops.compute_seconds``).
+        """
+        if duration_s < 0:
+            raise ValueError(f"negative compute duration: {duration_s}")
+        if cores < 1:
+            raise ValueError(f"cores must be >= 1, got {cores}")
+        if cores > self.num_cpus:
+            raise InsufficientResources(
+                f"node {self.name!r} has {self.num_cpus} vCPUs, requested {cores}"
+            )
+        yield self.cpus.request(cores)
+        try:
+            yield self.env.timeout(duration_s)
+            self.busy_seconds += duration_s * cores
+        finally:
+            self.cpus.release(cores)
+
+    # -- RAM ---------------------------------------------------------------
+
+    def allocate_ram(self, nbytes: int) -> None:
+        """Reserve ``nbytes`` of RAM; raises if the node would swap."""
+        if nbytes < 0:
+            raise ValueError(f"negative allocation: {nbytes}")
+        if nbytes > self.ram_free:
+            raise InsufficientResources(
+                f"node {self.name!r}: allocation of {nbytes} bytes exceeds "
+                f"free RAM ({self.ram_free} of {self.ram_bytes} bytes)"
+            )
+        self.ram_used += nbytes
+        self.ram_peak = max(self.ram_peak, self.ram_used)
+
+    def free_ram(self, nbytes: int) -> None:
+        """Release a prior allocation."""
+        if nbytes < 0:
+            raise ValueError(f"negative free: {nbytes}")
+        if nbytes > self.ram_used:
+            raise ValueError(
+                f"node {self.name!r}: freeing {nbytes} bytes but only "
+                f"{self.ram_used} are allocated"
+            )
+        self.ram_used -= nbytes
+
+    def __repr__(self) -> str:
+        return (
+            f"<Node {self.name}: {self.cpus.in_use}/{self.num_cpus} vCPUs busy, "
+            f"{self.ram_used / 2**20:.0f} MiB RAM used>"
+        )

@@ -1,0 +1,105 @@
+"""Synthetic few-shot QA corpus with cloze augmentation (GOTTA).
+
+Substitute for GOTTA's FSQA benchmark data (paper Section II-C).  Each
+paragraph states several facts using invented entity names; every fact
+yields a natural question, a gold answer, and a *cloze* statement with
+the answer masked — the augmentation GOTTA adds so the model "must
+understand the context beyond the original questions".
+
+Because answers are invented words unique to their paragraph, the
+SimBART retriever answers them exactly, making correctness assertable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.datasets.synth import SyllableNameGenerator
+from repro.ml.models.bart import MASK_TOKEN
+
+__all__ = ["QAExample", "FsqaParagraph", "generate_fsqa"]
+
+_FACT_TEMPLATES = [
+    (
+        "The capital of {subject} is {answer}.",
+        "What is the capital of {subject}?",
+    ),
+    (
+        "The river {subject} flows into lake {answer}.",
+        "Which lake does the river {subject} flow into?",
+    ),
+    (
+        "The founder of {subject} was {answer}.",
+        "Who founded {subject}?",
+    ),
+    (
+        "The chemical {subject} reacts strongly with {answer}.",
+        "What does the chemical {subject} react strongly with?",
+    ),
+    (
+        "The festival of {subject} honors {answer}.",
+        "Whom does the festival of {subject} honor?",
+    ),
+]
+
+
+@dataclass(frozen=True)
+class QAExample:
+    """One question with its gold answer and cloze augmentation."""
+
+    question: str
+    answer: str
+    cloze: str
+
+
+@dataclass(frozen=True)
+class FsqaParagraph:
+    """A context paragraph with its question set."""
+
+    paragraph_id: str
+    context: str
+    examples: List[QAExample]
+
+
+def generate_fsqa(
+    num_paragraphs: int = 16,
+    facts_per_paragraph: int = 4,
+    seed: int = 17,
+) -> List[FsqaParagraph]:
+    """Generate paragraphs (the paper evaluates on 1, 4 and 16)."""
+    if num_paragraphs < 1:
+        raise ValueError(f"num_paragraphs must be >= 1, got {num_paragraphs}")
+    if facts_per_paragraph < 1:
+        raise ValueError(
+            f"facts_per_paragraph must be >= 1, got {facts_per_paragraph}"
+        )
+    rng = np.random.RandomState(seed)
+    names = SyllableNameGenerator(rng)
+    paragraphs: List[FsqaParagraph] = []
+    for paragraph_number in range(num_paragraphs):
+        sentences: List[str] = []
+        examples: List[QAExample] = []
+        for fact_number in range(facts_per_paragraph):
+            fact_template, question_template = _FACT_TEMPLATES[
+                (paragraph_number + fact_number) % len(_FACT_TEMPLATES)
+            ]
+            subject = names.word(2).capitalize()
+            answer = names.word(3).capitalize()
+            sentence = fact_template.format(subject=subject, answer=answer)
+            sentences.append(sentence)
+            examples.append(
+                QAExample(
+                    question=question_template.format(subject=subject),
+                    answer=answer,
+                    cloze=fact_template.format(subject=subject, answer=MASK_TOKEN),
+                )
+            )
+        paragraphs.append(
+            FsqaParagraph(
+                f"para-{paragraph_number:03d}", " ".join(sentences), examples
+            )
+        )
+    return paragraphs

@@ -1,0 +1,220 @@
+"""Synthetic MACCROBAT: clinical case reports with BRAT annotations.
+
+Substitute for the 200-document MACCROBAT corpus the DICE task wrangles
+(paper Section II-A, Figure 3).  Each generated document is a pair:
+
+* a clinical-narrative text file, and
+* an annotation document with entity (``T``) and event (``E``)
+  annotations whose character offsets index the text exactly.
+
+The generator guarantees the structural properties DICE relies on:
+entity spans slice back to their covered text, every event references a
+real entity, and events carry the type/argument variety the task's
+filter and join steps discriminate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.datasets.synth import pick
+from repro.storage.brat import (
+    AnnotationDocument,
+    EntityAnnotation,
+    EventAnnotation,
+)
+
+__all__ = ["CaseReport", "generate_maccrobat", "EVENT_TRIGGER_TYPES"]
+
+_SEXES = ["man", "woman"]
+_SYMPTOMS = [
+    "fever",
+    "cough",
+    "fatigue",
+    "dyspnea",
+    "headache",
+    "nausea",
+    "dizziness",
+    "myalgia",
+    "rash",
+    "palpitations",
+]
+_CLINICAL_EVENTS = [
+    "presented",
+    "admitted",
+    "discharged",
+    "intubated",
+    "transferred",
+    "evaluated",
+]
+_MEDICATIONS = [
+    "acetaminophen",
+    "ibuprofen",
+    "amoxicillin",
+    "prednisone",
+    "metformin",
+    "lisinopril",
+]
+_PROCEDURES = [
+    "radiograph",
+    "biopsy",
+    "endoscopy",
+    "echocardiogram",
+    "catheterization",
+]
+_MODIFIERS = ["chronic", "acute", "severe", "mild", "intermittent"]
+
+#: Trigger types that produce event (E) annotations.
+EVENT_TRIGGER_TYPES = ("Clinical_event", "Sign_symptom", "Medication", "Procedure")
+
+
+@dataclass
+class CaseReport:
+    """One synthetic MACCROBAT document pair."""
+
+    doc_id: str
+    text: str
+    annotations: AnnotationDocument
+
+
+class _DocumentBuilder:
+    """Accumulates text while recording entity spans."""
+
+    def __init__(self, doc_id: str) -> None:
+        self.doc_id = doc_id
+        self._pieces: List[str] = []
+        self._length = 0
+        self.entities: List[EntityAnnotation] = []
+        self.events: List[EventAnnotation] = []
+
+    def literal(self, text: str) -> None:
+        self._pieces.append(text)
+        self._length += len(text)
+
+    def entity(self, text: str, ann_type: str) -> EntityAnnotation:
+        start = self._length
+        self.literal(text)
+        annotation = EntityAnnotation(
+            f"T{len(self.entities) + 1}", ann_type, start, self._length, text
+        )
+        self.entities.append(annotation)
+        return annotation
+
+    def event(
+        self,
+        trigger: EntityAnnotation,
+        arguments: Tuple[Tuple[str, str], ...] = (),
+    ) -> EventAnnotation:
+        annotation = EventAnnotation(
+            f"E{len(self.events) + 1}", trigger.ann_type, trigger.key, arguments
+        )
+        self.events.append(annotation)
+        return annotation
+
+    def build(self) -> CaseReport:
+        text = "".join(self._pieces)
+        return CaseReport(
+            self.doc_id,
+            text,
+            AnnotationDocument(self.doc_id, self.entities, self.events),
+        )
+
+
+def _intro_sentence(builder: _DocumentBuilder, rng: np.random.RandomState) -> None:
+    builder.literal("The patient was a ")
+    age = builder.entity(f"{rng.randint(18, 90)}-yr-old", "Age")
+    builder.literal(" ")
+    sex = builder.entity(pick(rng, _SEXES), "Sex")
+    builder.literal(" who ")
+    event = builder.entity(pick(rng, _CLINICAL_EVENTS), "Clinical_event")
+    builder.literal(" with complaints of ")
+    symptom_a = builder.entity(pick(rng, _SYMPTOMS), "Sign_symptom")
+    builder.literal(" and a ")
+    modifier = builder.entity(pick(rng, _MODIFIERS), "Modifier")
+    builder.literal(" ")
+    symptom_b = builder.entity(pick(rng, _SYMPTOMS), "Sign_symptom")
+    builder.literal(". ")
+    builder.event(event, (("Patient", age.key), ("Sex", sex.key)))
+    builder.event(symptom_a)
+    builder.event(symptom_b, (("Modifier", modifier.key),))
+
+
+def _symptom_sentence(builder: _DocumentBuilder, rng: np.random.RandomState) -> None:
+    builder.literal("Examination revealed ")
+    modifier = builder.entity(pick(rng, _MODIFIERS), "Modifier")
+    builder.literal(" ")
+    symptom = builder.entity(pick(rng, _SYMPTOMS), "Sign_symptom")
+    builder.literal(". ")
+    builder.event(symptom, (("Modifier", modifier.key),))
+    # Modifier-triggered events exist in the raw annotations but are
+    # not clinical events; DICE's filter step drops them (Figure 4's
+    # "filtering event annotations based on certain conditions").
+    builder.event(modifier)
+
+
+def _medication_sentence(builder: _DocumentBuilder, rng: np.random.RandomState) -> None:
+    builder.literal("Treatment with ")
+    medication = builder.entity(pick(rng, _MEDICATIONS), "Medication")
+    builder.literal(" was initiated for the ")
+    symptom = builder.entity(pick(rng, _SYMPTOMS), "Sign_symptom")
+    builder.literal(". ")
+    builder.event(medication, (("Indication", symptom.key),))
+
+
+def _procedure_sentence(builder: _DocumentBuilder, rng: np.random.RandomState) -> None:
+    builder.literal("A ")
+    procedure = builder.entity(pick(rng, _PROCEDURES), "Procedure")
+    builder.literal(" was performed after the patient ")
+    event = builder.entity(pick(rng, _CLINICAL_EVENTS), "Clinical_event")
+    builder.literal(". ")
+    builder.event(procedure)
+    builder.event(event)
+
+
+def _history_sentence(builder: _DocumentBuilder, rng: np.random.RandomState) -> None:
+    # History sentences carry entities with NO events — these exercise
+    # the DICE path that keeps entity annotations out of the event join.
+    builder.literal("Medical history included ")
+    builder.entity(pick(rng, _SYMPTOMS), "History")
+    builder.literal(" managed with ")
+    builder.entity(pick(rng, _MEDICATIONS), "History")
+    builder.literal(". ")
+
+
+_BODY_SENTENCES = (
+    _symptom_sentence,
+    _medication_sentence,
+    _procedure_sentence,
+    _history_sentence,
+)
+
+
+def generate_maccrobat(
+    num_docs: int = 200,
+    seed: int = 7,
+    min_sentences: int = 6,
+    max_sentences: int = 12,
+) -> List[CaseReport]:
+    """Generate ``num_docs`` case reports (the real corpus has 200)."""
+    if num_docs < 1:
+        raise ValueError(f"num_docs must be >= 1, got {num_docs}")
+    if not 1 <= min_sentences <= max_sentences:
+        raise ValueError(
+            f"bad sentence bounds: [{min_sentences}, {max_sentences}]"
+        )
+    rng = np.random.RandomState(seed)
+    reports: List[CaseReport] = []
+    for doc_number in range(num_docs):
+        builder = _DocumentBuilder(f"case-{doc_number:04d}")
+        _intro_sentence(builder, rng)
+        body_count = rng.randint(min_sentences, max_sentences + 1) - 1
+        for _ in range(body_count):
+            sentence = _BODY_SENTENCES[rng.randint(len(_BODY_SENTENCES))]
+            sentence(builder, rng)
+        report = builder.build()
+        report.annotations.validate_references()
+        reports.append(report)
+    return reports

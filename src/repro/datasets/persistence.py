@@ -1,0 +1,160 @@
+"""Writing the synthetic corpora to disk and loading them back.
+
+The generators in this package are in-memory; these helpers persist
+each corpus in its natural on-disk format — the same formats the
+paper's pipelines consume:
+
+* MACCROBAT: one ``<doc_id>.txt`` + one ``<doc_id>.ann`` (BRAT) per
+  case report, as in the real corpus;
+* wildfire tweets / FSQA paragraphs: JSONL;
+* the product catalog: CSV.
+
+Round-trips are exact (asserted by tests), so experiments can be run
+against on-disk corpora as well as generated ones.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+from repro.datasets.amazon import PRODUCT_SCHEMA, Product, catalog_table
+from repro.datasets.fsqa import FsqaParagraph, QAExample
+from repro.datasets.maccrobat import CaseReport
+from repro.datasets.wildfire import LabeledTweet
+from repro.errors import StorageError
+from repro.storage.brat import parse_annotations, serialize_annotations
+from repro.storage.csvio import read_csv, write_csv
+from repro.storage.jsonl import read_jsonl, write_jsonl
+
+__all__ = [
+    "save_maccrobat",
+    "load_maccrobat",
+    "save_tweets",
+    "load_tweets",
+    "save_fsqa",
+    "load_fsqa",
+    "save_catalog",
+    "load_catalog",
+]
+
+PathLike = Union[str, Path]
+
+
+# -- MACCROBAT (txt + ann file pairs) -----------------------------------------
+
+
+def save_maccrobat(directory: PathLike, reports: List[CaseReport]) -> int:
+    """Write one ``.txt``/``.ann`` pair per report; returns the count."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for report in reports:
+        (directory / f"{report.doc_id}.txt").write_text(
+            report.text, encoding="utf-8"
+        )
+        (directory / f"{report.doc_id}.ann").write_text(
+            serialize_annotations(report.annotations), encoding="utf-8"
+        )
+    return len(reports)
+
+
+def load_maccrobat(directory: PathLike) -> List[CaseReport]:
+    """Load every ``.txt``/``.ann`` pair from a directory (sorted)."""
+    directory = Path(directory)
+    reports: List[CaseReport] = []
+    for text_path in sorted(directory.glob("*.txt")):
+        ann_path = text_path.with_suffix(".ann")
+        if not ann_path.exists():
+            raise StorageError(f"missing annotation file for {text_path.name}")
+        doc_id = text_path.stem
+        annotations = parse_annotations(
+            doc_id, ann_path.read_text(encoding="utf-8")
+        )
+        annotations.validate_references()
+        reports.append(
+            CaseReport(doc_id, text_path.read_text(encoding="utf-8"), annotations)
+        )
+    if not reports:
+        raise StorageError(f"no .txt/.ann pairs found in {directory}")
+    return reports
+
+
+# -- wildfire tweets (JSONL) -------------------------------------------------------
+
+
+def save_tweets(path: PathLike, tweets: List[LabeledTweet]) -> int:
+    return write_jsonl(
+        path,
+        (
+            {"tweet_id": t.tweet_id, "text": t.text, "labels": list(t.labels)}
+            for t in tweets
+        ),
+    )
+
+
+def load_tweets(path: PathLike) -> List[LabeledTweet]:
+    tweets = []
+    for record in read_jsonl(path):
+        labels = record["labels"]
+        if len(labels) != 4:
+            raise StorageError(
+                f"tweet {record.get('tweet_id')!r} has {len(labels)} labels"
+            )
+        tweets.append(
+            LabeledTweet(record["tweet_id"], record["text"], tuple(labels))
+        )
+    return tweets
+
+
+# -- FSQA paragraphs (JSONL) ----------------------------------------------------------
+
+
+def save_fsqa(path: PathLike, paragraphs: List[FsqaParagraph]) -> int:
+    return write_jsonl(
+        path,
+        (
+            {
+                "paragraph_id": p.paragraph_id,
+                "context": p.context,
+                "examples": [
+                    {"question": e.question, "answer": e.answer, "cloze": e.cloze}
+                    for e in p.examples
+                ],
+            }
+            for p in paragraphs
+        ),
+    )
+
+
+def load_fsqa(path: PathLike) -> List[FsqaParagraph]:
+    paragraphs = []
+    for record in read_jsonl(path):
+        examples = [
+            QAExample(e["question"], e["answer"], e["cloze"])
+            for e in record["examples"]
+        ]
+        paragraphs.append(
+            FsqaParagraph(record["paragraph_id"], record["context"], examples)
+        )
+    return paragraphs
+
+
+# -- product catalog (CSV) ---------------------------------------------------------------
+
+
+def save_catalog(path: PathLike, products: List[Product]) -> int:
+    return write_csv(path, catalog_table(products))
+
+
+def load_catalog(path: PathLike) -> List[Product]:
+    table = read_csv(path, PRODUCT_SCHEMA)
+    return [
+        Product(
+            row["product_id"],
+            row["name"],
+            row["category"],
+            row["price"],
+            row["in_stock"],
+        )
+        for row in table
+    ]

@@ -1,0 +1,114 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class at the public-API boundary.  Subsystems
+define narrower classes below so tests (and users) can assert on the
+precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the discrete-event kernel."""
+
+
+class EventAlreadyTriggered(SimulationError):
+    """An event was succeeded or failed more than once."""
+
+
+class EmptySchedule(SimulationError):
+    """``Environment.run`` was asked to advance but no events remain."""
+
+
+class ProcessFailed(SimulationError):
+    """A simulation process terminated with an unhandled exception."""
+
+
+class ClusterError(ReproError):
+    """Base class for cluster-topology errors."""
+
+
+class UnknownNode(ClusterError):
+    """A node name was referenced that is not part of the cluster."""
+
+
+class InsufficientResources(ClusterError):
+    """A request asked for more cores/RAM than a node possesses."""
+
+
+class SchemaError(ReproError):
+    """Base class for relational-schema violations."""
+
+
+class FieldNotFound(SchemaError):
+    """A tuple or expression referenced a field absent from the schema."""
+
+
+class DuplicateField(SchemaError):
+    """A schema was constructed with two fields of the same name."""
+
+
+class TypeMismatch(SchemaError):
+    """A tuple value does not conform to its field's declared type."""
+
+
+class StorageError(ReproError):
+    """Base class for dataset file-format errors."""
+
+
+class AnnotationParseError(StorageError):
+    """A BRAT-style annotation line could not be parsed."""
+
+
+class RayxError(ReproError):
+    """Base class for errors raised by the script (Ray-like) runtime."""
+
+
+class ObjectStoreError(RayxError):
+    """An object-store operation failed (missing ref, capacity, ...)."""
+
+
+class ObjectNotFound(ObjectStoreError):
+    """``get`` was called with a ref that was never ``put``."""
+
+
+class TaskError(RayxError):
+    """A remote task raised; the exception is re-raised at ``get``."""
+
+
+class WorkflowError(ReproError):
+    """Base class for errors raised by the workflow (Texera-like) engine."""
+
+
+class InvalidWorkflow(WorkflowError):
+    """The workflow DAG failed validation (cycle, dangling port, ...)."""
+
+
+class OperatorError(WorkflowError):
+    """An operator raised during execution; reported at operator level.
+
+    Mirrors the paper's observation (Section III-A) that the workflow
+    paradigm reports error traces *at the operator level*: the exception
+    carries the failing operator's id so users can isolate it.
+    """
+
+    def __init__(self, operator_id: str, message: str) -> None:
+        super().__init__(f"operator '{operator_id}': {message}")
+        self.operator_id = operator_id
+
+
+class MLError(ReproError):
+    """Base class for model/tokenizer/training errors."""
+
+
+class NotFittedError(MLError):
+    """Inference was attempted on a model that has not been trained."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured inconsistently."""

@@ -1,0 +1,52 @@
+"""Reproductions of every table and figure in the paper's evaluation.
+
+==========  ==========================================  ======================
+Experiment  Paper artifact                              Entry point
+==========  ==========================================  ======================
+E1a         Fig 12a (lines of code)                     :func:`run_fig12a`
+E1b         Fig 12b (KGE time vs #operators)            :func:`run_fig12b`
+E2          Table I (Scala vs Python operators)         :func:`run_table1`
+E3a-d       Fig 13a-d (scaling dataset size)            :func:`run_fig13a` ...
+E4a-c       Fig 14a-c (number of workers)               :func:`run_fig14a` ...
+==========  ==========================================  ======================
+
+Each returns an :class:`repro.metrics.ExperimentReport` holding the
+measured values side by side with the paper's, rendered by
+``report.to_text()``.
+"""
+
+from repro.experiments.exp_language import run_table1
+from repro.experiments.exp_modularity import run_fig12a, run_fig12b
+from repro.experiments.exp_scaling import (
+    run_fig13a,
+    run_fig13b,
+    run_fig13c,
+    run_fig13d,
+)
+from repro.experiments.exp_workers import run_fig14a, run_fig14b, run_fig14c
+
+__all__ = [
+    "run_table1",
+    "run_fig12a",
+    "run_fig12b",
+    "run_fig13a",
+    "run_fig13b",
+    "run_fig13c",
+    "run_fig13d",
+    "run_fig14a",
+    "run_fig14b",
+    "run_fig14c",
+]
+
+ALL_EXPERIMENTS = {
+    "fig12a": run_fig12a,
+    "fig12b": run_fig12b,
+    "table1": run_table1,
+    "fig13a": run_fig13a,
+    "fig13b": run_fig13b,
+    "fig13c": run_fig13c,
+    "fig13d": run_fig13d,
+    "fig14a": run_fig14a,
+    "fig14b": run_fig14b,
+    "fig14c": run_fig14c,
+}

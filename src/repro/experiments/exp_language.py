@@ -1,0 +1,48 @@
+"""Experiment #2 (paper Section IV-D): language efficiency — Table I.
+
+The three-Python-operator KGE workflow against the variant whose join
+is implemented by nine Scala operators, at 6.8k and 68k products.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.harness import KGE_LARGE, cached_kge_dataset, kge_paper_scales
+from repro.experiments.paper_values import TABLE1_LANGUAGE
+from repro.metrics import ExperimentReport
+from repro.tasks import fresh_cluster
+from repro.tasks.kge.workflow import run_kge_workflow
+
+__all__ = ["run_table1"]
+
+
+def run_table1(
+    sizes: Optional[Sequence[int]] = None,
+    universe_size: int = KGE_LARGE,
+) -> ExperimentReport:
+    """Reproduce Table I: Scala- vs Python-operator KGE times."""
+    report = ExperimentReport(
+        "table1",
+        "KGE execution time: Scala-based vs Python-based join operators",
+        x_label="products",
+    )
+    for size in sizes or kge_paper_scales():
+        dataset = cached_kge_dataset(size, universe_size)
+        paper = TABLE1_LANGUAGE.get(size, {})
+        scala = run_kge_workflow(
+            fresh_cluster(), dataset, num_processing_ops=3, join_language="scala"
+        )
+        report.add("scala-operators", size, scala.elapsed_s, paper=paper.get("scala"))
+        python = run_kge_workflow(
+            fresh_cluster(), dataset, num_processing_ops=3, join_language="python"
+        )
+        report.add(
+            "python-operators", size, python.elapsed_s, paper=paper.get("python")
+        )
+    report.notes.append(
+        "expected shape: Scala faster at the small scale; the advantage "
+        "collapses to ~1% at the large scale (fixed table-install saving "
+        "amortized; cross-language per-tuple bridge grows)"
+    )
+    return report

@@ -1,0 +1,82 @@
+"""Experiment #4 (paper Section IV-F): number of workers.
+
+Reproduces Figure 14's three panels — DICE (a), GOTTA (b), KGE (c) —
+at 1, 2 and 4 workers.  WEF is excluded, as in the paper (it would
+become a distributed-training task).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.datasets import generate_fsqa, generate_maccrobat
+from repro.experiments.harness import KGE_LARGE, cached_kge_dataset
+from repro.experiments.paper_values import FIG14_WORKERS
+from repro.metrics import ExperimentReport
+from repro.tasks import fresh_cluster
+from repro.tasks.dice import run_dice_script, run_dice_workflow
+from repro.tasks.gotta import run_gotta_script, run_gotta_workflow
+from repro.tasks.kge import run_kge_script, run_kge_workflow
+
+__all__ = ["run_fig14a", "run_fig14b", "run_fig14c"]
+
+_DEFAULT_WORKERS = (1, 2, 4)
+
+
+def run_fig14a(
+    workers: Optional[Sequence[int]] = None, num_docs: int = 200
+) -> ExperimentReport:
+    """DICE at 200 file pairs, 1/2/4 workers."""
+    report = ExperimentReport(
+        "fig14a",
+        f"DICE execution time vs #workers ({num_docs} file pairs)",
+        x_label="workers",
+    )
+    paper = FIG14_WORKERS["dice"]
+    reports = generate_maccrobat(num_docs=num_docs, seed=7)
+    for count in workers or _DEFAULT_WORKERS:
+        script = run_dice_script(fresh_cluster(), reports, num_cpus=count)
+        report.add("script", count, script.elapsed_s, paper["script"].get(count))
+        workflow = run_dice_workflow(fresh_cluster(), reports, num_workers=count)
+        report.add("workflow", count, workflow.elapsed_s, paper["workflow"].get(count))
+    return report
+
+
+def run_fig14b(
+    workers: Optional[Sequence[int]] = None, num_paragraphs: int = 4
+) -> ExperimentReport:
+    """GOTTA at 4 paragraphs, 1/2/4 workers."""
+    report = ExperimentReport(
+        "fig14b",
+        f"GOTTA execution time vs #workers ({num_paragraphs} paragraphs)",
+        x_label="workers",
+    )
+    paper = FIG14_WORKERS["gotta"]
+    paragraphs = generate_fsqa(num_paragraphs=num_paragraphs, seed=17)
+    for count in workers or _DEFAULT_WORKERS:
+        script = run_gotta_script(fresh_cluster(), paragraphs, num_cpus=count)
+        report.add("script", count, script.elapsed_s, paper["script"].get(count))
+        workflow = run_gotta_workflow(fresh_cluster(), paragraphs, num_workers=count)
+        report.add("workflow", count, workflow.elapsed_s, paper["workflow"].get(count))
+    return report
+
+
+def run_fig14c(
+    workers: Optional[Sequence[int]] = None,
+    num_candidates: int = 68000,
+    universe_size: int = KGE_LARGE,
+) -> ExperimentReport:
+    """KGE at 68k products, 1/2/4 workers."""
+    report = ExperimentReport(
+        "fig14c",
+        f"KGE execution time vs #workers ({num_candidates} products)",
+        x_label="workers",
+    )
+    paper = FIG14_WORKERS["kge"]
+    dataset = cached_kge_dataset(num_candidates, universe_size)
+    for count in workers or _DEFAULT_WORKERS:
+        script = run_kge_script(fresh_cluster(), dataset, num_cpus=count)
+        report.add("script", count, script.elapsed_s, paper["script"].get(count))
+        workflow = run_kge_workflow(fresh_cluster(), dataset, num_workers=count)
+        report.add("workflow", count, workflow.elapsed_s, paper["workflow"].get(count))
+    return report

@@ -1,0 +1,75 @@
+"""Every number the paper's evaluation section reports, as data.
+
+Sources (all from the ICDE 2024 paper):
+
+* Section IV-C "Experiment #1: Modularity" — Fig 12a (lines of code)
+  and Fig 12b (KGE time vs number of operators);
+* Section IV-D "Experiment #2: Language Efficiency" — Table I;
+* Section IV-E "Experiment #3: Scaling Dataset Size" — Fig 13a-d;
+* Section IV-F "Experiment #4: Number of workers" — Fig 14a-c.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FIG12A_LOC",
+    "FIG12B_KGE_OPERATORS",
+    "TABLE1_LANGUAGE",
+    "FIG13_SCALING",
+    "FIG14_WORKERS",
+]
+
+#: Fig 12a — lines of code per task and paradigm.
+FIG12A_LOC = {
+    "dice": {"script": 377, "workflow": 215},
+    "wef": {"script": 68, "workflow": 62},
+    "gotta": {"script": 120, "workflow": 105},
+    "kge": {"script": 128, "workflow": 134},
+}
+
+#: Fig 12b — KGE execution time (s) vs number of workflow operators,
+#: 6.8k products, 1 worker.  The paper quotes 1, 5 and 6 operators.
+FIG12B_KGE_OPERATORS = {1: 138.97, 5: 114.05, 6: 115.143}
+
+#: Table I — KGE execution times (s): Scala vs Python join operators.
+TABLE1_LANGUAGE = {
+    6800: {"scala": 98.67, "python": 126.28},
+    68000: {"scala": 1159.82, "python": 1170.57},
+}
+
+#: Fig 13 — execution time (s) as the dataset size increases.
+FIG13_SCALING = {
+    "dice": {  # x = file pairs
+        "script": {10: 14.71, 200: 239.54},
+        "workflow": {10: 10.73, 200: 107.83},
+    },
+    "wef": {  # x = tweets
+        "script": {200: 1285.82, 300: 1922.86, 400: 2587.94},
+        "workflow": {200: 1264.93, 300: 1896.01, 400: 2525.96},
+    },
+    "kge": {  # x = products
+        "script": {6800: 90.69, 68000: 975.46},
+        "workflow": {6800: 135.85, 68000: 1350.50},
+    },
+    "gotta": {  # x = paragraphs
+        "script": {1: 163.22, 4: 463.96, 16: 1389.93},
+        "workflow": {1: 64.14, 4: 149.45, 16: 460.13},
+    },
+}
+
+#: Fig 14 — execution time (s) as the number of workers increases.
+#: (WEF is excluded by the paper: it would become distributed training.)
+FIG14_WORKERS = {
+    "dice": {  # 200 file pairs
+        "script": {1: 239.54, 2: 148.04, 4: 85.65},
+        "workflow": {1: 107.82, 2: 87.13, 4: 57.21},
+    },
+    "gotta": {  # 4 paragraphs
+        "script": {1: 463.96, 2: 234.68, 4: 139.66},
+        "workflow": {1: 149.45, 2: 104.16, 4: 83.37},
+    },
+    "kge": {  # 68k products
+        "script": {1: 975.46, 2: 459.46, 4: 273.89},
+        "workflow": {1: 1350.50, 2: 618.39, 4: 383.58},
+    },
+}

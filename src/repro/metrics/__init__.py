@@ -1,0 +1,6 @@
+"""Measurement utilities: LoC counting and experiment reports."""
+
+from repro.metrics.loc import count_loc, count_module_loc
+from repro.metrics.report import ExperimentReport, ExperimentRow
+
+__all__ = ["count_loc", "count_module_loc", "ExperimentReport", "ExperimentRow"]

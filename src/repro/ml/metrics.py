@@ -1,0 +1,84 @@
+"""Evaluation metrics for the tasks' model outputs."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = [
+    "accuracy",
+    "precision",
+    "recall",
+    "f1_score",
+    "exact_match",
+    "multilabel_scores",
+]
+
+
+def _check_lengths(truth: Sequence, predictions: Sequence) -> None:
+    if len(truth) != len(predictions):
+        raise ValueError(
+            f"length mismatch: {len(truth)} labels vs {len(predictions)} predictions"
+        )
+    if not truth:
+        raise ValueError("metrics need at least one example")
+
+
+def accuracy(truth: Sequence[int], predictions: Sequence[int]) -> float:
+    """Fraction of exact label matches."""
+    _check_lengths(truth, predictions)
+    return sum(t == p for t, p in zip(truth, predictions)) / len(truth)
+
+
+def precision(truth: Sequence[int], predictions: Sequence[int]) -> float:
+    """TP / (TP + FP); 0.0 when nothing was predicted positive."""
+    _check_lengths(truth, predictions)
+    tp = sum(1 for t, p in zip(truth, predictions) if t == 1 and p == 1)
+    fp = sum(1 for t, p in zip(truth, predictions) if t == 0 and p == 1)
+    return tp / (tp + fp) if (tp + fp) else 0.0
+
+
+def recall(truth: Sequence[int], predictions: Sequence[int]) -> float:
+    """TP / (TP + FN); 0.0 when there are no positives."""
+    _check_lengths(truth, predictions)
+    tp = sum(1 for t, p in zip(truth, predictions) if t == 1 and p == 1)
+    fn = sum(1 for t, p in zip(truth, predictions) if t == 1 and p == 0)
+    return tp / (tp + fn) if (tp + fn) else 0.0
+
+
+def f1_score(truth: Sequence[int], predictions: Sequence[int]) -> float:
+    """Harmonic mean of precision and recall."""
+    p = precision(truth, predictions)
+    r = recall(truth, predictions)
+    return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def exact_match(truth: Sequence[str], predictions: Sequence[str]) -> float:
+    """QA exact-match rate (case/whitespace-insensitive)."""
+    _check_lengths(truth, predictions)
+    matches = sum(
+        t.strip().lower() == p.strip().lower() for t, p in zip(truth, predictions)
+    )
+    return matches / len(truth)
+
+
+def multilabel_scores(
+    truth: Sequence[Sequence[int]], predictions: Sequence[Sequence[int]]
+) -> Dict[str, List[float]]:
+    """Per-label accuracy/F1 for a multi-label problem (WEF's shape).
+
+    ``truth[i][j]`` is label j of example i; all rows must have the
+    same number of labels.
+    """
+    _check_lengths(truth, predictions)
+    num_labels = len(truth[0])
+    for row in list(truth) + list(predictions):
+        if len(row) != num_labels:
+            raise ValueError("ragged multilabel rows")
+    per_label_accuracy = []
+    per_label_f1 = []
+    for j in range(num_labels):
+        t = [row[j] for row in truth]
+        p = [row[j] for row in predictions]
+        per_label_accuracy.append(accuracy(t, p))
+        per_label_f1.append(f1_score(t, p))
+    return {"accuracy": per_label_accuracy, "f1": per_label_f1}

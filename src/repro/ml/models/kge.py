@@ -1,0 +1,115 @@
+"""TransE-style knowledge graph embedding model for the KGE task.
+
+What is real: TransE geometry over seeded random embeddings — scoring
+is ``-||h + r - t||``, ranking sorts real scores, and reverse lookup is
+an exact nearest-neighbour search, so the task's output (which products
+a user is predicted to buy) is deterministic and assertable.
+
+What is simulated: cost.  The model reports the 375 MB payload the
+paper cites for the KGE model and per-score FLOPs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster import Sized
+from repro.config import ModelConfig
+from repro.errors import MLError
+
+__all__ = ["TransEModel"]
+
+
+class TransEModel(Sized):
+    """Pre-trained entity/relation embeddings with TransE scoring."""
+
+    def __init__(
+        self,
+        entity_ids: Sequence[str],
+        relation_ids: Sequence[str],
+        model_config: ModelConfig,
+        dim: int = 32,
+        seed: int = 29,
+    ) -> None:
+        if not entity_ids:
+            raise MLError("TransEModel needs at least one entity")
+        if len(set(entity_ids)) != len(entity_ids):
+            raise MLError("entity ids must be unique")
+        self.model_config = model_config
+        self.dim = dim
+        rng = np.random.RandomState(seed)
+        self._entity_index: Dict[str, int] = {
+            entity: i for i, entity in enumerate(entity_ids)
+        }
+        self._entities = list(entity_ids)
+        self.entity_embeddings = rng.normal(0.0, 1.0, size=(len(entity_ids), dim))
+        self.relation_embeddings: Dict[str, np.ndarray] = {
+            relation: rng.normal(0.0, 0.2, size=dim) for relation in relation_ids
+        }
+
+    # -- cost interface ------------------------------------------------------
+
+    def payload_bytes(self) -> int:
+        return self.model_config.kge_bytes
+
+    def score_flops(self) -> float:
+        """FLOPs of scoring one (head, relation, tail) triple."""
+        return self.model_config.kge_flops_per_score
+
+    # -- embeddings -------------------------------------------------------------
+
+    @property
+    def num_entities(self) -> int:
+        return len(self._entities)
+
+    def has_entity(self, entity_id: str) -> bool:
+        return entity_id in self._entity_index
+
+    def embedding_of(self, entity_id: str) -> np.ndarray:
+        try:
+            return self.entity_embeddings[self._entity_index[entity_id]]
+        except KeyError:
+            raise MLError(f"unknown entity {entity_id!r}") from None
+
+    def embedding_table(self) -> List[Tuple[str, np.ndarray]]:
+        """(entity_id, embedding) pairs — the table the KGE task joins
+        products against."""
+        return [
+            (entity, self.entity_embeddings[i])
+            for entity, i in self._entity_index.items()
+        ]
+
+    # -- scoring -------------------------------------------------------------------
+
+    def score(
+        self, head_id: str, relation: str, tail_embedding: np.ndarray
+    ) -> float:
+        """TransE plausibility of (head, relation, tail): higher is better."""
+        try:
+            rel = self.relation_embeddings[relation]
+        except KeyError:
+            raise MLError(f"unknown relation {relation!r}") from None
+        head = self.embedding_of(head_id)
+        return -float(np.linalg.norm(head + rel - tail_embedding))
+
+    def rank(
+        self,
+        head_id: str,
+        relation: str,
+        candidates: Sequence[Tuple[str, np.ndarray]],
+        top_k: Optional[int] = None,
+    ) -> List[Tuple[str, float]]:
+        """Rank candidate tails by score, best first (stable on ties)."""
+        scored = [
+            (candidate_id, self.score(head_id, relation, embedding))
+            for candidate_id, embedding in candidates
+        ]
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored if top_k is None else scored[:top_k]
+
+    def reverse_lookup(self, embedding: np.ndarray) -> str:
+        """Nearest entity to an embedding (exact L2 search)."""
+        distances = np.linalg.norm(self.entity_embeddings - embedding, axis=1)
+        return self._entities[int(np.argmin(distances))]

@@ -1,0 +1,59 @@
+"""Training loop with FLOP accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.errors import MLError
+from repro.ml.models.bert import SimBertClassifier
+
+__all__ = ["TrainingRun", "Trainer"]
+
+
+@dataclass
+class TrainingRun:
+    """Outcome of one fine-tuning run."""
+
+    model_name: str
+    losses: List[float] = field(default_factory=list)
+    total_flops: float = 0.0
+
+    @property
+    def epochs(self) -> int:
+        return len(self.losses)
+
+    @property
+    def converged(self) -> bool:
+        """Loose convergence check: final loss below the first."""
+        return len(self.losses) >= 2 and self.losses[-1] < self.losses[0]
+
+
+class Trainer:
+    """Fine-tune a :class:`SimBertClassifier`, tracking loss and FLOPs.
+
+    The returned :attr:`TrainingRun.total_flops` is what the engines
+    charge as virtual compute for the WEF task.
+    """
+
+    def __init__(self, epochs: int = 3, learning_rate: float = 0.5) -> None:
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be > 0, got {learning_rate}")
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+
+    def fit(
+        self, model: SimBertClassifier, examples: Sequence[Tuple[str, int]]
+    ) -> TrainingRun:
+        if not examples:
+            raise MLError("cannot train on an empty example list")
+        run = TrainingRun(model.name)
+        for _ in range(self.epochs):
+            loss = model.train_epoch(examples, self.learning_rate)
+            run.losses.append(loss)
+            run.total_flops += sum(
+                model.train_step_flops(text) for text, _label in examples
+            )
+        return run

@@ -1,0 +1,18 @@
+"""Script-paradigm runtime (Ray-like): tasks, object store, scheduler.
+
+Substitute for the paper's Ray cluster; see DESIGN.md section 2.
+"""
+
+from repro.rayx.actor import ActorHandle
+from repro.rayx.objectref import ObjectRef
+from repro.rayx.objectstore import ObjectStore
+from repro.rayx.runtime import RayxRuntime, TaskContext, run_script
+
+__all__ = [
+    "ActorHandle",
+    "ObjectRef",
+    "ObjectStore",
+    "RayxRuntime",
+    "TaskContext",
+    "run_script",
+]

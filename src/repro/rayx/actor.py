@@ -1,0 +1,137 @@
+"""Stateful actors for the script runtime (``ray.remote`` classes).
+
+An actor is an object pinned to one cluster node; method calls are
+dispatched as messages and execute *serially* in arrival order (Ray's
+actor semantics), each returning an :class:`ObjectRef`.  Actors let
+script-paradigm code keep state — e.g. a model loaded once and reused
+across calls — without re-reading it from the object store per task.
+
+Usage::
+
+    class Counter:
+        def __init__(self):
+            self.total = 0
+
+        def add(self, ctx, amount):          # plain or generator method
+            yield from ctx.compute(0.01)
+            self.total += amount
+            return self.total
+
+    def driver(rt):
+        counter = rt.create_actor(Counter)
+        refs = [counter.call("add", i) for i in range(5)]
+        values = yield from rt.get_all(refs)
+        counter.kill()
+        return values
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Generator, Optional, Tuple, Type
+
+from repro.errors import RayxError
+from repro.rayx.objectref import ObjectRef
+from repro.sim import Store
+
+__all__ = ["ActorHandle"]
+
+
+class _Kill:
+    """Poison pill terminating the actor loop."""
+
+    __slots__ = ()
+
+
+_KILL = _Kill()
+
+
+class ActorHandle:
+    """Client-side handle of a running actor.
+
+    Created by :meth:`repro.rayx.RayxRuntime.create_actor`; do not
+    instantiate directly.
+    """
+
+    def __init__(self, runtime, actor_class: Type, init_args: Tuple[Any, ...], node) -> None:
+        from repro.rayx.runtime import TaskContext  # local: avoid cycle
+
+        self.runtime = runtime
+        self.actor_class = actor_class
+        self.node = node
+        self.name = f"{actor_class.__name__}@{node.name}"
+        self._mailbox = Store(runtime.env)
+        self._context = TaskContext(runtime, node)
+        self._alive = True
+        self.calls_processed = 0
+        try:
+            self._instance = actor_class(*init_args)
+        except Exception as exc:
+            raise RayxError(
+                f"actor {actor_class.__name__} failed to construct: {exc}"
+            ) from exc
+        runtime.env.process(self._loop())
+
+    @property
+    def is_alive(self) -> bool:
+        return self._alive
+
+    # -- client side -------------------------------------------------------------
+
+    def call(self, method_name: str, *args: Any) -> ObjectRef:
+        """Invoke ``method_name(ctx, *args)`` on the actor; returns a ref.
+
+        Calls execute serially in submission order.  Top-level
+        :class:`ObjectRef` arguments are dereferenced on the actor's
+        node before the method body runs, as with tasks.
+        """
+        if not self._alive:
+            raise RayxError(f"actor {self.name} has been killed")
+        if not hasattr(self._instance, method_name):
+            raise RayxError(
+                f"actor {self.actor_class.__name__} has no method {method_name!r}"
+            )
+        ref = ObjectRef(self.runtime.env, f"{self.name}.{method_name}")
+        self._mailbox.put((method_name, args, ref))
+        return ref
+
+    def kill(self) -> None:
+        """Terminate the actor after the queued calls drain."""
+        if self._alive:
+            self._alive = False
+            self._mailbox.put(_KILL)
+
+    # -- actor loop ----------------------------------------------------------------
+
+    def _loop(self) -> Generator:
+        while True:
+            message = yield self._mailbox.get()
+            if isinstance(message, _Kill):
+                return
+            method_name, args, ref = message
+            yield self.runtime.env.timeout(self.runtime.config.rayx.task_dispatch_s)
+            try:
+                resolved = []
+                for arg in args:
+                    if isinstance(arg, ObjectRef):
+                        value = yield from self.runtime.store.get(
+                            arg, self.node.name
+                        )
+                        resolved.append(value)
+                    else:
+                        resolved.append(arg)
+                method = getattr(self._instance, method_name)
+                outcome = method(self._context, *resolved)
+                if inspect.isgenerator(outcome):
+                    result = yield from outcome
+                else:
+                    result = outcome
+            except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
+                ref.reject(exc)
+                continue
+            self.calls_processed += 1
+            yield from self.runtime.store.store_result(ref, result, self.node.name)
+
+    def __repr__(self) -> str:
+        state = "alive" if self._alive else "killed"
+        return f"<ActorHandle {self.name} {state}, {self.calls_processed} calls>"

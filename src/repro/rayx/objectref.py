@@ -1,0 +1,49 @@
+"""Futures for the script runtime: object references.
+
+An :class:`ObjectRef` is the handle returned by ``submit`` and ``put``,
+analogous to ``ray.ObjectRef``.  It resolves to a value stored in the
+shared object store; dereferencing charges object-store and network
+costs (see :mod:`repro.rayx.objectstore`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional
+
+from repro.sim import Environment, Event
+
+__all__ = ["ObjectRef"]
+
+_ref_counter = itertools.count()
+
+
+class ObjectRef:
+    """A future naming an object that will exist in the object store."""
+
+    def __init__(self, env: Environment, label: str = "object") -> None:
+        self.ref_id = f"ref-{next(_ref_counter)}"
+        self.label = label
+        self.ready: Event = env.event()
+        #: Node name owning the primary copy, set on fulfilment.
+        self.owner_node: Optional[str] = None
+        #: Estimated payload size, set on fulfilment.
+        self.nbytes: int = 0
+
+    @property
+    def is_ready(self) -> bool:
+        return self.ready.triggered
+
+    def fulfil(self, value: Any, owner_node: str, nbytes: int) -> None:
+        """Mark the object available on ``owner_node``."""
+        self.owner_node = owner_node
+        self.nbytes = nbytes
+        self.ready.succeed(value)
+
+    def reject(self, exc: BaseException) -> None:
+        """Propagate a task failure to anyone dereferencing this ref."""
+        self.ready.fail(exc)
+
+    def __repr__(self) -> str:
+        state = "ready" if self.is_ready else "pending"
+        return f"<ObjectRef {self.ref_id} {self.label!r} {state}>"

@@ -1,0 +1,108 @@
+"""Plasma-like shared object store.
+
+The paper's GOTTA analysis (Section IV-E) attributes the script
+paradigm's slowdown to Ray's shared object space: "Ray required
+uploading large objects such as models into an object store, which
+required a lot of memory and added execution time for each access."
+
+The model here:
+
+* ``put`` charges serialize+copy time proportional to object size and
+  reserves RAM on the owning node;
+* ``get`` from the owning node charges a per-access mapping/validation
+  cost proportional to size;
+* ``get`` from another node additionally pays a network transfer and
+  caches a local copy, so repeated access from the same node pays the
+  transfer only once (as Ray's per-node plasma stores do).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Set
+
+from repro.cluster import Cluster, estimate_bytes
+from repro.config import ObjectStoreConfig
+from repro.errors import ObjectNotFound
+from repro.rayx.objectref import ObjectRef
+
+__all__ = ["ObjectStore"]
+
+
+class _StoredObject:
+    __slots__ = ("value", "nbytes", "owner_node", "replicas")
+
+    def __init__(self, value: Any, nbytes: int, owner_node: str) -> None:
+        self.value = value
+        self.nbytes = nbytes
+        self.owner_node = owner_node
+        self.replicas: Set[str] = {owner_node}
+
+
+class ObjectStore:
+    """Cluster-wide object store with per-node replica tracking."""
+
+    def __init__(self, cluster: Cluster, config: ObjectStoreConfig) -> None:
+        self.cluster = cluster
+        self.config = config
+        self._objects: Dict[str, _StoredObject] = {}
+        # Telemetry used by tests and EXPERIMENTS.md narratives.
+        self.put_count = 0
+        self.get_count = 0
+        self.bytes_stored = 0
+
+    def put(self, ref: ObjectRef, value: Any, node_name: str) -> Generator:
+        """Simulation process storing ``value`` on ``node_name``.
+
+        Fulfils ``ref`` once the copy completes.
+        """
+        nbytes = estimate_bytes(value)
+        node = self.cluster.node(node_name)
+        node.allocate_ram(nbytes)
+        yield self.cluster.env.timeout(self.config.put_time(nbytes))
+        self._objects[ref.ref_id] = _StoredObject(value, nbytes, node_name)
+        self.put_count += 1
+        self.bytes_stored += nbytes
+        ref.fulfil(value, node_name, nbytes)
+        return ref
+
+    def store_result(self, ref: ObjectRef, value: Any, node_name: str) -> Generator:
+        """Store a task result (same cost model as :meth:`put`)."""
+        result = yield from self.put(ref, value, node_name)
+        return result
+
+    def get(self, ref: ObjectRef, node_name: str) -> Generator:
+        """Simulation process dereferencing ``ref`` from ``node_name``.
+
+        Waits for the object to exist, pays the transfer if this node
+        holds no replica yet, then pays the per-access mapping cost.
+        """
+        value = yield ref.ready
+        stored = self._objects.get(ref.ref_id)
+        if stored is None:
+            raise ObjectNotFound(f"{ref.ref_id} fulfilled but not stored")
+        if node_name not in stored.replicas:
+            yield self.cluster.env.process(
+                self.cluster.transfer(stored.owner_node, node_name, stored.nbytes)
+            )
+            self.cluster.node(node_name).allocate_ram(stored.nbytes)
+            stored.replicas.add(node_name)
+        yield self.cluster.env.timeout(self.config.get_time(stored.nbytes))
+        self.get_count += 1
+        return value
+
+    def contains(self, ref: ObjectRef) -> bool:
+        return ref.ref_id in self._objects
+
+    def nbytes_of(self, ref: ObjectRef) -> int:
+        """Stored size of a fulfilled ref."""
+        try:
+            return self._objects[ref.ref_id].nbytes
+        except KeyError:
+            raise ObjectNotFound(f"{ref.ref_id} is not in the object store") from None
+
+    def free_all(self) -> None:
+        """Release every replica's RAM reservation (runtime shutdown)."""
+        for stored in self._objects.values():
+            for node_name in stored.replicas:
+                self.cluster.node(node_name).free_ram(stored.nbytes)
+        self._objects.clear()

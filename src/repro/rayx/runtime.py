@@ -1,0 +1,257 @@
+"""The script-paradigm runtime: a Ray-like task executor.
+
+This is the substitute for the paper's Ray cluster (Section IV-A,
+"Ray-cluster").  A *driver* generator runs on the head node and submits
+remote tasks; tasks acquire a slot from a ``num_cpus`` resource pool
+(the paper tuned parallelism exclusively through this parameter), run on
+worker nodes, read arguments from the shared object store and write
+results back to it.
+
+Mirrored Ray behaviours that matter to the reproduced experiments:
+
+* ``num_cpus`` bounds concurrent tasks (1 in the one-worker setting);
+* PyTorch-like model compute inside a task is pinned to
+  ``RayxConfig.torch_cores_per_task`` cores (1, per the paper: "Ray
+  configured the underlying frameworks (PyTorch) to use 1 CPU");
+* every argument dereference and result store goes through the object
+  store, paying size-proportional costs (decisive for the 1.59 GB
+  GOTTA model);
+* task launch charges a fixed dispatch cost, and the driver charges a
+  one-off cluster startup cost.
+
+Usage::
+
+    def double(ctx, x):
+        yield from ctx.compute(0.1)
+        return 2 * x
+
+    def driver(rt):
+        refs = [rt.submit(double, i) for i in range(4)]
+        values = yield from rt.get_all(refs)
+        return values
+
+    result = run_script(cluster, driver)
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable, Generator, Iterable, List, Optional, Sequence
+
+from repro.cluster import CONTROLLER, Cluster, Node
+from repro.config import ReproConfig
+from repro.errors import RayxError
+from repro.rayx.objectref import ObjectRef
+from repro.rayx.objectstore import ObjectStore
+from repro.sim import Environment, Resource
+
+__all__ = ["TaskContext", "RayxRuntime", "run_script"]
+
+
+class TaskContext:
+    """Execution context handed to every task (and the driver).
+
+    Provides timed primitives; the function body does real Python work
+    for free and charges virtual time explicitly through these calls —
+    the simulation analogue of "the expensive parts are the library
+    calls".
+    """
+
+    def __init__(self, runtime: "RayxRuntime", node: Node) -> None:
+        self.runtime = runtime
+        self.node = node
+
+    @property
+    def node_name(self) -> str:
+        return self.node.name
+
+    def compute(self, cpu_seconds: float, cores: int = 1) -> Generator:
+        """Occupy ``cores`` of this task's node for ``cpu_seconds``."""
+        yield from self.node.compute(cpu_seconds, cores=cores)
+
+    def model_compute(self, flops: float) -> Generator:
+        """Run framework (PyTorch-like) compute inside this task.
+
+        Ray pinned the framework to 1 CPU (paper Section IV-A), so the
+        duration is FLOPs over single-core throughput regardless of how
+        many cores the node has free.
+        """
+        config = self.runtime.config
+        cores = config.rayx.torch_cores_per_task
+        throughput = config.topology.machine.flops_per_core_per_s * cores
+        yield from self.node.compute(flops / throughput, cores=cores)
+
+    def get(self, ref: ObjectRef) -> Generator:
+        """Dereference an object ref from this task's node."""
+        value = yield from self.runtime.store.get(ref, self.node.name)
+        return value
+
+    def put(self, value: Any, label: str = "object") -> Generator:
+        """Store ``value`` in the object store from this node."""
+        ref = ObjectRef(self.runtime.env, label)
+        yield from self.runtime.store.put(ref, value, self.node.name)
+        return ref
+
+
+class RayxRuntime:
+    """A running script-paradigm cluster session."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        num_cpus: int = 1,
+        config: Optional[ReproConfig] = None,
+    ) -> None:
+        if num_cpus < 1:
+            raise ValueError(f"num_cpus must be >= 1, got {num_cpus}")
+        self.cluster = cluster
+        self.config = config or cluster.config
+        self.env: Environment = cluster.env
+        self.num_cpus = num_cpus
+        self.slots = Resource(self.env, capacity=num_cpus)
+        self.store = ObjectStore(cluster, self.config.object_store)
+        self.driver_context = TaskContext(self, cluster.controller)
+        self._task_counter = 0
+        self.tasks_submitted = 0
+        self.tasks_completed = 0
+
+    # -- task submission -------------------------------------------------------
+
+    def submit(
+        self, fn: Callable[..., Any], *args: Any, label: Optional[str] = None
+    ) -> ObjectRef:
+        """Launch ``fn(ctx, *args)`` as a remote task; returns its ref.
+
+        ``fn`` may be a generator function (yielding simulation events
+        through ``ctx``) or a plain function (runs with zero charged
+        compute beyond dispatch and object-store costs).  Top-level
+        :class:`ObjectRef` arguments are dereferenced on the task's
+        node before the body runs, as Ray does.
+        """
+        ref = ObjectRef(self.env, label or getattr(fn, "__name__", "task"))
+        node = self.cluster.worker_round_robin(self._task_counter)
+        self._task_counter += 1
+        self.tasks_submitted += 1
+        self.env.process(self._run_task(fn, args, ref, node))
+        return ref
+
+    def _run_task(
+        self, fn: Callable[..., Any], args: Sequence[Any], ref: ObjectRef, node: Node
+    ) -> Generator:
+        yield self.slots.request()
+        try:
+            yield self.env.timeout(self.config.rayx.task_dispatch_s)
+            context = TaskContext(self, node)
+            resolved: List[Any] = []
+            for arg in args:
+                if isinstance(arg, ObjectRef):
+                    value = yield from self.store.get(arg, node.name)
+                    resolved.append(value)
+                else:
+                    resolved.append(arg)
+            outcome = fn(context, *resolved)
+            if inspect.isgenerator(outcome):
+                result = yield from outcome
+            else:
+                result = outcome
+        except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
+            ref.reject(exc)
+            return
+        finally:
+            self.slots.release()
+        yield from self.store.store_result(ref, result, node.name)
+        self.tasks_completed += 1
+
+    # -- actors --------------------------------------------------------------------
+
+    def create_actor(self, actor_class: type, *init_args: Any):
+        """Start a stateful actor pinned to the next round-robin node.
+
+        Returns an :class:`repro.rayx.ActorHandle`; see its docstring
+        for the calling convention.
+        """
+        from repro.rayx.actor import ActorHandle
+
+        node = self.cluster.worker_round_robin(self._task_counter)
+        self._task_counter += 1
+        return ActorHandle(self, actor_class, init_args, node)
+
+    # -- driver-side helpers -----------------------------------------------------
+
+    def put(self, value: Any, label: str = "object") -> Generator:
+        """Driver-side ``ray.put``: store from the head node."""
+        ref = yield from self.driver_context.put(value, label)
+        return ref
+
+    def get(self, ref: ObjectRef) -> Generator:
+        """Driver-side ``ray.get`` for one ref."""
+        value = yield from self.store.get(ref, CONTROLLER)
+        return value
+
+    def get_all(self, refs: Iterable[ObjectRef]) -> Generator:
+        """Driver-side ``ray.get`` for a list of refs (in order)."""
+        values: List[Any] = []
+        for ref in refs:
+            value = yield from self.store.get(ref, CONTROLLER)
+            values.append(value)
+        return values
+
+    def wait(self, refs: Sequence[ObjectRef], num_returns: int = 1) -> Generator:
+        """Driver-side ``ray.wait``: block until ``num_returns`` refs
+        are ready; returns ``(ready, not_ready)`` without fetching.
+
+        Lets drivers process results as they complete instead of
+        blocking on the slowest task (the idiom behind dynamic load
+        balancing in Ray scripts).
+        """
+        refs = list(refs)
+        if not 1 <= num_returns <= len(refs):
+            raise ValueError(
+                f"num_returns must be in [1, {len(refs)}], got {num_returns}"
+            )
+        while True:
+            ready = [ref for ref in refs if ref.is_ready]
+            if len(ready) >= num_returns:
+                not_ready = [ref for ref in refs if not ref.is_ready]
+                return ready, not_ready
+            try:
+                yield self.env.any_of(
+                    [ref.ready for ref in refs if not ref.is_ready]
+                )
+            except BaseException:  # noqa: BLE001
+                # A failed ref counts as ready (Ray semantics); its
+                # exception re-raises when the caller get()s it.
+                continue
+
+    def shutdown(self) -> None:
+        """Free object-store RAM reservations."""
+        self.store.free_all()
+
+
+def run_script(
+    cluster: Cluster,
+    driver: Callable[[RayxRuntime], Generator],
+    num_cpus: int = 1,
+    config: Optional[ReproConfig] = None,
+) -> Any:
+    """Execute a script-paradigm driver to completion; returns its result.
+
+    Charges the one-off cluster startup cost, runs the driver
+    generator, shuts the runtime down and returns the driver's return
+    value.  The caller reads the elapsed virtual time from
+    ``cluster.env.now``.
+    """
+    runtime = RayxRuntime(cluster, num_cpus=num_cpus, config=config)
+
+    def main() -> Generator:
+        yield cluster.env.timeout(runtime.config.rayx.startup_s)
+        body = driver(runtime)
+        if not inspect.isgenerator(body):
+            raise RayxError("driver must be a generator function taking (rt)")
+        result = yield from body
+        return result
+
+    try:
+        return cluster.env.run(until=cluster.env.process(main()))
+    finally:
+        runtime.shutdown()

@@ -1,0 +1,47 @@
+"""Relational substrate: schemas, tuples, tables, predicates, joins.
+
+Both paradigms compute over these types, so task outputs are directly
+comparable (and asserted equal in the integration tests).
+"""
+
+from repro.relational.expressions import (
+    Predicate,
+    all_of,
+    any_of,
+    column_equals,
+    column_greater,
+    column_in,
+    column_is_not_null,
+    column_less,
+    column_not_equals,
+    column_not_in,
+    negate,
+    udf_predicate,
+)
+from repro.relational.joins import StreamingHashJoin, hash_join, join_schema
+from repro.relational.schema import Field, FieldType, Schema
+from repro.relational.table import Table
+from repro.relational.tup import Tuple
+
+__all__ = [
+    "Field",
+    "FieldType",
+    "Schema",
+    "Table",
+    "Tuple",
+    "Predicate",
+    "all_of",
+    "any_of",
+    "column_equals",
+    "column_greater",
+    "column_in",
+    "column_is_not_null",
+    "column_less",
+    "column_not_equals",
+    "column_not_in",
+    "negate",
+    "udf_predicate",
+    "StreamingHashJoin",
+    "hash_join",
+    "join_schema",
+]

@@ -1,0 +1,147 @@
+"""Join algorithms over tables and tuple streams.
+
+Two shapes are provided:
+
+* :func:`hash_join` — classic build/probe over two complete tables, the
+  form the script implementations use (the paper's DICE/KGE scripts
+  "load the annotations into memory as a hash table and loop through
+  the sentences while probing").
+* :class:`StreamingHashJoin` — build side materialized once, probe side
+  consumed tuple-at-a-time; this is the operator core the workflow
+  engine pipelines.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+from repro.errors import SchemaError
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+from repro.relational.tup import Tuple
+
+__all__ = ["hash_join", "StreamingHashJoin", "join_schema"]
+
+_JOIN_KINDS = ("inner", "left", "left_anti", "left_semi")
+
+
+def join_schema(left: Schema, right: Schema, suffix: str = "_right") -> Schema:
+    """Output schema of an inner/left join of two input schemas."""
+    return left.concat(right, suffix=suffix)
+
+
+def _build_index(rows: Iterable[Tuple], key: str) -> Dict[Any, List[Tuple]]:
+    index: Dict[Any, List[Tuple]] = {}
+    for row in rows:
+        index.setdefault(row[key], []).append(row)
+    return index
+
+
+def _null_row(schema: Schema) -> List[None]:
+    return [None] * len(schema)
+
+
+def hash_join(
+    left: Table,
+    right: Table,
+    left_key: str,
+    right_key: str,
+    how: str = "inner",
+    suffix: str = "_right",
+) -> Table:
+    """Join two tables by equality on one key per side.
+
+    ``how`` is one of:
+
+    * ``inner`` — matching pairs only;
+    * ``left`` — every left row, right columns null when unmatched;
+    * ``left_semi`` — left rows having at least one match (left schema);
+    * ``left_anti`` — left rows having no match (left schema).
+    """
+    if how not in _JOIN_KINDS:
+        raise ValueError(f"how must be one of {_JOIN_KINDS}, got {how!r}")
+    left.schema.index_of(left_key)
+    right.schema.index_of(right_key)
+
+    index = _build_index(right.rows, right_key)
+
+    if how in ("left_semi", "left_anti"):
+        keep_matched = how == "left_semi"
+        rows = [row for row in left.rows if (row[left_key] in index) == keep_matched]
+        return Table(left.schema, rows)
+
+    out_schema = join_schema(left.schema, right.schema, suffix=suffix)
+    out_rows: List[Tuple] = []
+    for row in left.rows:
+        matches = index.get(row[left_key], [])
+        if matches:
+            for match in matches:
+                out_rows.append(Tuple(out_schema, list(row.values) + list(match.values)))
+        elif how == "left":
+            out_rows.append(
+                Tuple(out_schema, list(row.values) + _null_row(right.schema))
+            )
+    return Table(out_schema, out_rows)
+
+
+class StreamingHashJoin:
+    """Build-once, probe-per-tuple hash join for pipelined execution.
+
+    The build side must be fully consumed before probing begins —
+    exactly the blocking/pipelined boundary a dataflow engine sees.  A
+    probe yields zero or more output tuples immediately, so downstream
+    operators can start before the probe side is exhausted.
+    """
+
+    def __init__(
+        self,
+        build_schema: Schema,
+        probe_schema: Schema,
+        build_key: str,
+        probe_key: str,
+        how: str = "inner",
+        suffix: str = "_right",
+    ) -> None:
+        if how not in ("inner", "left"):
+            raise ValueError(f"streaming join supports inner/left, got {how!r}")
+        build_schema.index_of(build_key)
+        probe_schema.index_of(probe_key)
+        self.build_key = build_key
+        self.probe_key = probe_key
+        self.how = how
+        self.build_schema = build_schema
+        self.probe_schema = probe_schema
+        # Probe side is "left" in the output for natural reading order.
+        self.output_schema = join_schema(probe_schema, build_schema, suffix=suffix)
+        self._index: Dict[Any, List[Tuple]] = {}
+        self._build_done = False
+
+    def add_build_tuple(self, row: Tuple) -> None:
+        """Insert one build-side tuple into the hash index."""
+        if self._build_done:
+            raise SchemaError("build side already finished")
+        self._index.setdefault(row[self.build_key], []).append(row)
+
+    def finish_build(self) -> None:
+        """Mark the build side complete; probing may begin."""
+        self._build_done = True
+
+    @property
+    def build_size(self) -> int:
+        return sum(len(rows) for rows in self._index.values())
+
+    def probe(self, row: Tuple) -> Iterator[Tuple]:
+        """Yield join outputs for one probe-side tuple."""
+        if not self._build_done:
+            raise SchemaError("probe before build side finished")
+        matches = self._index.get(row[self.probe_key], [])
+        if matches:
+            for match in matches:
+                yield Tuple(
+                    self.output_schema, list(row.values) + list(match.values)
+                )
+        elif self.how == "left":
+            yield Tuple(
+                self.output_schema,
+                list(row.values) + _null_row(self.build_schema),
+            )

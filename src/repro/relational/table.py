@@ -1,0 +1,152 @@
+"""In-memory tables: a schema plus an ordered list of tuples."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Sequence
+
+from repro.cluster.serialization import estimate_bytes
+from repro.errors import SchemaError
+from repro.relational.schema import Field, FieldType, Schema
+from repro.relational.tup import Tuple
+
+__all__ = ["Table"]
+
+
+class Table:
+    """A small relational table used by both engines and the datasets.
+
+    Tables are immutable in spirit: every transformation returns a new
+    table.  This is deliberately a *simple* structure — the engines,
+    not the table type, are where execution strategy lives.
+    """
+
+    def __init__(self, schema: Schema, rows: Iterable[Tuple] = ()) -> None:
+        self.schema = schema
+        self.rows: List[Tuple] = []
+        for row in rows:
+            if row.schema != schema:
+                raise SchemaError(
+                    f"row schema {row.schema!r} does not match table "
+                    f"schema {schema!r}"
+                )
+            self.rows.append(row)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_dicts(
+        cls, schema: Schema, records: Iterable[Mapping[str, Any]]
+    ) -> "Table":
+        """Build a table from dict records (missing fields -> None)."""
+        return cls(schema, (Tuple.from_dict(schema, record) for record in records))
+
+    @classmethod
+    def from_rows(cls, schema: Schema, rows: Iterable[Sequence[Any]]) -> "Table":
+        """Build a table from positional value rows."""
+        return cls(schema, (Tuple(schema, row) for row in rows))
+
+    # -- access ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return iter(self.rows)
+
+    def __getitem__(self, index: int) -> Tuple:
+        return self.rows[index]
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Table)
+            and self.schema == other.schema
+            and self.rows == other.rows
+        )
+
+    def is_empty(self) -> bool:
+        return not self.rows
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, in row order."""
+        index = self.schema.index_of(name)
+        return [row.values[index] for row in self.rows]
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [row.as_dict() for row in self.rows]
+
+    def head(self, n: int = 5) -> "Table":
+        return Table(self.schema, self.rows[:n])
+
+    # -- transformations ----------------------------------------------------------
+
+    def filter(self, predicate: Callable[[Tuple], bool]) -> "Table":
+        """Rows satisfying ``predicate``."""
+        return Table(self.schema, (row for row in self.rows if predicate(row)))
+
+    def project(self, names: Sequence[str]) -> "Table":
+        """Table restricted to the given columns."""
+        schema = self.schema.project(names)
+        return Table(schema, (Tuple(schema, [row[n] for n in names]) for row in self.rows))
+
+    def map_rows(
+        self, schema: Schema, fn: Callable[[Tuple], Sequence[Any]]
+    ) -> "Table":
+        """Apply ``fn`` to every row, producing rows of ``schema``."""
+        return Table(schema, (Tuple(schema, fn(row)) for row in self.rows))
+
+    def with_column(
+        self, name: str, fn: Callable[[Tuple], Any], ftype: FieldType = FieldType.ANY
+    ) -> "Table":
+        """Table extended with a computed column."""
+        schema = self.schema.with_field(Field(name, ftype))
+        return Table(
+            schema,
+            (Tuple(schema, list(row.values) + [fn(row)]) for row in self.rows),
+        )
+
+    def sort_by(self, name: str, reverse: bool = False) -> "Table":
+        """Rows ordered by one column (stable)."""
+        index = self.schema.index_of(name)
+        ordered = sorted(self.rows, key=lambda row: row.values[index], reverse=reverse)
+        return Table(self.schema, ordered)
+
+    def limit(self, n: int) -> "Table":
+        if n < 0:
+            raise ValueError(f"limit must be >= 0, got {n}")
+        return Table(self.schema, self.rows[:n])
+
+    def concat_rows(self, other: "Table") -> "Table":
+        """Union-all of two same-schema tables."""
+        if other.schema != self.schema:
+            raise SchemaError(
+                f"cannot concat tables with schemas {self.schema!r} and "
+                f"{other.schema!r}"
+            )
+        return Table(self.schema, list(self.rows) + list(other.rows))
+
+    def group_by(self, name: str) -> Dict[Any, "Table"]:
+        """Partition rows by the value of one column."""
+        index = self.schema.index_of(name)
+        groups: Dict[Any, List[Tuple]] = {}
+        for row in self.rows:
+            groups.setdefault(row.values[index], []).append(row)
+        return {key: Table(self.schema, rows) for key, rows in groups.items()}
+
+    def distinct(self) -> "Table":
+        """Unique rows, first occurrence kept (order-preserving)."""
+        seen = set()
+        unique: List[Tuple] = []
+        for row in self.rows:
+            if row not in seen:
+                seen.add(row)
+                unique.append(row)
+        return Table(self.schema, unique)
+
+    # -- sizing ------------------------------------------------------------------
+
+    def payload_bytes(self) -> int:
+        """Estimated serialized size of the table's data."""
+        return sum(estimate_bytes(row.values) for row in self.rows)
+
+    def __repr__(self) -> str:
+        return f"Table({len(self.rows)} rows, schema={self.schema.names})"

@@ -1,0 +1,102 @@
+"""Immutable schema-checked tuples (named ``tup`` to avoid shadowing
+the built-in ``tuple``)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Mapping, Sequence, Union
+
+from repro.cluster.serialization import estimate_bytes
+from repro.relational.schema import Schema
+
+__all__ = ["Tuple"]
+
+
+class Tuple:
+    """One row of data: values bound to a :class:`Schema`.
+
+    Tuples are immutable; derivation methods return new tuples.  Field
+    access works both by name and by position::
+
+        t["text"]   # by name
+        t[0]        # by position
+    """
+
+    __slots__ = ("schema", "values")
+
+    def __init__(self, schema: Schema, values: Sequence[Any]) -> None:
+        schema.validate(values)
+        object.__setattr__(self, "schema", schema)
+        object.__setattr__(self, "values", tuple(values))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Tuple is immutable")
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, schema: Schema, mapping: Mapping[str, Any]) -> "Tuple":
+        """Build a tuple from a field-name mapping (missing -> None)."""
+        return cls(schema, [mapping.get(name) for name in schema.names])
+
+    # -- access ----------------------------------------------------------------
+
+    def __getitem__(self, key: Union[str, int]) -> Any:
+        if isinstance(key, str):
+            return self.values[self.schema.index_of(key)]
+        return self.values[key]
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Field value by name, or ``default`` if the field is absent."""
+        if name in self.schema:
+            return self.values[self.schema.index_of(name)]
+        return default
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dict(zip(self.schema.names, self.values))
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Tuple)
+            and self.schema == other.schema
+            and self.values == other.values
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.schema, self.values))
+
+    # -- derivation ---------------------------------------------------------------
+
+    def project(self, names: Sequence[str]) -> "Tuple":
+        """Tuple restricted to the given fields."""
+        schema = self.schema.project(names)
+        return Tuple(schema, [self[name] for name in names])
+
+    def with_value(self, name: str, value: Any) -> "Tuple":
+        """Tuple with field ``name`` replaced by ``value``."""
+        index = self.schema.index_of(name)
+        values = list(self.values)
+        values[index] = value
+        return Tuple(self.schema, values)
+
+    def concat(self, other: "Tuple", suffix: str = "_right") -> "Tuple":
+        """Join-style concatenation of two tuples."""
+        schema = self.schema.concat(other.schema, suffix=suffix)
+        return Tuple(schema, list(self.values) + list(other.values))
+
+    # -- sizing ------------------------------------------------------------------
+
+    def payload_bytes(self) -> int:
+        """Estimated serialized size (values only; schema is shared)."""
+        return estimate_bytes(self.values)
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(
+            f"{name}={value!r}" for name, value in zip(self.schema.names, self.values)
+        )
+        return f"Tuple({pairs})"

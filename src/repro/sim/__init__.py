@@ -1,0 +1,41 @@
+"""Discrete-event simulation kernel (simpy-style, deterministic).
+
+Public surface::
+
+    from repro.sim import Environment, Resource, Store
+
+    env = Environment()
+
+    def worker(env, cpus):
+        req = cpus.request()
+        yield req
+        yield env.timeout(2.5)      # 2.5 virtual seconds of work
+        cpus.release()
+
+    cpus = Resource(env, capacity=8)
+    env.process(worker(env, cpus))
+    env.run()
+"""
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Process,
+    Timeout,
+)
+from repro.sim.resources import Resource, ResourceRequest, Store, drain
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Process",
+    "Timeout",
+    "Resource",
+    "ResourceRequest",
+    "Store",
+    "drain",
+]

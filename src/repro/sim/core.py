@@ -1,0 +1,376 @@
+"""Discrete-event simulation kernel.
+
+This module implements a small, deterministic discrete-event simulator in
+the style of ``simpy``: simulation *processes* are Python generators that
+``yield`` :class:`Event` objects, and an :class:`Environment` advances a
+virtual clock from one scheduled event to the next.
+
+The kernel is the substrate for everything timed in this repository: the
+simulated GCP cluster (``repro.cluster``), the Ray-like script runtime
+(``repro.rayx``) and the Texera-like workflow engine (``repro.workflow``)
+all run as processes on one :class:`Environment`, so their virtual
+timings are directly comparable — which is exactly the comparison the
+paper performs with wall-clock time on real clusters.
+
+Design notes
+------------
+* Events fire in ``(time, priority, sequence)`` order; sequence numbers
+  make the simulation fully deterministic regardless of hash seeds.
+* A :class:`Process` is itself an :class:`Event` that triggers when its
+  generator returns, so processes can wait on each other by yielding.
+* Failures propagate: an event failed with an exception re-raises inside
+  any process waiting on it, mirroring how ``ray.get`` re-raises task
+  errors and how workflow engines surface operator errors.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.errors import EmptySchedule, EventAlreadyTriggered, ProcessFailed
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "PENDING",
+    "TRIGGERED",
+    "PROCESSED",
+]
+
+#: Sentinel states for :attr:`Event.state`.
+PENDING = "pending"
+TRIGGERED = "triggered"
+PROCESSED = "processed"
+
+#: Event priorities; URGENT events at equal timestamps fire first.
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A condition that will be *triggered* at some virtual time.
+
+    Events carry an optional ``value`` (delivered to waiting processes)
+    or an exception (re-raised in waiting processes).  Callbacks attached
+    via :meth:`add_callback` run when the environment processes the
+    event.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.state = PENDING
+        self.value: Any = None
+        self.exception: Optional[BaseException] = None
+        self._callbacks: List[Callable[["Event"], None]] = []
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been succeeded or failed."""
+        return self.state != PENDING
+
+    @property
+    def ok(self) -> bool:
+        """True if the event triggered successfully (no exception)."""
+        return self.triggered and self.exception is None
+
+    # -- triggering -------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        self.value = value
+        self.state = TRIGGERED
+        self.env._schedule(self, delay=0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception re-raises inside every process waiting on this
+        event.
+        """
+        if self.triggered:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self.exception = exception
+        self.state = TRIGGERED
+        self.env._schedule(self, delay=0.0)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event is processed.
+
+        If the event has already been processed the callback runs
+        immediately; this makes waiting on completed events safe.
+        """
+        if self.state == PROCESSED:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _process_callbacks(self) -> None:
+        self.state = PROCESSED
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} state={self.state}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` virtual seconds in the future."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self.value = value
+        self.state = TRIGGERED
+        env._schedule(self, delay=delay)
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The generator yields :class:`Event` objects; each yield suspends the
+    process until the event triggers, at which point the event's value is
+    sent back in (or its exception thrown in).  When the generator
+    returns, the process — being itself an event — triggers with the
+    generator's return value, so other processes can wait on it.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator) -> None:
+        if not hasattr(generator, "send"):
+            raise TypeError(f"Process requires a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self.name = getattr(generator, "__name__", "process")
+        # Bootstrap: resume on the next kernel step at the current time.
+        bootstrap = Event(env)
+        bootstrap.succeed()
+        bootstrap.add_callback(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator by one step with ``event``'s outcome."""
+        try:
+            if event.exception is not None:
+                target = self._generator.throw(event.exception)
+            else:
+                target = self._generator.send(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - must capture all
+            # A process that dies forwards its exception to waiters; if
+            # nothing ever waits, Environment.run() raises at the end.
+            self.env._note_failure(self, exc)
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            raise ProcessFailed(
+                f"process {self.name!r} yielded {target!r}, expected an Event"
+            )
+        target.add_callback(self._resume)
+
+
+class ConditionValue:
+    """Mapping-like view of the events collected by a condition."""
+
+    def __init__(self, events: List[Event]) -> None:
+        self.events = events
+
+    def values(self) -> List[Any]:
+        """Values of the triggered events, in construction order."""
+        return [event.value for event in self.events if event.triggered]
+
+    def __len__(self) -> int:
+        return len([event for event in self.events if event.triggered])
+
+
+class AllOf(Event):
+    """Triggers when *all* child events have triggered.
+
+    Fails fast if any child fails, propagating the first exception —
+    matching ``ray.get(list_of_refs)`` semantics.
+    """
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._pending = len(self._events)
+        if self._pending == 0:
+            self.succeed(ConditionValue([]))
+            return
+        for event in self._events:
+            event.add_callback(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.exception is not None:
+            self.fail(event.exception)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(ConditionValue(self._events))
+
+
+class AnyOf(Event):
+    """Triggers when *any* child event triggers (value = that event)."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        if not self._events:
+            raise ValueError("AnyOf requires at least one event")
+        for event in self._events:
+            event.add_callback(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.exception is not None:
+            self.fail(event.exception)
+        else:
+            self.succeed(event)
+
+
+class Environment:
+    """The simulation environment: virtual clock plus event queue."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List = []
+        self._sequence = itertools.count()
+        self._failures: List[ProcessFailure] = []
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    # -- factories ---------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process from ``generator`` and return it."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that triggers when every event in ``events`` has."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that triggers when the first event in ``events`` does."""
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float, priority: int = NORMAL) -> None:
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._sequence), event)
+        )
+
+    def _note_failure(self, process: Process, exc: BaseException) -> None:
+        self._failures.append(ProcessFailure(process, exc))
+
+    def step(self) -> None:
+        """Process the next scheduled event, advancing the clock."""
+        if not self._queue:
+            raise EmptySchedule("no scheduled events remain")
+        when, _priority, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        event._process_callbacks()
+
+    def peek(self) -> float:
+        """Virtual time of the next scheduled event (inf if none)."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until no events remain;
+        * a number — run until the clock reaches that virtual time;
+        * an :class:`Event` — run until that event is processed, then
+          return its value (or re-raise its exception).
+        """
+        if isinstance(until, Event):
+            return self._run_until_event(until)
+        if until is not None:
+            deadline = float(until)
+            if deadline < self._now:
+                raise ValueError(f"until={deadline} is in the past (now={self._now})")
+            while self._queue and self._queue[0][0] <= deadline:
+                self.step()
+            self._now = max(self._now, deadline) if self._queue else self._now
+            self._raise_orphan_failures()
+            return None
+        while self._queue:
+            self.step()
+        self._raise_orphan_failures()
+        return None
+
+    def _run_until_event(self, until: Event) -> Any:
+        done = [False]
+
+        def mark(_event: Event) -> None:
+            done[0] = True
+
+        until.add_callback(mark)
+        while not done[0]:
+            if not self._queue:
+                raise EmptySchedule(
+                    "simulation ran out of events before the awaited event "
+                    "triggered (deadlock?)"
+                )
+            self.step()
+        # The awaited event consumed any failure it represents.
+        self._failures = [f for f in self._failures if f.process is not until]
+        if until.exception is not None:
+            raise until.exception
+        return until.value
+
+    def _raise_orphan_failures(self) -> None:
+        """Surface crashes of processes nothing ever waited on.
+
+        The Zen of Python: errors should never pass silently.
+        """
+        unwaited = [f for f in self._failures if f.process.state == PROCESSED]
+        self._failures = [f for f in self._failures if f not in unwaited]
+        if unwaited:
+            first = unwaited[0]
+            raise ProcessFailed(
+                f"process {first.process.name!r} failed with "
+                f"{type(first.exc).__name__}: {first.exc}"
+            ) from first.exc
+
+
+class ProcessFailure:
+    """Record of a process that terminated with an exception."""
+
+    def __init__(self, process: Process, exc: BaseException) -> None:
+        self.process = process
+        self.exc = exc

@@ -1,0 +1,171 @@
+"""Shared resources for simulation processes.
+
+Two primitives cover everything the engines need:
+
+* :class:`Resource` — a counted resource (e.g. the vCPUs of a cluster
+  node).  Processes ``yield resource.request(n)`` to acquire ``n`` units
+  and call :meth:`Resource.release` when done.  Waiters are served FIFO,
+  which keeps simulations deterministic.
+* :class:`Store` — a (optionally bounded) FIFO queue of items, used as
+  the data channel between pipelined workflow operators.  Bounded stores
+  give the workflow engine natural *back-pressure*: a fast upstream
+  operator blocks when the channel fills, exactly like a real pipelined
+  dataflow engine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional, Tuple
+
+from repro.sim.core import Environment, Event
+
+__all__ = ["Resource", "Store", "ResourceRequest"]
+
+
+class ResourceRequest(Event):
+    """Pending acquisition of ``amount`` units of a :class:`Resource`."""
+
+    def __init__(self, resource: "Resource", amount: int) -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.amount = amount
+
+
+class Resource:
+    """A counted, FIFO-fair resource such as a pool of CPU cores."""
+
+    def __init__(self, env: Environment, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: Deque[ResourceRequest] = deque()
+
+    @property
+    def available(self) -> int:
+        """Units currently free."""
+        return self.capacity - self.in_use
+
+    def request(self, amount: int = 1) -> ResourceRequest:
+        """Return an event that triggers once ``amount`` units are held.
+
+        Requests larger than the total capacity can never be satisfied
+        and raise ``ValueError`` immediately rather than deadlocking.
+        """
+        if amount < 1:
+            raise ValueError(f"amount must be >= 1, got {amount}")
+        if amount > self.capacity:
+            raise ValueError(
+                f"requested {amount} units but capacity is {self.capacity}"
+            )
+        req = ResourceRequest(self, amount)
+        self._waiters.append(req)
+        self._serve()
+        return req
+
+    def release(self, amount: int = 1) -> None:
+        """Return ``amount`` units to the pool and wake waiters."""
+        if amount < 1:
+            raise ValueError(f"amount must be >= 1, got {amount}")
+        if amount > self.in_use:
+            raise ValueError(
+                f"releasing {amount} units but only {self.in_use} are in use"
+            )
+        self.in_use -= amount
+        self._serve()
+
+    def _serve(self) -> None:
+        # Strict FIFO: a large request at the head blocks smaller ones
+        # behind it. This avoids starvation and keeps runs deterministic.
+        while self._waiters and self._waiters[0].amount <= self.available:
+            req = self._waiters.popleft()
+            self.in_use += req.amount
+            req.succeed(req)
+
+
+class StorePut(Event):
+    """Pending insertion of ``item`` into a bounded :class:`Store`."""
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+
+
+class StoreGet(Event):
+    """Pending removal of the next item from a :class:`Store`."""
+
+    def __init__(self, store: "Store") -> None:
+        super().__init__(store.env)
+
+
+class Store:
+    """A FIFO item queue with optional capacity (back-pressure)."""
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._putters: Deque[StorePut] = deque()
+        self._getters: Deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def is_full(self) -> bool:
+        """True when a bounded store has reached capacity."""
+        return self.capacity is not None and len(self.items) >= self.capacity
+
+    def put(self, item: Any) -> StorePut:
+        """Event that triggers once ``item`` has entered the store."""
+        event = StorePut(self, item)
+        self._putters.append(event)
+        self._serve()
+        return event
+
+    def get(self) -> StoreGet:
+        """Event that triggers with the next item once one is present."""
+        event = StoreGet(self)
+        self._getters.append(event)
+        self._serve()
+        return event
+
+    def _serve(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            # Move queued puts into the buffer while space remains.
+            while self._putters and not self.is_full:
+                put = self._putters.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progressed = True
+            # Hand buffered items to waiting getters.
+            while self._getters and self.items:
+                get = self._getters.popleft()
+                get.succeed(self.items.popleft())
+                progressed = True
+
+
+def acquire(resource: Resource, amount: int = 1):
+    """Generator helper: ``yield from acquire(res, n)`` inside a process.
+
+    Returns the request so the caller can later ``resource.release(n)``.
+    Provided for readability; direct ``yield resource.request(n)`` is
+    equally valid.
+    """
+    request = resource.request(amount)
+    yield request
+    return request
+
+
+def drain(store: Store) -> List[Any]:
+    """Immediately empty a store's buffered items (no simulation time)."""
+    items = list(store.items)
+    store.items.clear()
+    store._serve()
+    return items

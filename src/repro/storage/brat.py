@@ -1,0 +1,156 @@
+"""BRAT-style standoff annotation format (the MACCROBAT layout).
+
+Figure 3 of the paper shows the annotation files paired with clinical
+text files: entity annotations ``T<i>`` ("text-bound") carry a type,
+character offsets into the text file, and the covered text; event
+annotations ``E<i>`` reference a trigger entity and optional arguments.
+
+File grammar (tab-separated, one annotation per line)::
+
+    T1\tAge 18 27\t34-yr-old
+    T3\tClinical_event 36 45\tpresented
+    E1\tClinical_event:T3
+    E2\tSign_symptom:T4 Modifier:T5
+
+This module parses and serializes that format; the DICE task consumes
+the parsed objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import AnnotationParseError
+
+__all__ = [
+    "EntityAnnotation",
+    "EventAnnotation",
+    "AnnotationDocument",
+    "parse_annotations",
+    "serialize_annotations",
+]
+
+
+@dataclass(frozen=True)
+class EntityAnnotation:
+    """A text-bound annotation (``T`` line)."""
+
+    key: str  # e.g. "T1"
+    ann_type: str  # e.g. "Age", "Sign_symptom"
+    start: int  # character offset, inclusive
+    end: int  # character offset, exclusive
+    text: str  # covered text
+
+    def __post_init__(self) -> None:
+        if not self.key.startswith("T"):
+            raise AnnotationParseError(f"entity key must start with T: {self.key!r}")
+        if self.start < 0 or self.end < self.start:
+            raise AnnotationParseError(
+                f"invalid span [{self.start}, {self.end}) for {self.key}"
+            )
+
+    def to_line(self) -> str:
+        return f"{self.key}\t{self.ann_type} {self.start} {self.end}\t{self.text}"
+
+
+@dataclass(frozen=True)
+class EventAnnotation:
+    """An event annotation (``E`` line): trigger plus role arguments."""
+
+    key: str  # e.g. "E1"
+    trigger_type: str  # e.g. "Clinical_event"
+    trigger_ref: str  # entity key, e.g. "T3"
+    arguments: Tuple[Tuple[str, str], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.key.startswith("E"):
+            raise AnnotationParseError(f"event key must start with E: {self.key!r}")
+        if not self.trigger_ref.startswith("T"):
+            raise AnnotationParseError(
+                f"event {self.key} trigger must reference a T key, "
+                f"got {self.trigger_ref!r}"
+            )
+
+    def to_line(self) -> str:
+        parts = [f"{self.trigger_type}:{self.trigger_ref}"]
+        parts.extend(f"{role}:{ref}" for role, ref in self.arguments)
+        return f"{self.key}\t{' '.join(parts)}"
+
+
+@dataclass
+class AnnotationDocument:
+    """All annotations of one MACCROBAT case report."""
+
+    doc_id: str
+    entities: List[EntityAnnotation]
+    events: List[EventAnnotation]
+
+    def entity_index(self) -> Dict[str, EntityAnnotation]:
+        """Entities keyed by their T key."""
+        return {entity.key: entity for entity in self.entities}
+
+    def validate_references(self) -> None:
+        """Every event trigger/argument must reference a known entity."""
+        known = {entity.key for entity in self.entities}
+        for event in self.events:
+            if event.trigger_ref not in known:
+                raise AnnotationParseError(
+                    f"doc {self.doc_id}: event {event.key} references "
+                    f"unknown entity {event.trigger_ref}"
+                )
+            for role, ref in event.arguments:
+                if ref not in known:
+                    raise AnnotationParseError(
+                        f"doc {self.doc_id}: event {event.key} argument "
+                        f"{role} references unknown entity {ref}"
+                    )
+
+
+def _parse_entity_line(line: str) -> EntityAnnotation:
+    try:
+        key, middle, text = line.split("\t", 2)
+        ann_type, start, end = middle.rsplit(" ", 2)
+        return EntityAnnotation(key, ann_type, int(start), int(end), text)
+    except (ValueError, AnnotationParseError) as exc:
+        raise AnnotationParseError(f"bad entity line {line!r}: {exc}") from exc
+
+
+def _parse_event_line(line: str) -> EventAnnotation:
+    try:
+        key, body = line.split("\t", 1)
+        parts = body.split()
+        trigger_type, trigger_ref = parts[0].split(":", 1)
+        arguments = tuple(
+            tuple(part.split(":", 1)) for part in parts[1:]  # type: ignore[misc]
+        )
+        return EventAnnotation(key, trigger_type, trigger_ref, arguments)
+    except (ValueError, IndexError, AnnotationParseError) as exc:
+        raise AnnotationParseError(f"bad event line {line!r}: {exc}") from exc
+
+
+def parse_annotations(doc_id: str, content: str) -> AnnotationDocument:
+    """Parse a ``.ann`` file's content into an :class:`AnnotationDocument`.
+
+    Unknown annotation kinds (``R``, ``A``, ``#`` comments, ...) are
+    skipped, as DICE only consumes entities and events.
+    """
+    entities: List[EntityAnnotation] = []
+    events: List[EventAnnotation] = []
+    for raw_line in content.splitlines():
+        line = raw_line.rstrip("\n")
+        if not line.strip() or line.startswith("#"):
+            continue
+        if line.startswith("T"):
+            entities.append(_parse_entity_line(line))
+        elif line.startswith("E"):
+            events.append(_parse_event_line(line))
+        # silently skip other standoff kinds (relations, attributes)
+    return AnnotationDocument(doc_id, entities, events)
+
+
+def serialize_annotations(document: AnnotationDocument) -> str:
+    """Serialize a document back to ``.ann`` text (roundtrip-safe)."""
+    lines = [entity.to_line() for entity in document.entities]
+    lines.extend(event.to_line() for event in document.events)
+    return "\n".join(lines) + ("\n" if lines else "")

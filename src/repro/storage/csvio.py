@@ -1,0 +1,106 @@
+"""CSV reading/writing for relational tables.
+
+A minimal, dependency-free CSV layer (stdlib ``csv``) so tables can be
+exchanged with spreadsheet-paradigm tools — the third paradigm the
+paper's introduction mentions alongside scripts and workflows.  Typed
+round-trips: values are serialized per the schema's field types and
+parsed back accordingly.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Any, List, Union
+
+from repro.errors import StorageError
+from repro.relational import FieldType, Schema, Table
+
+__all__ = ["table_to_csv", "table_from_csv", "write_csv", "read_csv"]
+
+PathLike = Union[str, Path]
+
+_NULL = ""
+
+
+def _serialize(value: Any) -> str:
+    if value is None:
+        return _NULL
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def _parse(text: str, ftype: FieldType) -> Any:
+    if text == _NULL:
+        return None
+    try:
+        if ftype is FieldType.INT:
+            return int(text)
+        if ftype is FieldType.FLOAT:
+            return float(text)
+        if ftype is FieldType.BOOL:
+            if text not in ("true", "false"):
+                raise ValueError(f"not a bool: {text!r}")
+            return text == "true"
+        return text  # STRING and ANY stay textual
+    except ValueError as exc:
+        raise StorageError(f"cannot parse {text!r} as {ftype.value}") from exc
+
+
+def table_to_csv(table: Table) -> str:
+    """Serialize a table to CSV text (header row = field names)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(table.schema.names)
+    for row in table:
+        writer.writerow([_serialize(value) for value in row.values])
+    return buffer.getvalue()
+
+
+def table_from_csv(content: str, schema: Schema) -> Table:
+    """Parse CSV text into a table of ``schema``.
+
+    The header must name exactly the schema's fields (any order);
+    columns are reordered to the schema.
+    """
+    reader = csv.reader(io.StringIO(content))
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise StorageError("empty CSV: missing header row") from None
+    missing = [name for name in schema.names if name not in header]
+    extra = [name for name in header if name not in schema]
+    if missing or extra:
+        raise StorageError(
+            f"CSV header mismatch: missing {missing}, unexpected {extra}"
+        )
+    positions = [header.index(name) for name in schema.names]
+    rows: List[List[Any]] = []
+    for line_number, record in enumerate(reader, start=2):
+        if not record:
+            continue
+        if len(record) != len(header):
+            raise StorageError(
+                f"line {line_number}: expected {len(header)} fields, "
+                f"got {len(record)}"
+            )
+        rows.append(
+            [
+                _parse(record[position], field.ftype)
+                for position, field in zip(positions, schema.fields)
+            ]
+        )
+    return Table.from_rows(schema, rows)
+
+
+def write_csv(path: PathLike, table: Table) -> int:
+    """Write a table to ``path``; returns the number of data rows."""
+    Path(path).write_text(table_to_csv(table), encoding="utf-8")
+    return len(table)
+
+
+def read_csv(path: PathLike, schema: Schema) -> Table:
+    """Read a table of ``schema`` from ``path``."""
+    return table_from_csv(Path(path).read_text(encoding="utf-8"), schema)

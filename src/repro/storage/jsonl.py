@@ -1,0 +1,73 @@
+"""JSONL (newline-delimited JSON) reading and writing.
+
+The paper's Figure 9 shows a Texera workflow whose source operator is
+"JSONL Processing"; the dataset generators in this repository persist
+their synthetic corpora in the same format so workflows and scripts can
+scan identical inputs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Union
+
+from repro.errors import StorageError
+
+__all__ = ["dumps_jsonl", "loads_jsonl", "write_jsonl", "read_jsonl", "iter_jsonl"]
+
+PathLike = Union[str, Path]
+
+
+def dumps_jsonl(records: Iterable[Dict[str, Any]]) -> str:
+    """Serialize records to JSONL text (sorted keys: deterministic)."""
+    return "".join(json.dumps(record, sort_keys=True) + "\n" for record in records)
+
+
+def loads_jsonl(content: str) -> List[Dict[str, Any]]:
+    """Parse JSONL text into a list of dict records."""
+    records: List[Dict[str, Any]] = []
+    for line_number, line in enumerate(content.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise StorageError(f"invalid JSON on line {line_number}: {exc}") from exc
+        if not isinstance(record, dict):
+            raise StorageError(
+                f"line {line_number} is not a JSON object: {record!r}"
+            )
+        records.append(record)
+    return records
+
+
+def write_jsonl(path: PathLike, records: Iterable[Dict[str, Any]]) -> int:
+    """Write records to ``path``; returns the number written."""
+    records = list(records)
+    Path(path).write_text(dumps_jsonl(records), encoding="utf-8")
+    return len(records)
+
+
+def read_jsonl(path: PathLike) -> List[Dict[str, Any]]:
+    """Read all records from a JSONL file."""
+    return loads_jsonl(Path(path).read_text(encoding="utf-8"))
+
+
+def iter_jsonl(path: PathLike) -> Iterator[Dict[str, Any]]:
+    """Stream records from a JSONL file one at a time."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise StorageError(
+                    f"{path}: invalid JSON on line {line_number}: {exc}"
+                ) from exc
+            if not isinstance(record, dict):
+                raise StorageError(
+                    f"{path}: line {line_number} is not a JSON object"
+                )
+            yield record

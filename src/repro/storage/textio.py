@@ -1,0 +1,73 @@
+"""Clinical text files and offset-preserving sentence splitting.
+
+DICE links each sentence of a case report to the annotations whose
+character spans fall inside it, so the splitter must report exact
+character offsets into the original text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["Sentence", "split_sentences", "TextDocument"]
+
+_TERMINATORS = ".!?"
+
+
+@dataclass(frozen=True)
+class Sentence:
+    """One sentence with its character span in the source document."""
+
+    doc_id: str
+    index: int
+    start: int  # inclusive
+    end: int  # exclusive
+    text: str
+
+    def contains_span(self, start: int, end: int) -> bool:
+        """Whether an annotation span lies entirely inside the sentence."""
+        return self.start <= start and end <= self.end
+
+
+@dataclass
+class TextDocument:
+    """A clinical case report: id plus raw text."""
+
+    doc_id: str
+    text: str
+
+    def sentences(self) -> List[Sentence]:
+        return split_sentences(self.doc_id, self.text)
+
+
+def split_sentences(doc_id: str, text: str) -> List[Sentence]:
+    """Split ``text`` into sentences, preserving character offsets.
+
+    A sentence ends at ``.``, ``!`` or ``?`` followed by whitespace (or
+    end of text).  Offsets index the *original* string; the sentence
+    text is the exact slice, so ``text[s.start:s.end] == s.text`` holds
+    (a property test asserts this invariant).
+    """
+    sentences: List[Sentence] = []
+    cursor = 0
+    length = len(text)
+    index = 0
+    while cursor < length:
+        # Skip leading whitespace between sentences.
+        while cursor < length and text[cursor].isspace():
+            cursor += 1
+        if cursor >= length:
+            break
+        start = cursor
+        end = cursor
+        while end < length:
+            char = text[end]
+            if char in _TERMINATORS and (end + 1 >= length or text[end + 1].isspace()):
+                end += 1  # include the terminator
+                break
+            end += 1
+        sentences.append(Sentence(doc_id, index, start, end, text[start:end]))
+        index += 1
+        cursor = end
+    return sentences

@@ -1,0 +1,19 @@
+"""The paper's four data science tasks, each under both paradigms.
+
+===========  =====================  ==========================================
+Task         Stage                  Entry points
+===========  =====================  ==========================================
+DICE         data wrangling         :func:`repro.tasks.dice.run_dice_script`,
+                                    :func:`repro.tasks.dice.run_dice_workflow`
+WEF          model training         :func:`repro.tasks.wef.run_wef_script`,
+                                    :func:`repro.tasks.wef.run_wef_workflow`
+GOTTA        one-step inference     :func:`repro.tasks.gotta.run_gotta_script`,
+                                    :func:`repro.tasks.gotta.run_gotta_workflow`
+KGE          multi-step inference   :func:`repro.tasks.kge.run_kge_script`,
+                                    :func:`repro.tasks.kge.run_kge_workflow`
+===========  =====================  ==========================================
+"""
+
+from repro.tasks.base import PARADIGM_SCRIPT, PARADIGM_WORKFLOW, TaskRun, fresh_cluster
+
+__all__ = ["PARADIGM_SCRIPT", "PARADIGM_WORKFLOW", "TaskRun", "fresh_cluster"]

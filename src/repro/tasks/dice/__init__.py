@@ -1,0 +1,19 @@
+"""DICE: the MACCROBAT-EE data wrangling task (paper Section II-A)."""
+
+from repro.tasks.dice.common import DICE_COSTS, OUTPUT_SCHEMA, reference_dice
+from repro.tasks.dice.script import run_dice_script
+from repro.tasks.dice.workflow import (
+    build_dice_workflow,
+    build_dice_workflow_relational,
+    run_dice_workflow,
+)
+
+__all__ = [
+    "DICE_COSTS",
+    "OUTPUT_SCHEMA",
+    "reference_dice",
+    "run_dice_script",
+    "build_dice_workflow",
+    "build_dice_workflow_relational",
+    "run_dice_workflow",
+]

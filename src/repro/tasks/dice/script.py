@@ -1,0 +1,99 @@
+"""DICE under the script paradigm (Jupyter + Ray substitute).
+
+Mirrors the approach the paper sketches for the Notebook version
+(Section III-B): load the annotations into in-memory hash tables and
+loop over events probing them, then probe the per-document sentence
+list for the containing sentence.  With ``num_cpus > 1`` the file pairs
+are partitioned across remote tasks (the "manually build the support
+infrastructure — data partitioning, result aggregation" the paper
+describes), and the driver concatenates partial results serially.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+from repro.cluster import Cluster
+from repro.datasets.maccrobat import CaseReport
+from repro.rayx import TaskContext, run_script
+from repro.relational import Table
+from repro.storage.textio import split_sentences
+from repro.tasks.base import PARADIGM_SCRIPT, TaskRun
+from repro.tasks.dice.common import (
+    DICE_COSTS,
+    OUTPUT_SCHEMA,
+    entity_rows,
+    event_rows,
+    link_stage,
+    resolve_stage,
+)
+
+__all__ = ["run_dice_script"]
+
+
+def _wrangle_chunk(ctx: TaskContext, reports: Sequence[CaseReport]):
+    """Remote task: full DICE wrangle over a partition of file pairs.
+
+    The stages run back-to-back per pair — the sequential notebook
+    cells — so the task pays the *sum* of the stage costs.
+    """
+    costs = DICE_COSTS
+    out_rows: List[List[Any]] = []
+    for report in reports:
+        # Cell 1: parse the annotation file into entity/event tables.
+        yield from ctx.compute(costs.parse_annotations_per_file_s)
+        entities = {
+            row[1]: row for row in entity_rows(report.doc_id, report.annotations)
+        }
+        events = event_rows(report.doc_id, report.annotations)
+
+        # Cell 2: parse the text file and split sentences.
+        yield from ctx.compute(costs.parse_text_per_file_s)
+        sentences = split_sentences(report.doc_id, report.text)
+
+        # Cell 3: filter events, resolve triggers/arguments against the
+        # entity hash table.
+        yield from ctx.compute(costs.wrangle_per_event_s * len(events))
+        resolved = resolve_stage(entities, events)
+
+        # Cell 4: probe the sentence list for each event's sentence.
+        rows, candidates = link_stage(report.doc_id, resolved, sentences)
+        yield from ctx.compute(
+            costs.link_per_event_s * len(resolved)
+            + costs.link_per_candidate_s * candidates
+        )
+        out_rows.extend(rows)
+    return out_rows
+
+
+def _chunk(reports: Sequence[CaseReport], pieces: int) -> List[List[CaseReport]]:
+    chunks = [list(reports[i::pieces]) for i in range(pieces)]
+    return [chunk for chunk in chunks if chunk]
+
+
+def run_dice_script(
+    cluster: Cluster, reports: Sequence[CaseReport], num_cpus: int = 1
+) -> TaskRun:
+    """Run the script-paradigm DICE task; returns its :class:`TaskRun`."""
+
+    def driver(rt):
+        chunks = _chunk(reports, num_cpus)
+        refs = [
+            rt.submit(_wrangle_chunk, chunk, label="dice-chunk") for chunk in chunks
+        ]
+        partials = yield from rt.get_all(refs)
+        # Driver-side aggregation: the serial tail of the script.
+        rows = [row for partial in partials for row in partial]
+        yield from rt.driver_context.compute(DICE_COSTS.collect_per_row_s * len(rows))
+        return Table.from_rows(OUTPUT_SCHEMA, rows)
+
+    start = cluster.env.now
+    output = run_script(cluster, driver, num_cpus=num_cpus)
+    return TaskRun(
+        task="dice",
+        paradigm=PARADIGM_SCRIPT,
+        output=output,
+        elapsed_s=cluster.env.now - start,
+        num_workers=num_cpus,
+        extras={"file_pairs": len(reports)},
+    )

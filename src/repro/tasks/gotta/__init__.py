@@ -1,0 +1,20 @@
+"""GOTTA: few-shot QA inference with cloze augmentation (Section II-C)."""
+
+from repro.tasks.gotta.common import (
+    GOTTA_COSTS,
+    PREDICTION_SCHEMA,
+    exact_match_of,
+    reference_gotta,
+)
+from repro.tasks.gotta.script import run_gotta_script
+from repro.tasks.gotta.workflow import build_gotta_workflow, run_gotta_workflow
+
+__all__ = [
+    "GOTTA_COSTS",
+    "PREDICTION_SCHEMA",
+    "exact_match_of",
+    "reference_gotta",
+    "run_gotta_script",
+    "build_gotta_workflow",
+    "run_gotta_workflow",
+]

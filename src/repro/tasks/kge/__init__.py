@@ -1,0 +1,29 @@
+"""KGE: knowledge-graph purchase prediction (paper Section II-D)."""
+
+from repro.tasks.kge.common import (
+    KGE_COSTS,
+    RESULT_SCHEMA,
+    KgeDataset,
+    make_kge_dataset,
+    reference_kge,
+)
+from repro.tasks.kge.script import run_kge_script
+from repro.tasks.kge.workflow import (
+    STAGE_FUSIONS,
+    KgeStageOperator,
+    build_kge_workflow,
+    run_kge_workflow,
+)
+
+__all__ = [
+    "KGE_COSTS",
+    "RESULT_SCHEMA",
+    "KgeDataset",
+    "make_kge_dataset",
+    "reference_kge",
+    "run_kge_script",
+    "STAGE_FUSIONS",
+    "KgeStageOperator",
+    "build_kge_workflow",
+    "run_kge_workflow",
+]

@@ -1,0 +1,185 @@
+"""KGE (Task 4, multi-step inference): shared logic and cost model.
+
+The Figure 7 pipeline: candidate Amazon products are filtered for
+availability, matched with their embeddings from a 375 MB knowledge
+graph model, scored against the target user, ranked, and fed through a
+reverse lookup that recovers the recommended products from their
+embeddings.
+
+Experiment surface
+------------------
+* the standard comparison (Fig 13c / 14c) runs the 5-stage pipeline;
+* Fig 12b varies how the five stages are fused into 1–6 operators
+  (:mod:`repro.tasks.kge.workflow` builds every fusion);
+* Table I swaps the Python table-join operator for a nine-operator
+  Scala chain (:func:`repro.tasks.kge.workflow.build_kge_workflow`
+  with ``join_language="scala"``).
+
+The dataset trick that reproduces Table I's *vanishing* Scala
+advantage: the embedding table is the **whole product universe**
+(fixed, the 375 MB model), independent of how many candidates are
+scored — so the language of the table-loading join changes a *fixed*
+cost, which is ~25 % of a 6.8k-candidate run but ~1 % of a 68k run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.config import ModelConfig, default_config
+from repro.datasets.amazon import (
+    PRODUCT_SCHEMA,
+    PURCHASE_RELATION,
+    Product,
+    build_kge_model,
+    catalog_table,
+    generate_catalog,
+    user_ids,
+)
+from repro.ml.models.kge import TransEModel
+from repro.relational import FieldType, Schema, Table
+
+__all__ = [
+    "KgeCosts",
+    "KGE_COSTS",
+    "KgeDataset",
+    "make_kge_dataset",
+    "EMBEDDED_SCHEMA",
+    "SCORED_SCHEMA",
+    "RESULT_SCHEMA",
+    "reference_kge",
+]
+
+
+@dataclass(frozen=True)
+class KgeCosts:
+    """Calibrated per-stage virtual costs.
+
+    Script-side constants reflect vectorized pandas/numpy steps (the
+    paper's Section III-D point that the script "simply calls
+    dataframe.merge"); workflow-side constants reflect per-tuple
+    Python UDF execution, which is what makes the workflow KGE ~30 %
+    slower (Fig 13c) despite identical logic.
+    """
+
+    top_k: int = 10
+
+    # script (vectorized) per-candidate costs
+    script_table_build_per_entity_s: float = 0.00005
+    script_filter_per_product_s: float = 0.0004
+    script_join_per_product_s: float = 0.0016
+    script_score_per_product_s: float = 0.0112
+    script_rank_per_product_s: float = 0.0010
+    script_lookup_per_result_s: float = 0.0050
+
+    # workflow (per-tuple UDF) declared works
+    wf_filter_work_s: float = 0.0004
+    wf_join_probe_work_s: float = 0.0028
+    wf_score_work_s: float = 0.0200
+    wf_rank_work_s: float = 0.0008
+    wf_lookup_work_s: float = 0.0004
+    #: Python join operator: open()-time embedding-table install,
+    #: per universe entity (the fixed cost Table I's Scala swap saves).
+    py_table_load_per_entity_s: float = 0.00042
+    #: Scala chain: declared per-entity work of streaming the table.
+    scala_table_work_per_entity_s: float = 0.00015
+
+
+KGE_COSTS = KgeCosts()
+
+
+EMBEDDED_SCHEMA = Schema.of(
+    product_id=FieldType.STRING,
+    name=FieldType.STRING,
+    price=FieldType.FLOAT,
+    embedding=FieldType.ANY,
+)
+
+SCORED_SCHEMA = Schema.of(
+    product_id=FieldType.STRING,
+    name=FieldType.STRING,
+    embedding=FieldType.ANY,
+    score=FieldType.FLOAT,
+)
+
+RESULT_SCHEMA = Schema.of(
+    rank=FieldType.INT,
+    product_id=FieldType.STRING,
+    name=FieldType.STRING,
+    score=FieldType.FLOAT,
+)
+
+
+@dataclass
+class KgeDataset:
+    """Everything one KGE run needs."""
+
+    universe: List[Product]
+    candidates: List[Product]
+    candidates_table: Table
+    model: TransEModel
+    user_id: str
+    names: Dict[str, str]  # product_id -> display name
+
+    @property
+    def num_candidates(self) -> int:
+        return len(self.candidates)
+
+
+def make_kge_dataset(
+    num_candidates: int,
+    universe_size: int = 68000,
+    seed: int = 23,
+    model_config: ModelConfig = None,
+) -> KgeDataset:
+    """Build the catalog universe, candidate subset and KGE model.
+
+    The model (and hence the embedding table the join loads) always
+    covers the whole universe — its size is the paper's fixed 375 MB
+    regardless of the candidate count.
+    """
+    if not 1 <= num_candidates <= universe_size:
+        raise ValueError(
+            f"num_candidates must be in [1, {universe_size}], got {num_candidates}"
+        )
+    universe = generate_catalog(universe_size, seed=seed)
+    candidates = universe[:num_candidates]
+    users = user_ids(16)
+    model = build_kge_model(universe, users, model_config or default_config().models)
+    return KgeDataset(
+        universe=universe,
+        candidates=candidates,
+        candidates_table=catalog_table(candidates),
+        model=model,
+        user_id=users[0],
+        names={p.product_id: p.name for p in universe},
+    )
+
+
+def reference_kge(dataset: KgeDataset) -> Table:
+    """Direct implementation of Figure 7 (correctness oracle)."""
+    model = dataset.model
+    in_stock = [p for p in dataset.candidates if p.in_stock]
+    scored = [
+        (
+            p,
+            model.embedding_of(p.product_id),
+            model.score(
+                dataset.user_id,
+                PURCHASE_RELATION,
+                model.embedding_of(p.product_id),
+            ),
+        )
+        for p in in_stock
+    ]
+    scored.sort(key=lambda item: (-item[2], item[0].product_id))
+    rows = []
+    for position, (product, embedding, score) in enumerate(
+        scored[: KGE_COSTS.top_k], start=1
+    ):
+        recovered = model.reverse_lookup(embedding)
+        rows.append([position, recovered, dataset.names[recovered], score])
+    return Table.from_rows(RESULT_SCHEMA, rows)

@@ -1,0 +1,102 @@
+"""KGE under the script paradigm (Jupyter + Ray substitute).
+
+The driver loads the 375 MB KGE model, uploads it to the object store,
+and submits one scoring task per ``num_cpus`` partition of the
+candidates.  Each task dereferences the model, builds the embedding
+lookup table in memory (vectorized — the paper's
+``dataframe.merge``), filters, joins, scores and keeps a partial
+top-K.  The driver merges partial top-Ks, takes the global top-K and
+reverse-looks-up the recommended products.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.cluster import Cluster
+from repro.datasets.amazon import PURCHASE_RELATION, Product
+from repro.rayx import TaskContext, run_script
+from repro.relational import Table
+from repro.tasks.base import PARADIGM_SCRIPT, TaskRun
+from repro.tasks.kge.common import KGE_COSTS, RESULT_SCHEMA, KgeDataset
+
+__all__ = ["run_kge_script"]
+
+
+def _score_chunk(ctx: TaskContext, model_refs, user_id: str, products: Sequence[Product]):
+    """Remote task: score one candidate partition, return partial top-K."""
+    costs = KGE_COSTS
+    model = yield from ctx.get(model_refs[0])
+
+    # Load the embedding table into memory (hash table, vectorized).
+    yield from ctx.compute(costs.script_table_build_per_entity_s * model.num_entities)
+
+    # Filter: drop unavailable candidates.
+    yield from ctx.compute(costs.script_filter_per_product_s * len(products))
+    in_stock = [p for p in products if p.in_stock]
+
+    # Join: probe the embedding table (pandas merge).
+    yield from ctx.compute(costs.script_join_per_product_s * len(in_stock))
+    embedded = [(p, model.embedding_of(p.product_id)) for p in in_stock]
+
+    # Score + partial rank.
+    yield from ctx.compute(
+        (costs.script_score_per_product_s + costs.script_rank_per_product_s)
+        * len(embedded)
+    )
+    scored = [
+        (p.product_id, emb, model.score(user_id, PURCHASE_RELATION, emb))
+        for p, emb in embedded
+    ]
+    scored.sort(key=lambda item: (-item[2], item[0]))
+    return scored[: costs.top_k]
+
+
+def _chunk(products: Sequence[Product], pieces: int) -> List[List[Product]]:
+    chunks = [list(products[i::pieces]) for i in range(pieces)]
+    return [chunk for chunk in chunks if chunk]
+
+
+def run_kge_script(
+    cluster: Cluster, dataset: KgeDataset, num_cpus: int = 1
+) -> TaskRun:
+    """Run the script-paradigm KGE task; returns its :class:`TaskRun`."""
+    costs = KGE_COSTS
+    models_config = cluster.config.models
+
+    def driver(rt):
+        model = dataset.model
+        yield from rt.driver_context.compute(
+            models_config.load_seconds(model.payload_bytes())
+        )
+        model_ref = yield from rt.put(model, label="kge-model")
+        refs = [
+            rt.submit(_score_chunk, [model_ref], dataset.user_id, chunk,
+                      label="kge-chunk")
+            for chunk in _chunk(dataset.candidates, num_cpus)
+        ]
+        partials = yield from rt.get_all(refs)
+        # Merge partial top-Ks, global rank, reverse lookup.
+        merged = sorted(
+            (item for partial in partials for item in partial),
+            key=lambda item: (-item[2], item[0]),
+        )[: costs.top_k]
+        yield from rt.driver_context.compute(
+            costs.script_lookup_per_result_s * len(merged)
+        )
+        rows = []
+        for position, (_product_id, embedding, score) in enumerate(merged, start=1):
+            recovered = model.reverse_lookup(embedding)
+            rows.append([position, recovered, dataset.names[recovered], score])
+        return Table.from_rows(RESULT_SCHEMA, rows)
+
+    start = cluster.env.now
+    output = run_script(cluster, driver, num_cpus=num_cpus)
+    return TaskRun(
+        task="kge",
+        paradigm=PARADIGM_SCRIPT,
+        output=output,
+        elapsed_s=cluster.env.now - start,
+        num_workers=num_cpus,
+        extras={"num_candidates": dataset.num_candidates},
+    )

@@ -1,0 +1,19 @@
+"""WEF: wildfire-framing ensemble training (paper Section II-B)."""
+
+from repro.tasks.wef.common import LOSS_SCHEMA, WEF_COSTS, reference_wef
+from repro.tasks.wef.script import run_wef_script
+from repro.tasks.wef.workflow import (
+    EnsembleTrainOperator,
+    build_wef_workflow,
+    run_wef_workflow,
+)
+
+__all__ = [
+    "LOSS_SCHEMA",
+    "WEF_COSTS",
+    "reference_wef",
+    "run_wef_script",
+    "EnsembleTrainOperator",
+    "build_wef_workflow",
+    "run_wef_workflow",
+]

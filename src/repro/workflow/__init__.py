@@ -1,0 +1,56 @@
+"""Workflow-paradigm engine (Texera-like): DAGs of operators executed
+with pipelined, batched, multi-worker dataflow on the simulated cluster.
+
+Substitute for the paper's Texera deployment; see DESIGN.md section 2.
+
+Quick tour::
+
+    from repro.cluster import build_cluster
+    from repro.sim import Environment
+    from repro.workflow import Workflow, run_workflow
+    from repro.workflow.operators import TableSource, FilterOperator, SinkOperator
+
+    wf = Workflow("demo")
+    source = wf.add_operator(TableSource("scan", table))
+    keep = wf.add_operator(FilterOperator("keep", predicate))
+    sink = wf.add_operator(SinkOperator("results"))
+    wf.link(source, keep)
+    wf.link(keep, sink)
+
+    result = run_workflow(build_cluster(Environment()), wf)
+    result.table()            # collected rows
+    result.progress.describe()  # Figure 9-style operator board
+"""
+
+from repro.workflow.dag import Link, Workflow
+from repro.workflow.engine import WorkflowController, WorkflowResult, run_workflow
+from repro.workflow.language import OperatorLanguage
+from repro.workflow.operator import LogicalOperator, OperatorExecutor, SourceExecutor
+from repro.workflow.partitioning import (
+    BroadcastPartitioner,
+    HashPartitioner,
+    Partitioner,
+    RoundRobinPartitioner,
+    stable_hash,
+)
+from repro.workflow.progress import OperatorProgress, OperatorState, ProgressTracker
+
+__all__ = [
+    "Link",
+    "Workflow",
+    "WorkflowController",
+    "WorkflowResult",
+    "run_workflow",
+    "OperatorLanguage",
+    "LogicalOperator",
+    "OperatorExecutor",
+    "SourceExecutor",
+    "BroadcastPartitioner",
+    "HashPartitioner",
+    "Partitioner",
+    "RoundRobinPartitioner",
+    "stable_hash",
+    "OperatorProgress",
+    "OperatorState",
+    "ProgressTracker",
+]

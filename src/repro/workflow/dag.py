@@ -1,0 +1,180 @@
+"""The workflow DAG: operators, links, validation, schema propagation.
+
+Mirrors what the Texera GUI enforces at editing time: operators expose
+typed ports, links connect exactly one producer output to one consumer
+input, the graph must be acyclic, and schemas propagate edge-by-edge so
+configuration errors surface before execution (paper Section III-A:
+"operators with explicit connections that indicate data flow").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import InvalidWorkflow
+from repro.relational import Schema
+from repro.workflow.operator import LogicalOperator
+
+__all__ = ["Link", "Workflow"]
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed edge between two operator ports."""
+
+    producer_id: str
+    output_port: int
+    consumer_id: str
+    input_port: int
+
+    def __repr__(self) -> str:
+        return (
+            f"{self.producer_id}[{self.output_port}] -> "
+            f"{self.consumer_id}[{self.input_port}]"
+        )
+
+
+class Workflow:
+    """A user-assembled DAG of logical operators."""
+
+    def __init__(self, name: str = "workflow") -> None:
+        self.name = name
+        self.operators: Dict[str, LogicalOperator] = {}
+        self.links: List[Link] = []
+
+    # -- construction ---------------------------------------------------------
+
+    def add_operator(self, operator: LogicalOperator) -> LogicalOperator:
+        """Add an operator; ids must be unique within the workflow."""
+        if operator.operator_id in self.operators:
+            raise InvalidWorkflow(
+                f"duplicate operator id {operator.operator_id!r}"
+            )
+        self.operators[operator.operator_id] = operator
+        return operator
+
+    def link(
+        self,
+        producer: LogicalOperator,
+        consumer: LogicalOperator,
+        output_port: int = 0,
+        input_port: int = 0,
+    ) -> Link:
+        """Connect ``producer[output_port]`` to ``consumer[input_port]``."""
+        self._require_operator(producer.operator_id)
+        self._require_operator(consumer.operator_id)
+        if not 0 <= output_port < producer.num_output_ports:
+            raise InvalidWorkflow(
+                f"{producer.operator_id!r} has no output port {output_port}"
+            )
+        if not 0 <= input_port < consumer.num_input_ports:
+            raise InvalidWorkflow(
+                f"{consumer.operator_id!r} has no input port {input_port}"
+            )
+        for existing in self.links:
+            if (
+                existing.consumer_id == consumer.operator_id
+                and existing.input_port == input_port
+            ):
+                raise InvalidWorkflow(
+                    f"input port {input_port} of {consumer.operator_id!r} "
+                    f"already connected by {existing!r}"
+                )
+        link = Link(producer.operator_id, output_port, consumer.operator_id, input_port)
+        self.links.append(link)
+        return link
+
+    def _require_operator(self, operator_id: str) -> LogicalOperator:
+        try:
+            return self.operators[operator_id]
+        except KeyError:
+            raise InvalidWorkflow(
+                f"operator {operator_id!r} was not added to the workflow"
+            ) from None
+
+    # -- queries ------------------------------------------------------------------
+
+    def in_links(self, operator_id: str) -> List[Link]:
+        """Incoming links of one operator, ordered by input port."""
+        links = [l for l in self.links if l.consumer_id == operator_id]
+        return sorted(links, key=lambda l: l.input_port)
+
+    def out_links(self, operator_id: str) -> List[Link]:
+        """Outgoing links of one operator, ordered by output port."""
+        links = [l for l in self.links if l.producer_id == operator_id]
+        return sorted(links, key=lambda l: l.output_port)
+
+    def sources(self) -> List[LogicalOperator]:
+        return [op for op in self.operators.values() if op.is_source]
+
+    def sinks(self) -> List[LogicalOperator]:
+        return [op for op in self.operators.values() if op.is_sink]
+
+    @property
+    def num_operators(self) -> int:
+        """The paper's "number of operators" metric (Section IV-B)."""
+        return len(self.operators)
+
+    # -- validation & compilation ------------------------------------------------------
+
+    def topological_order(self) -> List[LogicalOperator]:
+        """Operators in dependency order; raises on cycles (Kahn)."""
+        indegree = {op_id: 0 for op_id in self.operators}
+        for link in self.links:
+            indegree[link.consumer_id] += 1
+        ready = sorted(op_id for op_id, deg in indegree.items() if deg == 0)
+        order: List[LogicalOperator] = []
+        while ready:
+            op_id = ready.pop(0)
+            order.append(self.operators[op_id])
+            for link in self.out_links(op_id):
+                indegree[link.consumer_id] -= 1
+                if indegree[link.consumer_id] == 0:
+                    ready.append(link.consumer_id)
+            ready.sort()
+        if len(order) != len(self.operators):
+            stuck = sorted(op_id for op_id, deg in indegree.items() if deg > 0)
+            raise InvalidWorkflow(f"workflow contains a cycle involving {stuck}")
+        return order
+
+    def validate(self) -> None:
+        """Full structural validation (GUI-time checks)."""
+        if not self.operators:
+            raise InvalidWorkflow("workflow has no operators")
+        if not self.sinks():
+            raise InvalidWorkflow("workflow has no sink operator")
+        for operator in self.operators.values():
+            connected = {l.input_port for l in self.in_links(operator.operator_id)}
+            expected = set(range(operator.num_input_ports))
+            missing = expected - connected
+            if missing:
+                raise InvalidWorkflow(
+                    f"operator {operator.operator_id!r} input ports "
+                    f"{sorted(missing)} are unconnected"
+                )
+        self.topological_order()  # raises on cycles
+
+    def compile_schemas(self) -> Dict[str, Schema]:
+        """Propagate schemas through the DAG; returns output schemas.
+
+        Must be called (directly or via the engine) before executors
+        are created — stateful operators capture their input schemas
+        here.
+        """
+        self.validate()
+        output_schemas: Dict[str, Schema] = {}
+        for operator in self.topological_order():
+            input_schemas: List[Schema] = []
+            for link in self.in_links(operator.operator_id):
+                input_schemas.append(output_schemas[link.producer_id])
+            output_schemas[operator.operator_id] = operator.output_schema(
+                input_schemas
+            )
+        return output_schemas
+
+    def __repr__(self) -> str:
+        return (
+            f"<Workflow {self.name!r}: {len(self.operators)} operators, "
+            f"{len(self.links)} links>"
+        )

@@ -1,0 +1,590 @@
+"""Pipelined push-based execution of workflow DAGs on the cluster.
+
+This is the Texera-substitute's engine room.  Each logical operator
+fans out into ``num_workers`` physical instances; every instance is one
+simulation process on a cluster node.  Tuples move between instances in
+*batches* over channels; every batch pays
+
+* encode time on the producer's node (codec chosen by the producer→
+  consumer language pair — the paper's cross-language overhead),
+* network transfer time when producer and consumer sit on different
+  nodes,
+* decode time on the consumer's node.
+
+Because instances run concurrently and exchange batches as they are
+produced, downstream operators start before upstream operators finish —
+the *pipelining* the paper credits for the workflow paradigm's DICE and
+GOTTA results (Sections III-D and IV-E).
+
+Blocking operators (sort, group-by, training) only emit at end-of-input
+and are therefore pipeline breakers, exactly as in a real engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Sequence
+
+from repro.cluster import CONTROLLER, Cluster, Codec, Node, estimate_bytes
+from repro.config import ReproConfig
+from repro.errors import OperatorError
+from repro.relational import Table, Tuple
+from repro.sim import Store
+from repro.workflow.dag import Link, Workflow
+from repro.workflow.operator import LogicalOperator, OperatorExecutor, SourceExecutor
+from repro.workflow.operators.sink import _SinkExecutor, _VisualizationExecutor
+from repro.workflow.partitioning import (
+    BroadcastPartitioner,
+    HashPartitioner,
+    Partitioner,
+    RoundRobinPartitioner,
+)
+from repro.workflow.progress import OperatorState, ProgressTracker
+
+__all__ = ["WorkflowResult", "WorkflowController", "run_workflow"]
+
+
+class _Batch:
+    """A serialized bundle of tuples in flight on a channel."""
+
+    __slots__ = ("tuples", "nbytes")
+
+    def __init__(self, tuples: Sequence[Tuple]) -> None:
+        self.tuples = list(tuples)
+        self.nbytes = estimate_bytes([t.values for t in self.tuples])
+
+
+class _Eos:
+    """End-of-stream marker, one per producer instance per channel."""
+
+    __slots__ = ()
+
+
+_EOS = _Eos()
+
+
+class _InboundPort:
+    """One instance's receive side for one input port."""
+
+    def __init__(self, store: Store, expected_eos: int, codec: Codec) -> None:
+        self.store = store
+        self.expected_eos = expected_eos
+        self.codec = codec
+
+
+class _Outbound:
+    """One producer instance's send side for one outgoing link."""
+
+    def __init__(
+        self,
+        link: Link,
+        partitioner: Partitioner,
+        consumer_ports: Sequence[_InboundPort],
+        consumer_nodes: Sequence[Node],
+        codec: Codec,
+        batch_size: int,
+        auto_tune: Optional["_AutoBatchTuner"] = None,
+    ) -> None:
+        self.link = link
+        self.partitioner = partitioner
+        self.consumer_ports = list(consumer_ports)
+        self.consumer_nodes = list(consumer_nodes)
+        self.codec = codec
+        self.batch_size = batch_size
+        self.auto_tune = auto_tune
+        self._buffers: List[List[Tuple]] = [[] for _ in consumer_ports]
+
+    def observe_batch(self, batch: "_Batch") -> None:
+        """Feed the auto-tuner; adjusts this channel's batch size."""
+        if self.auto_tune is not None and batch.tuples:
+            self.batch_size = self.auto_tune.tuned_size(
+                batch.nbytes / len(batch.tuples)
+            )
+
+    def append(self, row: Tuple) -> List[int]:
+        """Buffer a tuple; return consumer indices whose buffer is full."""
+        full: List[int] = []
+        for index in self.partitioner.route(row):
+            buffer = self._buffers[index]
+            buffer.append(row)
+            if len(buffer) >= self.batch_size:
+                full.append(index)
+        return full
+
+    def take_buffer(self, index: int) -> List[Tuple]:
+        buffer, self._buffers[index] = self._buffers[index], []
+        return buffer
+
+    def pending_indices(self) -> List[int]:
+        return [i for i, buffer in enumerate(self._buffers) if buffer]
+
+
+class _AutoBatchTuner:
+    """Runtime batch-size tuning from observed tuple payloads.
+
+    The paper credits Texera with tuning batching automatically
+    (Section III-B); this tuner targets a fixed number of bytes per
+    batch using an exponential moving average of tuple sizes, clamped
+    to the configured range.
+    """
+
+    def __init__(self, target_bytes: int, min_size: int, max_size: int) -> None:
+        self.target_bytes = target_bytes
+        self.min_size = min_size
+        self.max_size = max_size
+        self._avg_tuple_bytes: Optional[float] = None
+
+    def tuned_size(self, observed_tuple_bytes: float) -> int:
+        if self._avg_tuple_bytes is None:
+            self._avg_tuple_bytes = observed_tuple_bytes
+        else:
+            self._avg_tuple_bytes = (
+                0.7 * self._avg_tuple_bytes + 0.3 * observed_tuple_bytes
+            )
+        size = int(self.target_bytes / max(self._avg_tuple_bytes, 1.0))
+        return max(self.min_size, min(self.max_size, size))
+
+
+class _Instance:
+    """One physical worker instance of a logical operator."""
+
+    def __init__(
+        self,
+        operator: LogicalOperator,
+        worker_index: int,
+        node: Node,
+        executor: OperatorExecutor,
+    ) -> None:
+        self.operator = operator
+        self.worker_index = worker_index
+        self.node = node
+        self.executor = executor
+        self.inbound: Dict[int, _InboundPort] = {}
+        self.outbound: List[_Outbound] = []
+        #: Virtual CPU-seconds this instance charged (compute + codec).
+        self.busy_s = 0.0
+
+    @property
+    def operator_id(self) -> str:
+        return self.operator.operator_id
+
+    def __repr__(self) -> str:
+        return f"<Instance {self.operator_id}[{self.worker_index}] on {self.node.name}>"
+
+
+class WorkflowResult:
+    """Outcome of one workflow execution."""
+
+    def __init__(
+        self,
+        workflow: Workflow,
+        results: Dict[str, Table],
+        charts: Dict[str, Dict[str, Any]],
+        progress: ProgressTracker,
+        elapsed_s: float,
+        num_worker_instances: int,
+        operator_stats: Optional[Dict[str, Dict[str, Any]]] = None,
+    ) -> None:
+        self.workflow = workflow
+        self.results = results
+        self.charts = charts
+        self.progress = progress
+        self.elapsed_s = elapsed_s
+        self.num_worker_instances = num_worker_instances
+        #: Per-operator runtime accounting: instances, virtual CPU-seconds
+        #: charged, and the nodes the instances ran on.
+        self.operator_stats = operator_stats or {}
+
+    def table(self, sink_id: Optional[str] = None) -> Table:
+        """The collected table of one sink (or the only sink)."""
+        if sink_id is None:
+            if len(self.results) != 1:
+                raise OperatorError(
+                    "result", f"expected one sink, have {sorted(self.results)}"
+                )
+            return next(iter(self.results.values()))
+        return self.results[sink_id]
+
+    def __repr__(self) -> str:
+        return (
+            f"<WorkflowResult {self.workflow.name!r}: {sorted(self.results)} "
+            f"in {self.elapsed_s:.2f}s>"
+        )
+
+
+class WorkflowController:
+    """Deploys a workflow onto the cluster and drives it to completion."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        workflow: Workflow,
+        config: Optional[ReproConfig] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.workflow = workflow
+        self.config = config or cluster.config
+        self.env = cluster.env
+        self.progress = ProgressTracker()
+        self._instances: Dict[str, List[_Instance]] = {}
+        self._placement_counter = 0
+        #: Pause gate: None while running; an un-triggered event while
+        #: paused (instances wait on it before touching the next batch).
+        self._pause_gate = None
+
+    # -- pause / resume (the GUI's pause button, paper Section III-A) ----------
+
+    @property
+    def is_paused(self) -> bool:
+        return self._pause_gate is not None
+
+    def pause(self) -> None:
+        """Pause the execution at batch granularity.
+
+        Instances finish the batch they are on, then block; running
+        operators show the PAUSED state on the progress board.
+        Idempotent.
+        """
+        if self._pause_gate is not None:
+            return
+        self._pause_gate = self.env.event()
+        for op_id in self._instances:
+            progress = self.progress.of(op_id)
+            if progress.state is OperatorState.RUNNING:
+                progress.transition(OperatorState.PAUSED)
+
+    def resume(self) -> None:
+        """Release a previous :meth:`pause`.  Idempotent."""
+        if self._pause_gate is None:
+            return
+        for op_id in self._instances:
+            progress = self.progress.of(op_id)
+            if progress.state is OperatorState.PAUSED:
+                progress.transition(OperatorState.RUNNING)
+        gate, self._pause_gate = self._pause_gate, None
+        gate.succeed()
+
+    def _pause_point(self) -> Generator:
+        """Instances yield here between batches; blocks while paused."""
+        while self._pause_gate is not None:
+            yield self._pause_gate
+
+    # -- compilation -------------------------------------------------------------
+
+    def _place(self) -> Node:
+        node = self.cluster.worker_round_robin(self._placement_counter)
+        self._placement_counter += 1
+        return node
+
+    def _build_plan(self) -> None:
+        """Create instances, inbound ports and outbound channels."""
+        wf_config = self.config.workflow
+        order = self.workflow.topological_order()
+        # 1. instances + progress registration
+        for operator in order:
+            self.progress.register(operator.operator_id, operator.num_workers)
+            instances = []
+            for index in range(operator.num_workers):
+                instances.append(
+                    _Instance(
+                        operator,
+                        index,
+                        self._place(),
+                        operator.create_executor(index),
+                    )
+                )
+            self._instances[operator.operator_id] = instances
+        # 2. channels per link
+        for link in self.workflow.links:
+            producer_op = self.workflow.operators[link.producer_id]
+            consumer_op = self.workflow.operators[link.consumer_id]
+            consumers = self._instances[link.consumer_id]
+            codec = self.cluster.codecs.for_boundary(
+                producer_op.language.value, consumer_op.language.value
+            )
+            # Bounded channels give back-pressure; later ports of
+            # in-order consumers stay unbounded to avoid diamond
+            # deadlocks (the consumer will not drain them until the
+            # earlier ports finish).
+            bounded = not (consumer_op.consumes_ports_in_order and link.input_port > 0)
+            capacity = wf_config.channel_capacity_batches if bounded else None
+            ports: List[_InboundPort] = []
+            for consumer in consumers:
+                if link.input_port in consumer.inbound:
+                    port = consumer.inbound[link.input_port]
+                else:
+                    port = _InboundPort(
+                        Store(self.env, capacity),
+                        expected_eos=producer_op.num_workers,
+                        codec=codec,
+                    )
+                    consumer.inbound[link.input_port] = port
+                ports.append(port)
+            strategy = consumer_op.partition_strategy(link.input_port)
+            key = consumer_op.partition_key(link.input_port)
+            for producer in self._instances[link.producer_id]:
+                if len(consumers) == 1:
+                    partitioner: Partitioner = RoundRobinPartitioner(1)
+                elif strategy == "broadcast":
+                    partitioner = BroadcastPartitioner(len(consumers))
+                elif strategy == "hash" and key is not None:
+                    partitioner = HashPartitioner(len(consumers), key)
+                else:
+                    partitioner = RoundRobinPartitioner(len(consumers))
+                tuner = None
+                if (
+                    wf_config.auto_tune_batch_size
+                    and producer_op.output_batch_size is None
+                ):
+                    tuner = _AutoBatchTuner(
+                        wf_config.auto_batch_target_bytes,
+                        wf_config.min_batch_size,
+                        wf_config.max_batch_size,
+                    )
+                producer.outbound.append(
+                    _Outbound(
+                        link,
+                        partitioner,
+                        ports,
+                        [c.node for c in consumers],
+                        codec,
+                        producer_op.output_batch_size
+                        or wf_config.default_batch_size,
+                        auto_tune=tuner,
+                    )
+                )
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute(self) -> Generator:
+        """Simulation process: run the workflow, return a result."""
+        start = self.env.now
+        self.workflow.compile_schemas()  # validates + captures schemas
+        self._build_plan()
+        wf_config = self.config.workflow
+        deploy_time = (
+            wf_config.startup_s
+            + wf_config.operator_deploy_s * self.workflow.num_operators
+        )
+        yield self.env.timeout(deploy_time)
+        for progress in (
+            self.progress.of(op_id) for op_id in self._instances
+        ):
+            progress.transition(OperatorState.READY)
+
+        processes = []
+        for instances in self._instances.values():
+            for instance in instances:
+                processes.append(self.env.process(self._run_instance(instance)))
+        try:
+            yield self.env.all_of(processes)
+        except BaseException:
+            for op_id in self._instances:
+                progress = self.progress.of(op_id)
+                if progress.state is not OperatorState.COMPLETED:
+                    progress.transition(OperatorState.FAILED)
+            raise
+
+        results, charts = yield from self._gather_results()
+        elapsed = self.env.now - start
+        stats = {
+            op_id: {
+                "instances": len(instances),
+                "busy_s": round(sum(i.busy_s for i in instances), 6),
+                "nodes": sorted({i.node.name for i in instances}),
+            }
+            for op_id, instances in self._instances.items()
+        }
+        return WorkflowResult(
+            self.workflow,
+            results,
+            charts,
+            self.progress,
+            elapsed,
+            num_worker_instances=sum(
+                len(instances) for instances in self._instances.values()
+            ),
+            operator_stats=stats,
+        )
+
+    def _gather_results(self) -> Generator:
+        """Pull sink tables back to the controller (network + decode)."""
+        results: Dict[str, Table] = {}
+        charts: Dict[str, Dict[str, Any]] = {}
+        controller_node = self.cluster.node(CONTROLLER)
+        for op_id, instances in self._instances.items():
+            for instance in instances:
+                executor = instance.executor
+                if not isinstance(executor, _SinkExecutor):
+                    continue
+                table = executor.collected()
+                nbytes = table.payload_bytes()
+                yield self.env.process(
+                    self.cluster.transfer(instance.node.name, CONTROLLER, nbytes)
+                )
+                codec = self.cluster.codecs.python
+                yield from controller_node.compute(codec.decode_time(nbytes))
+                results[op_id] = table
+                if isinstance(executor, _VisualizationExecutor):
+                    charts[op_id] = executor.chart_spec()
+        return results, charts
+
+    # -- instance loop ------------------------------------------------------------
+
+    def _run_instance(self, instance: _Instance) -> Generator:
+        operator = instance.operator
+        executor = instance.executor
+        try:
+            executor.open()
+            yield from self._settle_charges(instance)
+            if isinstance(executor, SourceExecutor):
+                yield from self._run_source(instance)
+            else:
+                yield from self._run_consumer(instance)
+            executor.close()
+            yield from self._settle_charges(instance)
+            yield from self._finish_outbound(instance)
+        except OperatorError:
+            raise
+        except Exception as exc:
+            raise OperatorError(operator.operator_id, str(exc)) from exc
+        progress = self.progress.of(operator.operator_id)
+        progress.worker_completed()
+        if progress.state is OperatorState.COMPLETED:
+            progress.completed_at = self.env.now
+
+    def _run_source(self, instance: _Instance) -> Generator:
+        batch_size = (
+            instance.operator.output_batch_size
+            or self.config.workflow.default_batch_size
+        )
+        buffer: List[Tuple] = []
+        for row in instance.executor.produce():  # type: ignore[attr-defined]
+            buffer.append(row)
+            if len(buffer) >= batch_size:
+                yield from self._pause_point()
+                yield from self._settle_charges(instance)
+                yield from self._emit(instance, buffer)
+                buffer = []
+        yield from self._settle_charges(instance)
+        if buffer:
+            yield from self._emit(instance, buffer)
+
+    def _run_consumer(self, instance: _Instance) -> Generator:
+        operator = instance.operator
+        for port_number in range(operator.num_input_ports):
+            tuple_cost = operator.tuple_cost_s(port_number)
+            port = instance.inbound[port_number]
+            eos_seen = 0
+            while eos_seen < port.expected_eos:
+                message = yield port.store.get()
+                if isinstance(message, _Eos):
+                    eos_seen += 1
+                    continue
+                yield from self._pause_point()
+                # Decode + handling on the consumer's node.
+                yield from self._instance_compute(
+                    instance,
+                    port.codec.decode_time(message.nbytes, len(message.tuples))
+                    + self.config.workflow.batch_handling_s,
+                )
+                outputs: List[Tuple] = []
+                seconds = 0.0
+                flops = 0.0
+                for row in message.tuples:
+                    outputs.extend(instance.executor.process_tuple(row, port_number))
+                    extra_s, extra_f = instance.executor.pending.take()
+                    seconds += tuple_cost + extra_s
+                    flops += extra_f
+                self.progress.record_input(
+                    operator.operator_id, len(message.tuples), now=self.env.now
+                )
+                yield from self._charge(instance, seconds, flops)
+                if outputs:
+                    yield from self._emit(instance, outputs)
+            flushed = list(instance.executor.on_finish(port_number))
+            yield from self._settle_charges(instance)
+            if flushed:
+                yield from self._emit(instance, flushed)
+
+    # -- cost settlement -----------------------------------------------------------
+
+    def _instance_compute(
+        self, instance: _Instance, duration: float, cores: int = 1
+    ) -> Generator:
+        """Charge node compute and attribute it to the instance."""
+        if duration <= 0:
+            return
+        instance.busy_s += duration * cores
+        yield from instance.node.compute(duration, cores=cores)
+
+    def _charge(self, instance: _Instance, seconds: float, flops: float) -> Generator:
+        if seconds > 0:
+            yield from self._instance_compute(instance, seconds)
+        if flops > 0:
+            wf_config = self.config.workflow
+            machine = self.config.topology.machine
+            cores = instance.operator.framework_cores
+            if cores is None:
+                cores = wf_config.torch_cores_per_operator
+            cores = min(cores, instance.node.num_cpus)
+            effective = 1.0 + (cores - 1) * wf_config.multicore_efficiency
+            duration = flops / (machine.flops_per_core_per_s * effective)
+            yield from self._instance_compute(instance, duration, cores=cores)
+
+    def _settle_charges(self, instance: _Instance) -> Generator:
+        seconds, flops = instance.executor.pending.take()
+        yield from self._charge(instance, seconds, flops)
+
+    # -- emission --------------------------------------------------------------------
+
+    def _emit(self, instance: _Instance, rows: Sequence[Tuple]) -> Generator:
+        """Send output tuples downstream, flushing full batches."""
+        self.progress.record_output(instance.operator_id, len(rows), now=self.env.now)
+        for outbound in instance.outbound:
+            for row in rows:
+                for index in outbound.append(row):
+                    yield from self._flush(instance, outbound, index)
+
+    def _flush(self, instance: _Instance, outbound: _Outbound, index: int) -> Generator:
+        rows = outbound.take_buffer(index)
+        if not rows:
+            return
+        batch = _Batch(rows)
+        outbound.observe_batch(batch)
+        # Encode + handling on the producer's node.
+        yield from self._instance_compute(
+            instance,
+            outbound.codec.encode_time(batch.nbytes, len(batch.tuples))
+            + self.config.workflow.batch_handling_s,
+        )
+        destination = outbound.consumer_nodes[index]
+        if destination.name != instance.node.name:
+            yield self.env.process(
+                self.cluster.transfer(
+                    instance.node.name, destination.name, batch.nbytes
+                )
+            )
+        yield outbound.consumer_ports[index].store.put(batch)
+
+    def _finish_outbound(self, instance: _Instance) -> Generator:
+        """Flush residual buffers and propagate EOS markers."""
+        for outbound in instance.outbound:
+            for index in outbound.pending_indices():
+                yield from self._flush(instance, outbound, index)
+            for port in outbound.consumer_ports:
+                yield port.store.put(_EOS)
+
+
+def run_workflow(
+    cluster: Cluster,
+    workflow: Workflow,
+    config: Optional[ReproConfig] = None,
+) -> WorkflowResult:
+    """Execute ``workflow`` on ``cluster``; blocks the (virtual) world.
+
+    Returns the :class:`WorkflowResult`; total virtual duration is
+    ``result.elapsed_s`` (also visible as the advance of
+    ``cluster.env.now``).
+    """
+    controller = WorkflowController(cluster, workflow, config)
+    return cluster.env.run(until=cluster.env.process(controller.execute()))

@@ -1,0 +1,90 @@
+"""Workflow inspection: the GUI's view of a DAG, as data and text.
+
+The paper's Section III-A contrasts how each paradigm *presents* a
+task: the workflow GUI shows a high-level graph of operators with
+optional per-operator detail.  This module provides that view
+programmatically:
+
+* :func:`workflow_to_spec` — a JSON-able description of the DAG
+  (operator types, languages, workers, ports, links), the exchange
+  format a GUI canvas would load;
+* :func:`render_dag` — an ASCII rendering in topological order, with
+  each operator's fan-in/fan-out shown;
+* :func:`describe_operator` — one operator's property panel.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.workflow.dag import Workflow
+from repro.workflow.operator import LogicalOperator
+
+__all__ = ["workflow_to_spec", "render_dag", "describe_operator"]
+
+
+def describe_operator(operator: LogicalOperator) -> Dict[str, Any]:
+    """The operator's property panel, as a plain dict."""
+    panel: Dict[str, Any] = {
+        "id": operator.operator_id,
+        "type": type(operator).__name__,
+        "language": operator.language.value,
+        "workers": operator.num_workers,
+        "input_ports": operator.num_input_ports,
+        "output_ports": operator.num_output_ports,
+        "blocking": operator.is_blocking,
+    }
+    if operator.framework_cores is not None:
+        panel["framework_cores"] = operator.framework_cores
+    if operator.output_batch_size is not None:
+        panel["output_batch_size"] = operator.output_batch_size
+    predicate = getattr(operator, "predicate", None)
+    if predicate is not None and hasattr(predicate, "describe"):
+        panel["predicate"] = predicate.describe()
+    columns = getattr(operator, "columns", None)
+    if columns is not None:
+        panel["columns"] = list(columns)
+    return panel
+
+
+def workflow_to_spec(workflow: Workflow) -> Dict[str, Any]:
+    """A JSON-able spec of the whole DAG (canvas exchange format)."""
+    return {
+        "name": workflow.name,
+        "operators": [
+            describe_operator(operator)
+            for operator in workflow.topological_order()
+        ],
+        "links": [
+            {
+                "from": link.producer_id,
+                "from_port": link.output_port,
+                "to": link.consumer_id,
+                "to_port": link.input_port,
+            }
+            for link in workflow.links
+        ],
+    }
+
+
+def render_dag(workflow: Workflow) -> str:
+    """ASCII rendering of the DAG in topological order.
+
+    Each line shows one operator with its configuration summary and
+    outgoing edges — the closest a terminal gets to the GUI canvas.
+    """
+    lines: List[str] = [f"workflow {workflow.name!r}"]
+    for operator in workflow.topological_order():
+        badge = []
+        if operator.language.value != "python":
+            badge.append(operator.language.value)
+        if operator.num_workers > 1:
+            badge.append(f"x{operator.num_workers}")
+        if operator.is_blocking:
+            badge.append("blocking")
+        suffix = f" [{', '.join(badge)}]" if badge else ""
+        lines.append(f"  ({operator.operator_id}){suffix}")
+        for link in workflow.out_links(operator.operator_id):
+            port = f":{link.input_port}" if link.input_port else ""
+            lines.append(f"    └─> ({link.consumer_id}{port})")
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Operator implementation languages and their runtime cost profiles.
+
+Texera operators can be implemented in multiple languages (paper
+Section III-C); the engine charges per-tuple execution costs according
+to the operator's language profile and picks serialization codecs per
+edge according to the producer/consumer language pair (Section III-D).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.config import LANGUAGE_PROFILES, LanguageProfile
+
+__all__ = ["OperatorLanguage"]
+
+
+class OperatorLanguage(enum.Enum):
+    """Languages an operator can be implemented in."""
+
+    PYTHON = "python"
+    SCALA = "scala"
+    JAVA = "java"
+
+    @property
+    def profile(self) -> LanguageProfile:
+        """The calibrated cost profile for this language."""
+        return LANGUAGE_PROFILES[self.value]
+
+    def tuple_cost(self, declared_work_s: float) -> float:
+        """Per-tuple cost: interpreter overhead + scaled declared work.
+
+        ``declared_work_s`` is the operator's per-tuple work expressed
+        at Python speed; faster languages divide it by their relative
+        speed (Table I's mechanism).
+        """
+        if declared_work_s < 0:
+            raise ValueError(f"negative declared work: {declared_work_s}")
+        profile = self.profile
+        return profile.tuple_overhead_s + declared_work_s / profile.relative_speed

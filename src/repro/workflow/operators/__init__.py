@@ -1,0 +1,54 @@
+"""The operator library (the Texera-like operator palette)."""
+
+from repro.workflow.operators.aggregate import (
+    AggregationFunction,
+    GroupByOperator,
+    SortOperator,
+    TopKOperator,
+)
+from repro.workflow.operators.basic import (
+    FilterOperator,
+    FlatMapOperator,
+    MapOperator,
+    ProjectionOperator,
+    UnionOperator,
+)
+from repro.workflow.operators.join import BUILD_PORT, PROBE_PORT, HashJoinOperator
+from repro.workflow.operators.ml import (
+    TRAIN_SUMMARY_SCHEMA,
+    ModelApplyOperator,
+    TrainOperator,
+)
+from repro.workflow.operators.sink import SinkOperator, VisualizationOperator
+from repro.workflow.operators.stream import (
+    DistinctOperator,
+    LimitOperator,
+    SampleOperator,
+)
+from repro.workflow.operators.sources import CsvSource, JsonlSource, TableSource
+
+__all__ = [
+    "AggregationFunction",
+    "GroupByOperator",
+    "SortOperator",
+    "TopKOperator",
+    "FilterOperator",
+    "FlatMapOperator",
+    "MapOperator",
+    "ProjectionOperator",
+    "UnionOperator",
+    "BUILD_PORT",
+    "PROBE_PORT",
+    "HashJoinOperator",
+    "TRAIN_SUMMARY_SCHEMA",
+    "ModelApplyOperator",
+    "TrainOperator",
+    "DistinctOperator",
+    "LimitOperator",
+    "SampleOperator",
+    "SinkOperator",
+    "VisualizationOperator",
+    "CsvSource",
+    "JsonlSource",
+    "TableSource",
+]

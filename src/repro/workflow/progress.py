@@ -1,0 +1,143 @@
+"""Operator states and tuple-count progress.
+
+The paper highlights (Section III-A) that the workflow paradigm shows
+*data* progress: each operator is colored by state and annotated with
+input/output tuple counts (Figure 9).  This module is the engine's
+equivalent — a queryable tracker the "GUI" (tests, examples, the
+experiment harness) reads.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List
+
+from repro.errors import WorkflowError
+
+__all__ = ["OperatorState", "OperatorProgress", "ProgressTracker"]
+
+
+class OperatorState(enum.Enum):
+    """Lifecycle states, matching Texera's operator coloring."""
+
+    UNINITIALIZED = "uninitialized"
+    READY = "ready"
+    RUNNING = "running"
+    PAUSED = "paused"
+    COMPLETED = "completed"
+    FAILED = "failed"
+
+
+_ALLOWED = {
+    # UNINITIALIZED -> RUNNING covers data arriving before the deploy
+    # acknowledgment lands (seen when a tracker is driven directly).
+    OperatorState.UNINITIALIZED: {
+        OperatorState.READY,
+        OperatorState.RUNNING,
+        OperatorState.FAILED,
+    },
+    OperatorState.READY: {OperatorState.RUNNING, OperatorState.COMPLETED, OperatorState.FAILED},
+    OperatorState.RUNNING: {
+        OperatorState.PAUSED,
+        OperatorState.COMPLETED,
+        OperatorState.FAILED,
+    },
+    OperatorState.PAUSED: {OperatorState.RUNNING, OperatorState.FAILED},
+    OperatorState.COMPLETED: set(),
+    OperatorState.FAILED: set(),
+}
+
+
+class OperatorProgress:
+    """Aggregated progress of one operator across its worker instances."""
+
+    def __init__(self, operator_id: str, num_workers: int) -> None:
+        self.operator_id = operator_id
+        self.num_workers = num_workers
+        self.state = OperatorState.UNINITIALIZED
+        self.input_tuples = 0
+        self.output_tuples = 0
+        self._completed_workers = 0
+        #: Virtual time the operator finished (set by the engine).
+        self.completed_at: float = float("nan")
+        #: Virtual time the operator first saw or produced data.
+        self.started_at: float = float("nan")
+
+    def transition(self, state: OperatorState) -> None:
+        if state is self.state:
+            return
+        if state not in _ALLOWED[self.state]:
+            raise WorkflowError(
+                f"operator {self.operator_id!r}: illegal state transition "
+                f"{self.state.value} -> {state.value}"
+            )
+        self.state = state
+
+    def worker_completed(self) -> None:
+        """One instance finished; operator completes when all have."""
+        self._completed_workers += 1
+        if self._completed_workers == self.num_workers:
+            self.transition(OperatorState.COMPLETED)
+
+    def describe(self) -> str:
+        """One line of the Figure 9-style display."""
+        return (
+            f"{self.operator_id}: {self.state.value} "
+            f"(in={self.input_tuples}, out={self.output_tuples})"
+        )
+
+
+class ProgressTracker:
+    """Progress of every operator in one workflow execution."""
+
+    def __init__(self) -> None:
+        self._operators: Dict[str, OperatorProgress] = {}
+
+    def register(self, operator_id: str, num_workers: int) -> OperatorProgress:
+        if operator_id in self._operators:
+            raise WorkflowError(f"operator {operator_id!r} already registered")
+        progress = OperatorProgress(operator_id, num_workers)
+        self._operators[operator_id] = progress
+        return progress
+
+    def of(self, operator_id: str) -> OperatorProgress:
+        try:
+            return self._operators[operator_id]
+        except KeyError:
+            raise WorkflowError(
+                f"operator {operator_id!r} not registered"
+            ) from None
+
+    def record_input(self, operator_id: str, count: int = 1, now: float = float("nan")) -> None:
+        progress = self.of(operator_id)
+        if progress.state in (OperatorState.READY, OperatorState.UNINITIALIZED):
+            progress.transition(OperatorState.RUNNING)
+            progress.started_at = now
+        progress.input_tuples += count
+
+    def record_output(self, operator_id: str, count: int = 1, now: float = float("nan")) -> None:
+        progress = self.of(operator_id)
+        if progress.state in (OperatorState.READY, OperatorState.UNINITIALIZED):
+            progress.transition(OperatorState.RUNNING)
+            progress.started_at = now
+        progress.output_tuples += count
+
+    def all_completed(self) -> bool:
+        return all(
+            p.state is OperatorState.COMPLETED for p in self._operators.values()
+        )
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Immutable view of the whole board."""
+        return {
+            op_id: {
+                "state": progress.state.value,
+                "input_tuples": progress.input_tuples,
+                "output_tuples": progress.output_tuples,
+            }
+            for op_id, progress in self._operators.items()
+        }
+
+    def describe(self) -> List[str]:
+        """Figure 9-style textual board, one line per operator."""
+        return [p.describe() for p in self._operators.values()]

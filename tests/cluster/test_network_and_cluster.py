@@ -1,0 +1,101 @@
+"""Unit tests for the network model and cluster topology."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.config import NetworkConfig, default_config
+from repro.errors import UnknownNode
+from repro.sim import Environment
+
+
+def test_transfer_time_formula():
+    net = NetworkConfig(latency_s=0.001, bandwidth_bytes_per_s=1e9)
+    assert net.transfer_time(1e9) == pytest.approx(1.001)
+    assert net.transfer_time(0) == pytest.approx(0.001)
+
+
+def test_transfer_time_rejects_negative():
+    with pytest.raises(ValueError):
+        NetworkConfig().transfer_time(-1)
+
+
+def test_loopback_transfer_is_free():
+    env = Environment()
+    cluster = build_cluster(env)
+
+    def proc():
+        yield env.process(cluster.transfer("worker-0", "worker-0", 10**9))
+
+    env.run(until=env.process(proc()))
+    assert env.now == 0.0
+    assert cluster.network.bytes_moved == 0
+
+
+def test_cross_node_transfer_charges_time_and_counts_bytes():
+    env = Environment()
+    cluster = build_cluster(env)
+    net = default_config().topology.network
+
+    def proc():
+        yield env.process(cluster.transfer("controller", "worker-1", 10**8))
+
+    env.run(until=env.process(proc()))
+    assert env.now == pytest.approx(net.transfer_time(10**8))
+    assert cluster.network.bytes_moved == 10**8
+    assert cluster.network.transfers == 1
+
+
+def test_topology_matches_paper():
+    env = Environment()
+    cluster = build_cluster(env)
+    assert cluster.num_workers == 4
+    assert cluster.controller.num_cpus == 8
+    assert cluster.workers[0].ram_bytes == 64 * 2**30
+    assert sorted(cluster.node_names()) == [
+        "controller",
+        "worker-0",
+        "worker-1",
+        "worker-2",
+        "worker-3",
+    ]
+
+
+def test_unknown_node_lookup_raises():
+    env = Environment()
+    cluster = build_cluster(env)
+    with pytest.raises(UnknownNode):
+        cluster.node("worker-9")
+
+
+def test_worker_round_robin_is_cyclic():
+    env = Environment()
+    cluster = build_cluster(env)
+    names = [cluster.worker_round_robin(i).name for i in range(6)]
+    assert names == [
+        "worker-0",
+        "worker-1",
+        "worker-2",
+        "worker-3",
+        "worker-0",
+        "worker-1",
+    ]
+
+
+def test_broadcast_time_scales_with_destinations():
+    env = Environment()
+    cluster = build_cluster(env)
+    one = cluster.network.broadcast_time("controller", 1, 10**6)
+    four = cluster.network.broadcast_time("controller", 4, 10**6)
+    assert four == pytest.approx(4 * one)
+
+
+def test_total_busy_seconds_aggregates_nodes():
+    env = Environment()
+    cluster = build_cluster(env)
+
+    def proc():
+        yield env.process(cluster.node("worker-0").compute(2.0, cores=2))
+        yield env.process(cluster.node("worker-1").compute(1.0, cores=1))
+
+    env.run(until=env.process(proc()))
+    assert cluster.total_busy_seconds() == pytest.approx(5.0)

@@ -1,0 +1,113 @@
+"""Unit tests for the simulated cluster node."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.errors import InsufficientResources
+from repro.sim import Environment
+
+
+def make_node(env, cpus=8, ram=64 * 2**30):
+    from repro.cluster import Node
+
+    return Node(env, "n0", MachineConfig(num_cpus=cpus, ram_bytes=ram))
+
+
+def test_compute_advances_clock():
+    env = Environment()
+    node = make_node(env)
+
+    def proc():
+        yield env.process(node.compute(3.0))
+
+    env.run(until=env.process(proc()))
+    assert env.now == 3.0
+    assert node.busy_seconds == 3.0
+
+
+def test_compute_contends_for_cores():
+    env = Environment()
+    node = make_node(env, cpus=2)
+    finished = []
+
+    def job(tag):
+        yield env.process(node.compute(10.0, cores=1))
+        finished.append((tag, env.now))
+
+    for tag in range(4):
+        env.process(job(tag))
+    env.run()
+    # 2 cores: two jobs finish at t=10, two more queue and finish at t=20.
+    assert [t for _, t in finished] == [10, 10, 20, 20]
+
+
+def test_multicore_compute_occupies_whole_node():
+    env = Environment()
+    node = make_node(env, cpus=4)
+    finished = []
+
+    def big():
+        yield env.process(node.compute(5.0, cores=4))
+        finished.append(("big", env.now))
+
+    def small():
+        yield env.process(node.compute(1.0, cores=1))
+        finished.append(("small", env.now))
+
+    env.process(big())
+    env.process(small())
+    env.run()
+    assert finished == [("big", 5.0), ("small", 6.0)]
+
+
+def test_compute_rejects_more_cores_than_node_has():
+    env = Environment()
+    node = make_node(env, cpus=2)
+    with pytest.raises(InsufficientResources):
+        env.run(until=env.process(node.compute(1.0, cores=3)))
+
+
+def test_compute_rejects_negative_duration():
+    env = Environment()
+    node = make_node(env)
+    with pytest.raises(ValueError):
+        env.run(until=env.process(node.compute(-1.0)))
+
+
+def test_ram_accounting_and_peak():
+    env = Environment()
+    node = make_node(env, ram=1000)
+    node.allocate_ram(600)
+    node.allocate_ram(300)
+    assert node.ram_used == 900
+    assert node.ram_free == 100
+    node.free_ram(500)
+    assert node.ram_used == 400
+    assert node.ram_peak == 900
+
+
+def test_ram_overallocation_raises():
+    env = Environment()
+    node = make_node(env, ram=100)
+    node.allocate_ram(90)
+    with pytest.raises(InsufficientResources):
+        node.allocate_ram(11)
+
+
+def test_ram_overfree_raises():
+    env = Environment()
+    node = make_node(env, ram=100)
+    node.allocate_ram(10)
+    with pytest.raises(ValueError):
+        node.free_ram(11)
+
+
+def test_busy_seconds_counts_core_seconds():
+    env = Environment()
+    node = make_node(env, cpus=8)
+
+    def proc():
+        yield env.process(node.compute(2.0, cores=4))
+
+    env.run(until=env.process(proc()))
+    assert node.busy_seconds == 8.0

@@ -1,0 +1,90 @@
+"""Round-trip tests for on-disk corpus persistence."""
+
+import pytest
+
+from repro.datasets import (
+    generate_catalog,
+    generate_fsqa,
+    generate_maccrobat,
+    generate_wildfire_tweets,
+    load_catalog,
+    load_fsqa,
+    load_maccrobat,
+    load_tweets,
+    save_catalog,
+    save_fsqa,
+    save_maccrobat,
+    save_tweets,
+)
+from repro.errors import StorageError
+
+
+def test_maccrobat_roundtrip(tmp_path):
+    reports = generate_maccrobat(num_docs=6, seed=7)
+    assert save_maccrobat(tmp_path, reports) == 6
+    loaded = load_maccrobat(tmp_path)
+    assert [r.doc_id for r in loaded] == [r.doc_id for r in reports]
+    for original, again in zip(reports, loaded):
+        assert again.text == original.text
+        assert again.annotations.entities == original.annotations.entities
+        assert again.annotations.events == original.annotations.events
+
+
+def test_maccrobat_file_layout(tmp_path):
+    save_maccrobat(tmp_path, generate_maccrobat(num_docs=2, seed=7))
+    assert (tmp_path / "case-0000.txt").exists()
+    assert (tmp_path / "case-0000.ann").exists()
+
+
+def test_maccrobat_missing_ann_rejected(tmp_path):
+    save_maccrobat(tmp_path, generate_maccrobat(num_docs=2, seed=7))
+    (tmp_path / "case-0001.ann").unlink()
+    with pytest.raises(StorageError, match="missing annotation"):
+        load_maccrobat(tmp_path)
+
+
+def test_maccrobat_empty_dir_rejected(tmp_path):
+    with pytest.raises(StorageError, match="no .txt"):
+        load_maccrobat(tmp_path)
+
+
+def test_loaded_maccrobat_runs_through_dice(tmp_path):
+    """Disk-loaded corpora drive the task exactly like generated ones."""
+    from repro.tasks import fresh_cluster
+    from repro.tasks.dice import reference_dice, run_dice_workflow
+
+    reports = generate_maccrobat(num_docs=4, seed=7)
+    save_maccrobat(tmp_path, reports)
+    loaded = load_maccrobat(tmp_path)
+    run = run_dice_workflow(fresh_cluster(), loaded)
+    expected = sorted(map(repr, reference_dice(reports)))
+    assert sorted(map(repr, run.output)) == expected
+
+
+def test_tweets_roundtrip(tmp_path):
+    tweets = generate_wildfire_tweets(25, seed=11)
+    path = tmp_path / "tweets.jsonl"
+    assert save_tweets(path, tweets) == 25
+    assert load_tweets(path) == tweets
+
+
+def test_tweets_bad_labels_rejected(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"tweet_id": "t", "text": "x", "labels": [1]}\n')
+    with pytest.raises(StorageError, match="labels"):
+        load_tweets(path)
+
+
+def test_fsqa_roundtrip(tmp_path):
+    paragraphs = generate_fsqa(num_paragraphs=3, seed=17)
+    path = tmp_path / "fsqa.jsonl"
+    assert save_fsqa(path, paragraphs) == 3
+    loaded = load_fsqa(path)
+    assert loaded == paragraphs
+
+
+def test_catalog_roundtrip(tmp_path):
+    products = generate_catalog(40, seed=23)
+    path = tmp_path / "catalog.csv"
+    assert save_catalog(path, products) == 40
+    assert load_catalog(path) == products

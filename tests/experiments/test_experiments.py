@@ -1,0 +1,113 @@
+"""Tests for the experiment harness at reduced scales.
+
+Full paper-scale reproductions (and their qualitative-shape
+assertions) live in benchmarks/; these tests exercise the harness
+plumbing and the mechanisms at sizes that run in seconds.
+"""
+
+import pytest
+
+from repro.experiments.exp_language import run_table1
+from repro.experiments.exp_modularity import run_fig12a, run_fig12b
+from repro.experiments.exp_scaling import (
+    run_fig13a,
+    run_fig13b,
+    run_fig13c,
+    run_fig13d,
+)
+from repro.experiments.exp_workers import run_fig14a, run_fig14b
+from repro.experiments.harness import cached_kge_dataset
+from repro.experiments.paper_values import (
+    FIG12A_LOC,
+    FIG13_SCALING,
+    FIG14_WORKERS,
+    TABLE1_LANGUAGE,
+)
+
+
+def test_paper_values_are_complete():
+    assert set(FIG12A_LOC) == {"dice", "wef", "gotta", "kge"}
+    assert set(FIG13_SCALING) == {"dice", "wef", "gotta", "kge"}
+    assert set(FIG14_WORKERS) == {"dice", "gotta", "kge"}  # WEF excluded
+    for size, entry in TABLE1_LANGUAGE.items():
+        assert set(entry) == {"scala", "python"}
+
+
+def test_cached_kge_dataset_is_shared():
+    a = cached_kge_dataset(500, 2000)
+    b = cached_kge_dataset(500, 2000)
+    assert a is b
+
+
+def test_fig12a_reports_all_tasks():
+    report = run_fig12a()
+    assert len(report.rows) == 8
+    assert {row.series for row in report.rows} == {"script", "workflow"}
+    assert all(row.unit == "loc" for row in report.rows)
+    assert all(row.paper is not None for row in report.rows)
+
+
+def test_fig12b_reduced_scale():
+    report = run_fig12b(num_candidates=800, universe_size=2000)
+    times = {row.x: row.measured for row in report.series("workflow")}
+    assert set(times) == {1, 2, 3, 4, 5, 6}
+    assert times[5] < times[1]
+    reference = report.series("script (reference)")
+    assert len(reference) == 1
+
+
+def test_table1_reduced_scale():
+    report = run_table1(sizes=(400, 2000), universe_size=2000)
+    scala = {row.x: row.measured for row in report.series("scala-operators")}
+    python = {row.x: row.measured for row in report.series("python-operators")}
+    small_gain = (python[400] - scala[400]) / scala[400]
+    large_gain = (python[2000] - scala[2000]) / scala[2000]
+    assert large_gain < small_gain  # the vanishing advantage
+
+
+def test_fig13a_reduced_scale():
+    report = run_fig13a(sizes=(10, 30))
+    script = {row.x: row.measured for row in report.series("script")}
+    workflow = {row.x: row.measured for row in report.series("workflow")}
+    assert workflow[30] < script[30]
+
+
+def test_fig13b_reduced_scale():
+    report = run_fig13b(sizes=(30, 60))
+    script = {row.x: row.measured for row in report.series("script")}
+    workflow = {row.x: row.measured for row in report.series("workflow")}
+    for size in (30, 60):
+        assert abs(script[size] - workflow[size]) / script[size] < 0.1
+
+
+def test_fig13c_reduced_scale():
+    report = run_fig13c(sizes=(2000,), universe_size=2000)
+    (script,) = report.measured_series("script")
+    (workflow,) = report.measured_series("workflow")
+    assert script < workflow
+
+
+def test_fig13d_reduced_scale():
+    report = run_fig13d(sizes=(1, 2))
+    script = {row.x: row.measured for row in report.series("script")}
+    workflow = {row.x: row.measured for row in report.series("workflow")}
+    assert workflow[2] < script[2]
+
+
+def test_fig14a_reduced_scale():
+    report = run_fig14a(workers=(1, 4), num_docs=20)
+    script = {row.x: row.measured for row in report.series("script")}
+    assert script[4] < script[1]
+
+
+def test_fig14b_reduced_scale():
+    report = run_fig14b(workers=(1, 2), num_paragraphs=2)
+    workflow = {row.x: row.measured for row in report.series("workflow")}
+    assert workflow[2] < workflow[1]
+
+
+def test_reports_carry_paper_values_at_paper_scales():
+    report = run_fig13a(sizes=(10,))
+    for row in report.rows:
+        assert row.paper is not None
+        assert row.relative_error is not None

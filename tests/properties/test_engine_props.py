@@ -1,0 +1,143 @@
+"""Property-based tests for the workflow engine.
+
+Random operator chains over random tables must compute exactly what a
+direct evaluation computes — regardless of worker counts, batch sizes
+or operator languages (those change only the virtual timing).
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import build_cluster
+from repro.config import default_config
+from repro.relational import FieldType, Schema, Table, udf_predicate
+from repro.sim import Environment
+from repro.workflow import OperatorLanguage, Workflow, run_workflow
+from repro.workflow.operators import (
+    FilterOperator,
+    MapOperator,
+    ProjectionOperator,
+    SinkOperator,
+    TableSource,
+)
+
+SCHEMA = Schema.of(a=FieldType.INT, b=FieldType.INT)
+
+tables = st.lists(
+    st.tuples(st.integers(-50, 50), st.integers(-50, 50)), max_size=60
+).map(lambda rows: Table.from_rows(SCHEMA, [list(r) for r in rows]))
+
+
+# A stage is (kind, parameter); applied identically by the workflow and
+# by direct evaluation.
+stages = st.lists(
+    st.one_of(
+        st.tuples(st.just("filter_mod"), st.integers(2, 5)),
+        st.tuples(st.just("add"), st.integers(-10, 10)),
+        st.tuples(st.just("swap"), st.just(0)),
+    ),
+    max_size=4,
+)
+
+
+def build_stage_operator(index, kind, parameter, num_workers, language):
+    op_id = f"stage-{index}-{kind}"
+    if kind == "filter_mod":
+        return FilterOperator(
+            op_id,
+            udf_predicate(lambda row, m=parameter: row["a"] % m == 0, "mod"),
+            num_workers=num_workers,
+            language=language,
+        )
+    if kind == "add":
+        return MapOperator(
+            op_id,
+            SCHEMA,
+            lambda row, d=parameter: [row["a"] + d, row["b"]],
+            num_workers=num_workers,
+            language=language,
+        )
+    return MapOperator(
+        op_id,
+        SCHEMA,
+        lambda row: [row["b"], row["a"]],
+        num_workers=num_workers,
+        language=language,
+    )
+
+
+def direct_eval(table, stage_list):
+    rows = [tuple(row.values) for row in table]
+    for kind, parameter in stage_list:
+        if kind == "filter_mod":
+            rows = [r for r in rows if r[0] % parameter == 0]
+        elif kind == "add":
+            rows = [(r[0] + parameter, r[1]) for r in rows]
+        else:
+            rows = [(r[1], r[0]) for r in rows]
+    return sorted(rows)
+
+
+@given(
+    tables,
+    stages,
+    st.integers(min_value=1, max_value=4),
+    st.sampled_from([OperatorLanguage.PYTHON, OperatorLanguage.SCALA]),
+    st.sampled_from([2, 64, 512]),
+)
+@settings(max_examples=40, deadline=None)
+def test_random_chain_matches_direct_eval(
+    table, stage_list, num_workers, language, batch_size
+):
+    wf = Workflow("random-chain")
+    source = wf.add_operator(TableSource("src", table))
+    previous = source
+    for index, (kind, parameter) in enumerate(stage_list):
+        operator = wf.add_operator(
+            build_stage_operator(index, kind, parameter, num_workers, language)
+        )
+        wf.link(previous, operator)
+        previous = operator
+    sink = wf.add_operator(SinkOperator("sink"))
+    wf.link(previous, sink)
+
+    config = default_config()
+    workflow_config = dataclasses.replace(
+        config.workflow, default_batch_size=batch_size
+    )
+    config = dataclasses.replace(config, workflow=workflow_config)
+    result = run_workflow(build_cluster(Environment(), config), wf)
+
+    got = sorted(tuple(row.values) for row in result.table())
+    assert got == direct_eval(table, stage_list)
+    assert result.progress.all_completed()
+
+
+@given(tables, st.integers(min_value=1, max_value=4))
+@settings(max_examples=30, deadline=None)
+def test_projection_under_parallelism(table, num_workers):
+    wf = Workflow("proj")
+    source = wf.add_operator(TableSource("src", table, num_workers=num_workers))
+    proj = wf.add_operator(
+        ProjectionOperator("proj", ["b"], num_workers=num_workers)
+    )
+    sink = wf.add_operator(SinkOperator("sink"))
+    wf.link(source, proj)
+    wf.link(proj, sink)
+    result = run_workflow(build_cluster(Environment()), wf)
+    assert sorted(result.table().column("b")) == sorted(table.column("b"))
+
+
+@given(tables)
+@settings(max_examples=20, deadline=None)
+def test_timing_is_reproducible(table):
+    def run_once():
+        wf = Workflow("repeat")
+        source = wf.add_operator(TableSource("src", table))
+        sink = wf.add_operator(SinkOperator("sink"))
+        wf.link(source, sink)
+        return run_workflow(build_cluster(Environment()), wf).elapsed_s
+
+    assert run_once() == run_once()

@@ -1,0 +1,131 @@
+"""Property-based tests for ML components, partitioning and metrics."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import default_config
+from repro.ml import HashingTokenizer, accuracy, f1_score, precision, recall
+from repro.relational import FieldType, Schema, Tuple
+from repro.workflow import BroadcastPartitioner, HashPartitioner, RoundRobinPartitioner
+from repro.workflow.partitioning import stable_hash
+
+MODELS = default_config().models
+
+# -- tokenizer --------------------------------------------------------------------
+
+texts = st.text(alphabet=string.printable, max_size=200)
+
+
+@given(texts)
+def test_tokenizer_ids_within_vocab(text):
+    tokenizer = HashingTokenizer(vocab_size=512)
+    ids = tokenizer.tokenize(text)
+    assert all(0 <= i < 512 for i in ids)
+    assert len(ids) == tokenizer.num_tokens(text)
+
+
+@given(texts)
+def test_tokenizer_case_insensitive(text):
+    tokenizer = HashingTokenizer()
+    assert tokenizer.tokenize(text) == tokenizer.tokenize(text.upper())
+
+
+@given(st.text(alphabet=string.ascii_lowercase + " ", max_size=100))
+def test_tokenizer_concatenation(text):
+    tokenizer = HashingTokenizer()
+    combined = tokenizer.tokenize(text + " " + text)
+    single = tokenizer.tokenize(text)
+    assert combined == single + single
+
+
+# -- stable hashing / partitioning ----------------------------------------------------
+
+values = st.one_of(st.integers(), st.text(max_size=30), st.none(), st.booleans())
+
+
+@given(values)
+def test_stable_hash_deterministic_and_nonnegative(value):
+    assert stable_hash(value) == stable_hash(value)
+    assert stable_hash(value) >= 0
+
+
+SCHEMA = Schema.of(k=FieldType.ANY)
+
+
+@given(st.lists(values, min_size=1, max_size=40), st.integers(min_value=1, max_value=6))
+def test_hash_partitioner_routes_equal_keys_together(keys, consumers):
+    partitioner = HashPartitioner(consumers, "k")
+    destinations = {}
+    for key in keys:
+        row = Tuple(SCHEMA, [key])
+        (dest,) = partitioner.route(row)
+        assert 0 <= dest < consumers
+        if repr(key) in destinations:
+            assert destinations[repr(key)] == dest
+        destinations[repr(key)] = dest
+
+
+@given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=50))
+def test_round_robin_balances(consumers, count):
+    partitioner = RoundRobinPartitioner(consumers)
+    tally = [0] * consumers
+    for i in range(count):
+        (dest,) = partitioner.route(Tuple(SCHEMA, [i]))
+        tally[dest] += 1
+    assert max(tally) - min(tally) <= 1
+    assert sum(tally) == count
+
+
+@given(st.integers(min_value=1, max_value=6))
+def test_broadcast_reaches_everyone(consumers):
+    partitioner = BroadcastPartitioner(consumers)
+    assert partitioner.route(Tuple(SCHEMA, [1])) == list(range(consumers))
+
+
+# -- metrics -----------------------------------------------------------------------------
+
+label_lists = st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=60)
+
+
+@given(label_lists, label_lists)
+@settings(max_examples=80)
+def test_metrics_bounded(truth, predictions):
+    n = min(len(truth), len(predictions))
+    truth, predictions = truth[:n], predictions[:n]
+    if not truth:
+        return
+    for metric in (accuracy, precision, recall, f1_score):
+        value = metric(truth, predictions)
+        assert 0.0 <= value <= 1.0
+
+
+@given(label_lists)
+def test_perfect_predictions_score_one(truth):
+    assert accuracy(truth, truth) == 1.0
+    if any(truth):
+        assert precision(truth, truth) == 1.0
+        assert recall(truth, truth) == 1.0
+        assert f1_score(truth, truth) == 1.0
+
+
+@given(label_lists)
+def test_f1_between_precision_and_recall_extremes(truth):
+    predictions = [1 - label for label in truth]  # everything wrong
+    assert accuracy(truth, predictions) == 0.0
+    assert f1_score(truth, predictions) == 0.0
+
+
+# -- model cost monotonicity ----------------------------------------------------------------
+
+
+@given(st.text(alphabet=string.ascii_lowercase + " ", min_size=1, max_size=60))
+def test_bert_flops_monotonic_in_text(text):
+    from repro.ml import SimBertClassifier
+
+    model = SimBertClassifier("m", MODELS)
+    base = model.forward_flops(text)
+    extended = model.forward_flops(text + " extra words here")
+    assert extended >= base
+    assert model.train_step_flops(text) > base

@@ -1,0 +1,131 @@
+"""Property-based tests for the simulation kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment, Resource, Store
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False), min_size=1, max_size=25
+)
+
+
+@given(delays)
+def test_events_fire_in_nondecreasing_time_order(delay_list):
+    env = Environment()
+    fired = []
+
+    def proc(env, delay):
+        yield env.timeout(delay)
+        fired.append(env.now)
+
+    for delay in delay_list:
+        env.process(proc(env, delay))
+    env.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delay_list)
+    assert env.now == max(delay_list)
+
+
+@given(delays, st.integers(min_value=1, max_value=8))
+@settings(max_examples=50)
+def test_resource_never_exceeds_capacity(durations, capacity):
+    env = Environment()
+    resource = Resource(env, capacity)
+    max_seen = [0]
+
+    def worker(env, hold):
+        yield resource.request()
+        max_seen[0] = max(max_seen[0], resource.in_use)
+        assert resource.in_use <= capacity
+        yield env.timeout(hold)
+        resource.release()
+
+    for hold in durations:
+        env.process(worker(env, hold))
+    env.run()
+    assert resource.in_use == 0
+    assert max_seen[0] <= capacity
+
+
+@given(delays, st.integers(min_value=1, max_value=8))
+@settings(max_examples=50)
+def test_resource_serial_time_lower_bound(durations, capacity):
+    """Makespan >= total work / capacity (no time is invented)."""
+    env = Environment()
+    resource = Resource(env, capacity)
+
+    def worker(env, hold):
+        yield resource.request()
+        yield env.timeout(hold)
+        resource.release()
+
+    for hold in durations:
+        env.process(worker(env, hold))
+    env.run()
+    assert env.now >= sum(durations) / capacity - 1e-9
+    assert env.now >= max(durations) - 1e-9
+
+
+@given(st.lists(st.integers(), min_size=1, max_size=50))
+def test_store_preserves_fifo_order(items):
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def producer(env):
+        for item in items:
+            yield store.put(item)
+
+    def consumer(env):
+        for _ in items:
+            value = yield store.get()
+            received.append(value)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert received == items
+
+
+@given(
+    st.lists(st.integers(), min_size=1, max_size=30),
+    st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=50)
+def test_bounded_store_never_overflows(items, capacity):
+    env = Environment()
+    store = Store(env, capacity=capacity)
+    peak = [0]
+
+    def producer(env):
+        for item in items:
+            yield store.put(item)
+            peak[0] = max(peak[0], len(store))
+
+    def consumer(env):
+        for _ in items:
+            yield env.timeout(1.0)
+            yield store.get()
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert peak[0] <= capacity
+
+
+@given(delays)
+def test_all_of_waits_for_slowest(delay_list):
+    env = Environment()
+
+    def child(env, delay):
+        yield env.timeout(delay)
+        return delay
+
+    def parent(env):
+        procs = [env.process(child(env, d)) for d in delay_list]
+        yield env.all_of(procs)
+        return env.now
+
+    finish = env.run(until=env.process(parent(env)))
+    assert finish == max(delay_list)

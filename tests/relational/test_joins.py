@@ -1,0 +1,107 @@
+"""Unit tests for hash_join and StreamingHashJoin."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import (
+    FieldType,
+    Schema,
+    StreamingHashJoin,
+    Table,
+    Tuple,
+    hash_join,
+)
+
+LEFT = Schema.of(id=FieldType.INT, text=FieldType.STRING)
+RIGHT = Schema.of(ref=FieldType.INT, tag=FieldType.STRING)
+RIGHT_COLLIDE = Schema.of(id=FieldType.INT, tag=FieldType.STRING)
+
+
+def left_table():
+    return Table.from_rows(LEFT, [[1, "one"], [2, "two"], [3, "three"]])
+
+
+def right_table():
+    return Table.from_rows(RIGHT, [[1, "a"], [1, "b"], [3, "c"], [9, "z"]])
+
+
+def test_inner_join_matches_pairs():
+    out = hash_join(left_table(), right_table(), "id", "ref")
+    assert out.schema.names == ["id", "text", "ref", "tag"]
+    assert [(r["id"], r["tag"]) for r in out] == [(1, "a"), (1, "b"), (3, "c")]
+
+
+def test_left_join_nulls_unmatched():
+    out = hash_join(left_table(), right_table(), "id", "ref", how="left")
+    rows = {(r["id"], r["tag"]) for r in out}
+    assert (2, None) in rows
+    assert len(out) == 4
+
+
+def test_left_semi_and_anti():
+    semi = hash_join(left_table(), right_table(), "id", "ref", how="left_semi")
+    anti = hash_join(left_table(), right_table(), "id", "ref", how="left_anti")
+    assert semi.column("id") == [1, 3]
+    assert anti.column("id") == [2]
+    assert semi.schema == LEFT  # semi/anti keep the left schema
+
+
+def test_join_name_collision_suffixed():
+    right = Table.from_rows(RIGHT_COLLIDE, [[1, "a"]])
+    out = hash_join(left_table(), right, "id", "id")
+    assert out.schema.names == ["id", "text", "id_right", "tag"]
+
+
+def test_join_unknown_how_rejected():
+    with pytest.raises(ValueError):
+        hash_join(left_table(), right_table(), "id", "ref", how="outer")
+
+
+def test_join_unknown_key_rejected():
+    from repro.errors import FieldNotFound
+
+    with pytest.raises(FieldNotFound):
+        hash_join(left_table(), right_table(), "nope", "ref")
+
+
+def test_empty_inputs():
+    empty = Table(RIGHT)
+    out = hash_join(left_table(), empty, "id", "ref")
+    assert out.is_empty()
+    out_left = hash_join(left_table(), empty, "id", "ref", how="left")
+    assert len(out_left) == 3
+
+
+def test_streaming_join_equals_batch_join():
+    join = StreamingHashJoin(RIGHT, LEFT, "ref", "id")
+    for row in right_table():
+        join.add_build_tuple(row)
+    join.finish_build()
+    streamed = [out for row in left_table() for out in join.probe(row)]
+
+    batch = hash_join(left_table(), right_table(), "id", "ref")
+    assert [tuple(r.values) for r in streamed] == [tuple(r.values) for r in batch]
+
+
+def test_streaming_join_left_emits_null_padded():
+    join = StreamingHashJoin(RIGHT, LEFT, "ref", "id", how="left")
+    join.finish_build()  # empty build side
+    outs = list(join.probe(left_table()[0]))
+    assert len(outs) == 1
+    assert outs[0]["tag"] is None
+
+
+def test_streaming_join_enforces_phases():
+    join = StreamingHashJoin(RIGHT, LEFT, "ref", "id")
+    with pytest.raises(SchemaError):
+        list(join.probe(left_table()[0]))
+    join.finish_build()
+    with pytest.raises(SchemaError):
+        join.add_build_tuple(right_table()[0])
+
+
+def test_streaming_join_build_size():
+    join = StreamingHashJoin(RIGHT, LEFT, "ref", "id")
+    for row in right_table():
+        join.add_build_tuple(row)
+    assert join.build_size == 4

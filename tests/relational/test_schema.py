@@ -1,0 +1,98 @@
+"""Unit tests for Schema/Field/FieldType."""
+
+import pytest
+
+from repro.errors import DuplicateField, FieldNotFound, TypeMismatch
+from repro.relational import Field, FieldType, Schema
+
+
+def test_field_type_acceptance():
+    assert FieldType.INT.accepts(5)
+    assert not FieldType.INT.accepts(True)  # bools are not ints here
+    assert not FieldType.INT.accepts(5.0)
+    assert FieldType.FLOAT.accepts(5)  # ints widen to float
+    assert FieldType.FLOAT.accepts(5.5)
+    assert not FieldType.FLOAT.accepts("5")
+    assert FieldType.STRING.accepts("x")
+    assert not FieldType.STRING.accepts(5)
+    assert FieldType.BOOL.accepts(True)
+    assert not FieldType.BOOL.accepts(1)
+    assert FieldType.ANY.accepts(object())
+
+
+def test_all_types_accept_none():
+    for ftype in FieldType:
+        assert ftype.accepts(None)
+
+
+def test_field_validation():
+    with pytest.raises(ValueError):
+        Field("")
+    with pytest.raises(TypeError):
+        Field("x", "int")
+
+
+def test_schema_of_and_names():
+    schema = Schema.of(id=FieldType.INT, text=FieldType.STRING)
+    assert schema.names == ["id", "text"]
+    assert len(schema) == 2
+    assert "id" in schema
+    assert "missing" not in schema
+
+
+def test_untyped_schema():
+    schema = Schema.untyped("a", "b")
+    assert all(f.ftype is FieldType.ANY for f in schema.fields)
+
+
+def test_duplicate_field_rejected():
+    with pytest.raises(DuplicateField):
+        Schema([Field("x"), Field("x")])
+
+
+def test_index_of_and_field():
+    schema = Schema.of(a=FieldType.INT, b=FieldType.STRING)
+    assert schema.index_of("b") == 1
+    assert schema.field("a").ftype is FieldType.INT
+    with pytest.raises(FieldNotFound):
+        schema.index_of("z")
+
+
+def test_project_preserves_order_given():
+    schema = Schema.untyped("a", "b", "c")
+    assert schema.project(["c", "a"]).names == ["c", "a"]
+
+
+def test_concat_suffixes_collisions():
+    left = Schema.of(id=FieldType.INT, text=FieldType.STRING)
+    right = Schema.of(id=FieldType.INT, score=FieldType.FLOAT)
+    joined = left.concat(right)
+    assert joined.names == ["id", "text", "id_right", "score"]
+
+
+def test_with_field_and_without():
+    schema = Schema.untyped("a", "b")
+    extended = schema.with_field(Field("c", FieldType.FLOAT))
+    assert extended.names == ["a", "b", "c"]
+    assert extended.without("b").names == ["a", "c"]
+    with pytest.raises(FieldNotFound):
+        extended.without("zz")
+
+
+def test_validate_arity_and_types():
+    schema = Schema.of(id=FieldType.INT, name=FieldType.STRING)
+    schema.validate([1, "ok"])
+    schema.validate([None, None])  # nullable
+    with pytest.raises(TypeMismatch):
+        schema.validate([1])
+    with pytest.raises(TypeMismatch):
+        schema.validate(["not-int", "ok"])
+
+
+def test_schema_equality_and_hash():
+    a = Schema.of(x=FieldType.INT)
+    b = Schema.of(x=FieldType.INT)
+    c = Schema.of(x=FieldType.FLOAT)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != c

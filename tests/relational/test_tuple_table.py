@@ -1,0 +1,133 @@
+"""Unit tests for Tuple and Table."""
+
+import pytest
+
+from repro.errors import SchemaError, TypeMismatch
+from repro.relational import FieldType, Schema, Table, Tuple, column_greater
+
+SCHEMA = Schema.of(id=FieldType.INT, name=FieldType.STRING, score=FieldType.FLOAT)
+
+
+def row(i, name, score):
+    return Tuple(SCHEMA, [i, name, score])
+
+
+def test_tuple_access_by_name_and_index():
+    t = row(1, "a", 0.5)
+    assert t["id"] == 1
+    assert t[1] == "a"
+    assert t.get("score") == 0.5
+    assert t.get("missing", "dflt") == "dflt"
+
+
+def test_tuple_immutable():
+    t = row(1, "a", 0.5)
+    with pytest.raises(AttributeError):
+        t.values = (2,)
+
+
+def test_tuple_schema_validation():
+    with pytest.raises(TypeMismatch):
+        Tuple(SCHEMA, ["not-int", "a", 0.5])
+
+
+def test_tuple_from_dict_fills_missing_with_none():
+    t = Tuple.from_dict(SCHEMA, {"id": 3})
+    assert t["name"] is None
+
+
+def test_tuple_project_and_with_value():
+    t = row(1, "a", 0.5)
+    p = t.project(["name", "id"])
+    assert p.as_dict() == {"name": "a", "id": 1}
+    assert t.with_value("score", 0.9)["score"] == 0.9
+
+
+def test_tuple_concat_suffixes():
+    other = Tuple(Schema.of(id=FieldType.INT), [7])
+    merged = row(1, "a", 0.5).concat(other)
+    assert merged["id_right"] == 7
+
+
+def test_tuple_equality_and_hash():
+    assert row(1, "a", 0.5) == row(1, "a", 0.5)
+    assert hash(row(1, "a", 0.5)) == hash(row(1, "a", 0.5))
+    assert row(1, "a", 0.5) != row(2, "a", 0.5)
+
+
+def test_tuple_payload_bytes_positive():
+    assert row(1, "abc", 0.5).payload_bytes() > 0
+
+
+def make_table():
+    return Table.from_rows(
+        SCHEMA,
+        [[1, "a", 0.9], [2, "b", 0.1], [3, "a", 0.5], [4, "c", 0.7]],
+    )
+
+
+def test_table_rejects_foreign_schema_rows():
+    other = Tuple(Schema.of(x=FieldType.INT), [1])
+    with pytest.raises(SchemaError):
+        Table(SCHEMA, [other])
+
+
+def test_table_filter_with_predicate():
+    table = make_table().filter(column_greater("score", 0.4))
+    assert table.column("id") == [1, 3, 4]
+
+
+def test_table_project():
+    table = make_table().project(["name"])
+    assert table.schema.names == ["name"]
+    assert table.column("name") == ["a", "b", "a", "c"]
+
+
+def test_table_with_column():
+    table = make_table().with_column("double", lambda r: r["score"] * 2)
+    assert table.column("double") == pytest.approx([1.8, 0.2, 1.0, 1.4])
+
+
+def test_table_sort_by_and_limit():
+    table = make_table().sort_by("score", reverse=True).limit(2)
+    assert table.column("id") == [1, 4]
+
+
+def test_table_group_by():
+    groups = make_table().group_by("name")
+    assert sorted(groups) == ["a", "b", "c"]
+    assert len(groups["a"]) == 2
+
+
+def test_table_concat_rows_schema_checked():
+    t = make_table()
+    assert len(t.concat_rows(t)) == 8
+    with pytest.raises(SchemaError):
+        t.concat_rows(Table(Schema.of(x=FieldType.INT)))
+
+
+def test_table_distinct_keeps_first():
+    table = Table.from_rows(SCHEMA, [[1, "a", 0.5], [1, "a", 0.5], [2, "b", 0.1]])
+    assert len(table.distinct()) == 2
+
+
+def test_table_from_dicts_and_to_dicts_roundtrip():
+    records = [{"id": 1, "name": "x", "score": 0.3}]
+    table = Table.from_dicts(SCHEMA, records)
+    assert table.to_dicts() == records
+
+
+def test_table_map_rows_changes_schema():
+    out_schema = Schema.of(label=FieldType.STRING)
+    table = make_table().map_rows(out_schema, lambda r: [r["name"].upper()])
+    assert table.column("label") == ["A", "B", "A", "C"]
+
+
+def test_table_limit_rejects_negative():
+    with pytest.raises(ValueError):
+        make_table().limit(-1)
+
+
+def test_table_head_and_is_empty():
+    assert len(make_table().head(2)) == 2
+    assert Table(SCHEMA).is_empty()

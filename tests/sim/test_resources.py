@@ -1,0 +1,207 @@
+"""Unit tests for Resource and Store (repro.sim.resources)."""
+
+import pytest
+
+from repro.sim import Environment, Resource, Store, drain
+
+
+def test_resource_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_grants_up_to_capacity_without_waiting():
+    env = Environment()
+    cpus = Resource(env, capacity=2)
+    held = []
+
+    def proc(env, tag):
+        yield cpus.request()
+        held.append((tag, env.now))
+        yield env.timeout(5)
+        cpus.release()
+
+    for tag in ("a", "b", "c"):
+        env.process(proc(env, tag))
+    env.run()
+    # a and b start immediately; c waits for a release at t=5.
+    assert held == [("a", 0), ("b", 0), ("c", 5)]
+
+
+def test_resource_fifo_ordering():
+    env = Environment()
+    cpus = Resource(env, capacity=1)
+    order = []
+
+    def proc(env, tag, hold):
+        yield cpus.request()
+        order.append(tag)
+        yield env.timeout(hold)
+        cpus.release()
+
+    for tag in ("first", "second", "third"):
+        env.process(proc(env, tag, 1))
+    env.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_large_request_blocks_smaller_behind_it():
+    """FIFO fairness: a big request at the head is not starved."""
+    env = Environment()
+    cpus = Resource(env, capacity=4)
+    order = []
+
+    def proc(env, tag, amount, hold):
+        yield cpus.request(amount)
+        order.append((tag, env.now))
+        yield env.timeout(hold)
+        cpus.release(amount)
+
+    env.process(proc(env, "small0", 2, 10))
+    env.process(proc(env, "big", 4, 5))
+    env.process(proc(env, "small1", 1, 1))
+    env.run()
+    # small1 must NOT jump ahead of big even though 2 cores are free.
+    assert order == [("small0", 0), ("big", 10), ("small1", 15)]
+
+
+def test_request_exceeding_capacity_rejected():
+    env = Environment()
+    cpus = Resource(env, capacity=2)
+    with pytest.raises(ValueError):
+        cpus.request(3)
+
+
+def test_over_release_rejected():
+    env = Environment()
+    cpus = Resource(env, capacity=2)
+    with pytest.raises(ValueError):
+        cpus.release(1)
+
+
+def test_available_tracks_usage():
+    env = Environment()
+    cpus = Resource(env, capacity=3)
+
+    def proc(env):
+        yield cpus.request(2)
+        assert cpus.available == 1
+        cpus.release(2)
+        assert cpus.available == 3
+
+    env.run(until=env.process(proc(env)))
+
+
+def test_store_put_then_get():
+    env = Environment()
+    store = Store(env)
+
+    def producer(env):
+        for i in range(3):
+            yield env.timeout(1)
+            yield store.put(i)
+
+    def consumer(env):
+        got = []
+        for _ in range(3):
+            item = yield store.get()
+            got.append((item, env.now))
+        return got
+
+    env.process(producer(env))
+    got = env.run(until=env.process(consumer(env)))
+    assert got == [(0, 1), (1, 2), (2, 3)]
+
+
+def test_store_get_blocks_until_item_available():
+    env = Environment()
+    store = Store(env)
+
+    def consumer(env):
+        item = yield store.get()
+        return (item, env.now)
+
+    def producer(env):
+        yield env.timeout(8)
+        yield store.put("late")
+
+    env.process(producer(env))
+    assert env.run(until=env.process(consumer(env))) == ("late", 8)
+
+
+def test_bounded_store_applies_backpressure():
+    env = Environment()
+    store = Store(env, capacity=1)
+    puts = []
+
+    def producer(env):
+        for i in range(3):
+            yield store.put(i)
+            puts.append((i, env.now))
+
+    def consumer(env):
+        for _ in range(3):
+            yield env.timeout(2)
+            yield store.get()
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    # First put is immediate; each subsequent put waits for a get (t=2,4).
+    assert puts == [(0, 0), (1, 2), (2, 4)]
+
+
+def test_store_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+def test_store_fifo_between_multiple_getters():
+    env = Environment()
+    store = Store(env)
+    results = []
+
+    def getter(env, tag):
+        item = yield store.get()
+        results.append((tag, item))
+
+    def putter(env):
+        yield env.timeout(1)
+        yield store.put("x")
+        yield store.put("y")
+
+    env.process(getter(env, "g1"))
+    env.process(getter(env, "g2"))
+    env.process(putter(env))
+    env.run()
+    assert results == [("g1", "x"), ("g2", "y")]
+
+
+def test_drain_empties_buffer_and_unblocks_putters():
+    env = Environment()
+    store = Store(env, capacity=2)
+
+    def producer(env):
+        for i in range(4):
+            yield store.put(i)
+        return env.now
+
+    proc = env.process(producer(env))
+    env.run(until=env.peek())  # let first puts land
+    assert drain(store) == [0, 1]
+    env.run(until=proc)
+    assert drain(store) == [2, 3]
+
+
+def test_len_reports_buffered_items():
+    env = Environment()
+    store = Store(env)
+
+    def proc(env):
+        yield store.put("a")
+        yield store.put("b")
+
+    env.run(until=env.process(proc(env)))
+    assert len(store) == 2

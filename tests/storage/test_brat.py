@@ -1,0 +1,108 @@
+"""Unit tests for the BRAT annotation format (Fig 3 of the paper)."""
+
+import pytest
+
+from repro.errors import AnnotationParseError
+from repro.storage import (
+    EntityAnnotation,
+    EventAnnotation,
+    parse_annotations,
+    serialize_annotations,
+)
+
+SAMPLE = """T1\tAge 18 27\t34-yr-old
+T2\tSex 28 31\tman
+T3\tClinical_event 36 45\tpresented
+T4\tSign_symptom 65 70\tfever
+E1\tClinical_event:T3
+E2\tSign_symptom:T4 Modifier:T2
+"""
+
+
+def test_parse_entities():
+    doc = parse_annotations("doc0", SAMPLE)
+    assert len(doc.entities) == 4
+    age = doc.entities[0]
+    assert age.key == "T1"
+    assert age.ann_type == "Age"
+    assert (age.start, age.end) == (18, 27)
+    assert age.text == "34-yr-old"
+
+
+def test_parse_events_with_arguments():
+    doc = parse_annotations("doc0", SAMPLE)
+    assert len(doc.events) == 2
+    e2 = doc.events[1]
+    assert e2.trigger_type == "Sign_symptom"
+    assert e2.trigger_ref == "T4"
+    assert e2.arguments == (("Modifier", "T2"),)
+
+
+def test_roundtrip():
+    doc = parse_annotations("doc0", SAMPLE)
+    assert serialize_annotations(doc) == SAMPLE
+    again = parse_annotations("doc0", serialize_annotations(doc))
+    assert again.entities == doc.entities
+    assert again.events == doc.events
+
+
+def test_entity_index():
+    doc = parse_annotations("doc0", SAMPLE)
+    assert doc.entity_index()["T3"].text == "presented"
+
+
+def test_validate_references_ok():
+    parse_annotations("doc0", SAMPLE).validate_references()
+
+
+def test_validate_references_detects_dangling_trigger():
+    doc = parse_annotations("doc0", "E1\tClinical_event:T9\n")
+    with pytest.raises(AnnotationParseError):
+        doc.validate_references()
+
+
+def test_validate_references_detects_dangling_argument():
+    content = "T1\tAge 0 3\tfoo\nE1\tAge:T1 Mod:T9\n"
+    doc = parse_annotations("doc0", content)
+    with pytest.raises(AnnotationParseError):
+        doc.validate_references()
+
+
+def test_blank_lines_and_comments_skipped():
+    doc = parse_annotations("doc0", "\n# comment\n" + SAMPLE)
+    assert len(doc.entities) == 4
+
+
+def test_unknown_standoff_kinds_ignored():
+    doc = parse_annotations("doc0", SAMPLE + "R1\tRel Arg1:T1 Arg2:T2\n")
+    assert len(doc.entities) == 4
+    assert len(doc.events) == 2
+
+
+def test_bad_entity_line_raises():
+    with pytest.raises(AnnotationParseError):
+        parse_annotations("doc0", "T1\tAge notanint 27\tx\n")
+
+
+def test_bad_event_line_raises():
+    with pytest.raises(AnnotationParseError):
+        parse_annotations("doc0", "E1\tno-colon-here\n")
+
+
+def test_entity_span_validation():
+    with pytest.raises(AnnotationParseError):
+        EntityAnnotation("T1", "Age", 10, 5, "x")
+    with pytest.raises(AnnotationParseError):
+        EntityAnnotation("X1", "Age", 0, 5, "x")
+
+
+def test_event_key_validation():
+    with pytest.raises(AnnotationParseError):
+        EventAnnotation("T1", "Age", "T2")
+    with pytest.raises(AnnotationParseError):
+        EventAnnotation("E1", "Age", "E2")
+
+
+def test_tabs_in_covered_text_preserved():
+    doc = parse_annotations("d", "T1\tAge 0 5\ta\tb\n")
+    assert doc.entities[0].text == "a\tb"

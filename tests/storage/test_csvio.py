@@ -1,0 +1,95 @@
+"""Unit tests for CSV table IO."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.relational import FieldType, Schema, Table
+from repro.storage import read_csv, table_from_csv, table_to_csv, write_csv
+
+SCHEMA = Schema.of(
+    id=FieldType.INT,
+    name=FieldType.STRING,
+    price=FieldType.FLOAT,
+    active=FieldType.BOOL,
+)
+
+
+def make_table():
+    return Table.from_rows(
+        SCHEMA,
+        [
+            [1, "widget", 9.99, True],
+            [2, "gizmo", 0.5, False],
+            [3, None, None, None],
+        ],
+    )
+
+
+def test_roundtrip_in_memory():
+    table = make_table()
+    again = table_from_csv(table_to_csv(table), SCHEMA)
+    assert again.to_dicts() == table.to_dicts()
+
+
+def test_roundtrip_on_disk(tmp_path):
+    path = tmp_path / "t.csv"
+    assert write_csv(path, make_table()) == 3
+    assert read_csv(path, SCHEMA).to_dicts() == make_table().to_dicts()
+
+
+def test_header_written_first():
+    text = table_to_csv(make_table())
+    assert text.splitlines()[0] == "id,name,price,active"
+
+
+def test_nulls_roundtrip_as_empty():
+    table = table_from_csv("id,name,price,active\n,,,\n", SCHEMA)
+    assert table[0].as_dict() == {
+        "id": None,
+        "name": None,
+        "price": None,
+        "active": None,
+    }
+
+
+def test_column_reordering():
+    text = "name,id,active,price\nwidget,1,true,9.99\n"
+    table = table_from_csv(text, SCHEMA)
+    assert table[0]["id"] == 1
+    assert table[0]["name"] == "widget"
+
+
+def test_missing_header_rejected():
+    with pytest.raises(StorageError, match="missing"):
+        table_from_csv("id,name\n1,x\n", SCHEMA)
+
+
+def test_extra_column_rejected():
+    with pytest.raises(StorageError, match="unexpected"):
+        table_from_csv("id,name,price,active,bonus\n", SCHEMA)
+
+
+def test_empty_content_rejected():
+    with pytest.raises(StorageError, match="empty"):
+        table_from_csv("", SCHEMA)
+
+
+def test_bad_int_rejected():
+    with pytest.raises(StorageError, match="parse"):
+        table_from_csv("id,name,price,active\nnotanint,x,1.0,true\n", SCHEMA)
+
+
+def test_bad_bool_rejected():
+    with pytest.raises(StorageError):
+        table_from_csv("id,name,price,active\n1,x,1.0,yes\n", SCHEMA)
+
+
+def test_ragged_row_rejected():
+    with pytest.raises(StorageError, match="expected"):
+        table_from_csv("id,name,price,active\n1,x\n", SCHEMA)
+
+
+def test_quoted_commas_roundtrip():
+    table = Table.from_rows(SCHEMA, [[1, "a,b,c", 1.0, True]])
+    again = table_from_csv(table_to_csv(table), SCHEMA)
+    assert again[0]["name"] == "a,b,c"

@@ -1,0 +1,87 @@
+"""Integration tests for the WEF task (both paradigms vs oracle)."""
+
+import pytest
+
+from repro.datasets import FRAMINGS, generate_wildfire_tweets
+from repro.ml import accuracy
+from repro.tasks import fresh_cluster
+from repro.tasks.wef import reference_wef, run_wef_script, run_wef_workflow
+
+TWEETS = generate_wildfire_tweets(60, seed=11)
+
+
+def loss_rows(table):
+    return sorted(tuple(row.values) for row in table)
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    curves = reference_wef(TWEETS)
+    return sorted(
+        (name, epoch, loss)
+        for name, losses in curves.items()
+        for epoch, loss in enumerate(losses)
+    )
+
+
+def test_script_losses_match_oracle(oracle):
+    run = run_wef_script(fresh_cluster(), TWEETS)
+    assert loss_rows(run.output) == oracle
+
+
+def test_workflow_losses_match_oracle(oracle):
+    run = run_wef_workflow(fresh_cluster(), TWEETS)
+    assert loss_rows(run.output) == oracle
+
+
+def test_both_paradigms_train_all_four_framings():
+    script = run_wef_script(fresh_cluster(), TWEETS)
+    workflow = run_wef_workflow(fresh_cluster(), TWEETS)
+    assert set(script.extras["models"]) == set(FRAMINGS)
+    assert set(workflow.extras["models"]) == set(FRAMINGS)
+
+
+def test_trained_models_identical_across_paradigms():
+    """Same SGD, same order -> bit-identical classifiers."""
+    import numpy as np
+
+    script = run_wef_script(fresh_cluster(), TWEETS)
+    workflow = run_wef_workflow(fresh_cluster(), TWEETS)
+    for framing in FRAMINGS:
+        s_model = script.extras["models"][framing]
+        w_model = workflow.extras["models"][framing]
+        assert np.array_equal(s_model.weights, w_model.weights)
+        assert s_model.bias == w_model.bias
+
+
+def test_training_loss_decreases():
+    run = run_wef_workflow(fresh_cluster(), generate_wildfire_tweets(200, seed=11))
+    by_model = {}
+    for row in run.output:
+        by_model.setdefault(row["model_name"], []).append(row["loss"])
+    for losses in by_model.values():
+        assert losses[-1] < losses[0]
+
+
+def test_trained_models_beat_chance():
+    tweets = generate_wildfire_tweets(300, seed=11)
+    train, test = tweets[:240], tweets[240:]
+    run = run_wef_script(fresh_cluster(), train)
+    model = run.extras["models"][FRAMINGS[0]]
+    truth = [t.labels[0] for t in test]
+    predictions = [model.predict(t.text) for t in test]
+    assert accuracy(truth, predictions) > 0.65
+
+
+def test_paradigms_within_a_few_percent():
+    """Figure 13b: WEF times are nearly identical across platforms."""
+    script = run_wef_script(fresh_cluster(), TWEETS)
+    workflow = run_wef_workflow(fresh_cluster(), TWEETS)
+    ratio = script.elapsed_s / workflow.elapsed_s
+    assert 0.95 < ratio < 1.15
+
+
+def test_time_scales_roughly_linearly_with_tweets():
+    small = run_wef_workflow(fresh_cluster(), TWEETS[:20])
+    large = run_wef_workflow(fresh_cluster(), TWEETS[:60])
+    assert 2.0 < large.elapsed_s / small.elapsed_s < 4.0

@@ -1,0 +1,33 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import QUICK_EXPERIMENTS, build_parser, main
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def test_registries_cover_the_same_experiments():
+    assert set(QUICK_EXPERIMENTS) == set(ALL_EXPERIMENTS)
+
+
+def test_list_prints_experiments(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out.split()
+    assert out == sorted(ALL_EXPERIMENTS)
+
+
+def test_unknown_experiment_errors():
+    with pytest.raises(SystemExit):
+        main(["not-an-experiment"])
+
+
+def test_quick_run_single_experiment(capsys):
+    assert main(["--quick", "fig12a"]) == 0
+    out = capsys.readouterr().out
+    assert "fig12a" in out
+    assert "dice" in out
+
+
+def test_parser_help_mentions_choices():
+    parser = build_parser()
+    assert "fig13a" in parser.format_help()

@@ -1,0 +1,89 @@
+"""Tests for the configuration module's invariants."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    GIB,
+    LANGUAGE_PROFILES,
+    MIB,
+    ModelConfig,
+    NetworkConfig,
+    ObjectStoreConfig,
+    ReproConfig,
+    default_config,
+)
+
+
+def test_default_config_is_singleton_and_frozen():
+    config = default_config()
+    assert config is default_config()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        config.rayx.startup_s = 0
+
+
+def test_variations_via_replace_do_not_mutate_default():
+    config = default_config()
+    workflow = dataclasses.replace(config.workflow, startup_s=99.0)
+    varied = dataclasses.replace(config, workflow=workflow)
+    assert varied.workflow.startup_s == 99.0
+    assert default_config().workflow.startup_s != 99.0
+
+
+def test_topology_matches_paper():
+    config = default_config()
+    assert config.topology.num_workers == 4
+    assert config.topology.machine.num_cpus == 8
+    assert config.topology.machine.ram_bytes == 64 * GIB
+
+
+def test_model_sizes_match_paper():
+    models = default_config().models
+    assert models.bart_bytes == int(1.59 * GIB)  # paper: 1.59 GB
+    assert models.kge_bytes == 375 * MIB  # paper: 375 MB
+
+
+def test_load_seconds_formula_and_validation():
+    models = ModelConfig()
+    assert models.load_seconds(0) == 0
+    assert models.load_seconds(models.bart_bytes) > models.load_seconds(
+        models.kge_bytes
+    )
+    with pytest.raises(ValueError):
+        models.load_seconds(-1)
+
+
+def test_network_transfer_validation():
+    with pytest.raises(ValueError):
+        NetworkConfig().transfer_time(-1)
+
+
+def test_object_store_validation():
+    store = ObjectStoreConfig()
+    with pytest.raises(ValueError):
+        store.put_time(-1)
+    with pytest.raises(ValueError):
+        store.get_time(-1)
+    # put is the expensive direction (upload + seal).
+    assert store.put_time(10**9) > store.get_time(10**9)
+
+
+def test_language_profiles_ordering():
+    python = LANGUAGE_PROFILES["python"]
+    scala = LANGUAGE_PROFILES["scala"]
+    java = LANGUAGE_PROFILES["java"]
+    assert python.relative_speed == 1.0
+    assert scala.relative_speed > java.relative_speed > python.relative_speed
+    assert python.tuple_overhead_s > scala.tuple_overhead_s
+
+
+def test_tuple_cost_rejects_negative_work():
+    from repro.workflow import OperatorLanguage
+
+    with pytest.raises(ValueError):
+        OperatorLanguage.PYTHON.tuple_cost(-1.0)
+
+
+def test_fresh_repro_config_equals_default():
+    assert ReproConfig() == default_config()

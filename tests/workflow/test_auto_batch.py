@@ -1,0 +1,95 @@
+"""Tests for runtime-adaptive batch sizing (paper Section III-B)."""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.config import default_config
+from repro.relational import FieldType, Schema, Table, column_greater
+from repro.sim import Environment
+from repro.workflow import Workflow, WorkflowController
+from repro.workflow.operators import FilterOperator, SinkOperator, TableSource
+
+
+def auto_config(target_bytes=64 * 1024):
+    config = default_config()
+    workflow = dataclasses.replace(
+        config.workflow,
+        auto_tune_batch_size=True,
+        auto_batch_target_bytes=target_bytes,
+    )
+    return dataclasses.replace(config, workflow=workflow)
+
+
+def run_with(config, table):
+    wf = Workflow("auto")
+    src = wf.add_operator(TableSource("src", table))
+    keep = wf.add_operator(FilterOperator("keep", column_greater("id", -1)))
+    sink = wf.add_operator(SinkOperator("sink"))
+    wf.link(src, keep)
+    wf.link(keep, sink)
+    cluster = build_cluster(Environment(), config)
+    controller = WorkflowController(cluster, wf)
+    result = cluster.env.run(until=cluster.env.process(controller.execute()))
+    outbound = controller._instances["src"][0].outbound[0]
+    return result, outbound
+
+
+def wide_table(blob_bytes, n=300):
+    schema = Schema.of(id=FieldType.INT, blob=FieldType.STRING)
+    return Table.from_rows(schema, [[i, "x" * blob_bytes] for i in range(n)])
+
+
+def narrow_table(n=300):
+    schema = Schema.of(id=FieldType.INT, blob=FieldType.STRING)
+    return Table.from_rows(schema, [[i, "y"] for i in range(n)])
+
+
+def test_heavy_tuples_get_small_batches():
+    result, outbound = run_with(auto_config(), wide_table(32 * 1024))
+    assert len(result.table()) == 300
+    # ~32 KiB tuples against a 64 KiB target -> batches of ~2.
+    assert outbound.batch_size <= 4
+
+
+def test_light_tuples_get_large_batches():
+    result, outbound = run_with(auto_config(), narrow_table())
+    assert len(result.table()) == 300
+    # Tiny tuples -> the tuner opens the batch up toward the max.
+    assert outbound.batch_size > 256
+
+
+def test_tuner_respects_clamp():
+    config = auto_config(target_bytes=10**9)
+    _result, outbound = run_with(config, narrow_table())
+    assert outbound.batch_size <= config.workflow.max_batch_size
+
+
+def test_auto_tuning_off_by_default():
+    _result, outbound = run_with(default_config(), wide_table(32 * 1024))
+    assert outbound.auto_tune is None
+    assert outbound.batch_size == default_config().workflow.default_batch_size
+
+
+def test_explicit_batch_size_wins_over_auto():
+    config = auto_config()
+    wf = Workflow("explicit")
+    src = wf.add_operator(
+        TableSource("src", narrow_table()).with_output_batch_size(5)
+    )
+    sink = wf.add_operator(SinkOperator("sink"))
+    wf.link(src, sink)
+    cluster = build_cluster(Environment(), config)
+    controller = WorkflowController(cluster, wf)
+    cluster.env.run(until=cluster.env.process(controller.execute()))
+    outbound = controller._instances["src"][0].outbound[0]
+    assert outbound.auto_tune is None
+    assert outbound.batch_size == 5
+
+
+def test_results_identical_with_and_without_auto():
+    table = wide_table(1024, n=123)
+    with_auto, _ = run_with(auto_config(), table)
+    without, _ = run_with(default_config(), table)
+    assert with_auto.table().to_dicts() == without.table().to_dicts()

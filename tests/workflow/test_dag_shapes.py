@@ -1,0 +1,164 @@
+"""Structural edge cases: diamonds, fan-out with blocking branches,
+join chains — shapes where pipelined engines typically deadlock or
+drop data."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.relational import (
+    FieldType,
+    Schema,
+    Table,
+    column_greater,
+    udf_predicate,
+)
+from repro.sim import Environment
+from repro.workflow import Workflow, run_workflow
+from repro.workflow.operators import (
+    FilterOperator,
+    HashJoinOperator,
+    MapOperator,
+    SinkOperator,
+    SortOperator,
+    TableSource,
+    UnionOperator,
+)
+
+SCHEMA = Schema.of(id=FieldType.INT, score=FieldType.FLOAT)
+
+
+def make_table(n=120):
+    return Table.from_rows(SCHEMA, [[i, (i % 10) / 10.0] for i in range(n)])
+
+
+def run_simple(wf):
+    return run_workflow(build_cluster(Environment()), wf)
+
+
+def test_diamond_split_and_union():
+    """src fans out to two filters that rejoin: classic diamond."""
+    wf = Workflow("diamond")
+    src = wf.add_operator(TableSource("src", make_table()))
+    evens = wf.add_operator(
+        FilterOperator("evens", udf_predicate(lambda r: r["id"] % 2 == 0, "even"))
+    )
+    odds = wf.add_operator(
+        FilterOperator("odds", udf_predicate(lambda r: r["id"] % 2 == 1, "odd"))
+    )
+    union = wf.add_operator(UnionOperator("union"))
+    sink = wf.add_operator(SinkOperator("sink"))
+    wf.link(src, evens)
+    wf.link(src, odds)
+    wf.link(evens, union, input_port=0)
+    wf.link(odds, union, input_port=1)
+    wf.link(union, sink)
+    result = run_simple(wf)
+    assert sorted(result.table().column("id")) == list(range(120))
+
+
+def test_self_join_diamond():
+    """One source feeds BOTH ports of a join (the deadlock-bait shape)."""
+    wf = Workflow("self-join")
+    src = wf.add_operator(TableSource("src", make_table(60)))
+    join = wf.add_operator(HashJoinOperator("join", build_key="id", probe_key="id"))
+    sink = wf.add_operator(SinkOperator("sink"))
+    wf.link(src, join, input_port=0)
+    wf.link(src, join, input_port=1)
+    wf.link(join, sink)
+    result = run_simple(wf)
+    # Equi-self-join on a unique key: one row per input row.
+    assert len(result.table()) == 60
+
+
+def test_fan_out_to_streaming_and_blocking_branches():
+    """One branch sorts (blocking), the other streams; both complete."""
+    wf = Workflow("mixed")
+    src = wf.add_operator(TableSource("src", make_table()))
+    stream = wf.add_operator(FilterOperator("stream", column_greater("score", 0.5)))
+    block = wf.add_operator(SortOperator("block", key="score", reverse=True))
+    stream_sink = wf.add_operator(SinkOperator("stream-sink"))
+    block_sink = wf.add_operator(SinkOperator("block-sink"))
+    wf.link(src, stream)
+    wf.link(src, block)
+    wf.link(stream, stream_sink)
+    wf.link(block, block_sink)
+    result = run_simple(wf)
+    assert len(result.table("stream-sink")) == 48
+    sorted_scores = result.table("block-sink").column("score")
+    assert sorted_scores == sorted(sorted_scores, reverse=True)
+
+
+def test_join_chain_two_levels():
+    """join(join(a, b), c): output of a join probes a second join."""
+    a = Table.from_rows(Schema.of(k=FieldType.INT, a=FieldType.INT), [[i, i] for i in range(20)])
+    b = Table.from_rows(Schema.of(k=FieldType.INT, b=FieldType.INT), [[i, 10 * i] for i in range(20)])
+    c = Table.from_rows(Schema.of(k=FieldType.INT, c=FieldType.INT), [[i, 100 * i] for i in range(0, 20, 2)])
+    wf = Workflow("join-chain")
+    sa = wf.add_operator(TableSource("a", a))
+    sb = wf.add_operator(TableSource("b", b))
+    sc = wf.add_operator(TableSource("c", c))
+    j1 = wf.add_operator(HashJoinOperator("j1", build_key="k", probe_key="k"))
+    # The second join needs its own suffix: j1's output already carries
+    # a "k_right" column from the first join.
+    j2 = wf.add_operator(
+        HashJoinOperator("j2", build_key="k", probe_key="k", suffix="_c")
+    )
+    sink = wf.add_operator(SinkOperator("sink"))
+    wf.link(sb, j1, input_port=0)  # build: b
+    wf.link(sa, j1, input_port=1)  # probe: a
+    wf.link(sc, j2, input_port=0)  # build: c
+    wf.link(j1, j2, input_port=1)  # probe: j1's output
+    wf.link(j2, sink)
+    result = run_simple(wf)
+    assert len(result.table()) == 10  # only even keys survive j2
+    row = next(r for r in result.table() if r["k"] == 4)
+    assert row["a"] == 4 and row["b"] == 40 and row["c"] == 400
+
+
+def test_shared_build_side_feeds_two_joins():
+    """One operator's output is the build side of two separate joins."""
+    dims = Table.from_rows(
+        Schema.of(k=FieldType.INT, label=FieldType.STRING),
+        [[i, f"L{i}"] for i in range(10)],
+    )
+    facts = Table.from_rows(
+        Schema.of(k=FieldType.INT, v=FieldType.INT), [[i % 10, i] for i in range(50)]
+    )
+    wf = Workflow("shared-build")
+    dim_src = wf.add_operator(TableSource("dims", dims))
+    facts_a = wf.add_operator(TableSource("facts-a", facts))
+    facts_b = wf.add_operator(TableSource("facts-b", facts))
+    ja = wf.add_operator(HashJoinOperator("ja", build_key="k", probe_key="k"))
+    jb = wf.add_operator(HashJoinOperator("jb", build_key="k", probe_key="k"))
+    sink_a = wf.add_operator(SinkOperator("sink-a"))
+    sink_b = wf.add_operator(SinkOperator("sink-b"))
+    wf.link(dim_src, ja, input_port=0)
+    wf.link(dim_src, jb, input_port=0)
+    wf.link(facts_a, ja, input_port=1)
+    wf.link(facts_b, jb, input_port=1)
+    wf.link(ja, sink_a)
+    wf.link(jb, sink_b)
+    result = run_simple(wf)
+    assert len(result.table("sink-a")) == 50
+    assert len(result.table("sink-b")) == 50
+
+
+def test_deep_chain_of_maps():
+    """A 12-stage chain completes and composes correctly."""
+    wf = Workflow("deep")
+    src = wf.add_operator(TableSource("src", make_table(30)))
+    previous = src
+    for index in range(12):
+        op = wf.add_operator(
+            MapOperator(
+                f"inc-{index}",
+                SCHEMA,
+                lambda row: [row["id"] + 1, row["score"]],
+            )
+        )
+        wf.link(previous, op)
+        previous = op
+    sink = wf.add_operator(SinkOperator("sink"))
+    wf.link(previous, sink)
+    result = run_simple(wf)
+    assert result.table().column("id") == [i + 12 for i in range(30)]

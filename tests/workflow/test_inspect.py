@@ -1,0 +1,120 @@
+"""Tests for workflow inspection (spec export + ASCII rendering)."""
+
+import json
+
+from repro.relational import FieldType, Schema, Table, column_greater
+from repro.workflow import OperatorLanguage, Workflow
+from repro.workflow.inspect import describe_operator, render_dag, workflow_to_spec
+from repro.workflow.operators import (
+    FilterOperator,
+    HashJoinOperator,
+    ProjectionOperator,
+    SinkOperator,
+    SortOperator,
+    TableSource,
+)
+
+SCHEMA = Schema.of(id=FieldType.INT, score=FieldType.FLOAT)
+
+
+def sample_workflow():
+    wf = Workflow("inspectable")
+    src = wf.add_operator(TableSource("src", Table(SCHEMA)))
+    keep = wf.add_operator(
+        FilterOperator(
+            "keep",
+            column_greater("score", 0.5),
+            language=OperatorLanguage.SCALA,
+            num_workers=4,
+        )
+    )
+    proj = wf.add_operator(ProjectionOperator("proj", ["id"]))
+    sort = wf.add_operator(SortOperator("sort", key="id"))
+    sink = wf.add_operator(SinkOperator("sink"))
+    wf.link(src, keep)
+    wf.link(keep, proj)
+    wf.link(proj, sort)
+    wf.link(sort, sink)
+    return wf
+
+
+def test_describe_operator_panel():
+    wf = sample_workflow()
+    panel = describe_operator(wf.operators["keep"])
+    assert panel["id"] == "keep"
+    assert panel["type"] == "FilterOperator"
+    assert panel["language"] == "scala"
+    assert panel["workers"] == 4
+    assert panel["predicate"] == "score > 0.5"
+    assert panel["blocking"] is False
+
+
+def test_describe_projection_lists_columns():
+    wf = sample_workflow()
+    panel = describe_operator(wf.operators["proj"])
+    assert panel["columns"] == ["id"]
+
+
+def test_spec_is_json_serializable():
+    spec = workflow_to_spec(sample_workflow())
+    encoded = json.dumps(spec)
+    decoded = json.loads(encoded)
+    assert decoded["name"] == "inspectable"
+    assert len(decoded["operators"]) == 5
+    assert len(decoded["links"]) == 4
+
+
+def test_spec_operators_in_topological_order():
+    spec = workflow_to_spec(sample_workflow())
+    ids = [op["id"] for op in spec["operators"]]
+    assert ids.index("src") < ids.index("keep") < ids.index("sink")
+
+
+def test_spec_links_carry_ports():
+    left = Table.from_rows(Schema.of(k=FieldType.INT), [[1]])
+    wf = Workflow("ports")
+    a = wf.add_operator(TableSource("a", left))
+    b = wf.add_operator(TableSource("b", left))
+    join = wf.add_operator(HashJoinOperator("join", build_key="k", probe_key="k"))
+    sink = wf.add_operator(SinkOperator("sink"))
+    wf.link(a, join, input_port=0)
+    wf.link(b, join, input_port=1)
+    wf.link(join, sink)
+    spec = workflow_to_spec(wf)
+    ports = {(l["from"], l["to_port"]) for l in spec["links"]}
+    assert ("a", 0) in ports
+    assert ("b", 1) in ports
+
+
+def test_render_dag_shows_operators_and_edges():
+    text = render_dag(sample_workflow())
+    assert "workflow 'inspectable'" in text
+    assert "(keep) [scala, x4]" in text
+    assert "(sort) [blocking]" in text
+    assert "└─> (sink)" in text
+
+
+def test_render_dag_marks_join_ports():
+    left = Table.from_rows(Schema.of(k=FieldType.INT), [[1]])
+    wf = Workflow("ports")
+    a = wf.add_operator(TableSource("a", left))
+    b = wf.add_operator(TableSource("b", left))
+    join = wf.add_operator(HashJoinOperator("join", build_key="k", probe_key="k"))
+    sink = wf.add_operator(SinkOperator("sink"))
+    wf.link(a, join, input_port=0)
+    wf.link(b, join, input_port=1)
+    wf.link(join, sink)
+    text = render_dag(wf)
+    assert "└─> (join)" in text  # port 0 unannotated
+    assert "└─> (join:1)" in text  # probe port annotated
+
+
+def test_task_workflows_are_inspectable():
+    """The real task DAGs export cleanly (smoke)."""
+    from repro.datasets import generate_maccrobat
+    from repro.tasks.dice import build_dice_workflow
+
+    wf = build_dice_workflow(generate_maccrobat(num_docs=2, seed=7))
+    spec = workflow_to_spec(wf)
+    json.dumps(spec)
+    assert render_dag(wf)

@@ -1,0 +1,158 @@
+"""Tests for pause/resume and broadcast-build joins."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.relational import FieldType, Schema, Table, column_greater, hash_join
+from repro.sim import Environment
+from repro.workflow import OperatorState, Workflow, WorkflowController
+from repro.workflow.operators import (
+    FilterOperator,
+    HashJoinOperator,
+    SinkOperator,
+    TableSource,
+)
+
+SCHEMA = Schema.of(id=FieldType.INT, score=FieldType.FLOAT)
+
+
+def make_table(n=200):
+    return Table.from_rows(SCHEMA, [[i, (i % 10) / 10.0] for i in range(n)])
+
+
+def slow_workflow():
+    wf = Workflow("pausable")
+    src = wf.add_operator(TableSource("src", make_table(200)))
+    slow = wf.add_operator(
+        FilterOperator("slow", column_greater("score", -1), per_tuple_work_s=0.01)
+    )
+    sink = wf.add_operator(SinkOperator("sink"))
+    wf.link(src, slow)
+    wf.link(slow, sink)
+    return wf
+
+
+# -- pause / resume ----------------------------------------------------------------
+
+
+def test_pause_freezes_progress_and_resume_completes():
+    cluster = build_cluster(Environment())
+    env = cluster.env
+    controller = WorkflowController(cluster, slow_workflow())
+    main = env.process(controller.execute())
+
+    observations = {}
+
+    def supervisor():
+        yield env.timeout(6.0)  # mid-execution (startup ~4.9s)
+        controller.pause()
+        observations["paused_state"] = controller.progress.of("slow").state
+        pause_started = env.now
+        inputs_at_pause = controller.progress.of("slow").input_tuples
+        yield env.timeout(50.0)
+        observations["inputs_during_pause"] = (
+            controller.progress.of("slow").input_tuples - inputs_at_pause
+        )
+        controller.resume()
+        observations["resumed_state"] = controller.progress.of("slow").state
+        observations["pause_duration"] = env.now - pause_started
+
+    env.process(supervisor())
+    result = env.run(until=main)
+
+    assert observations["paused_state"] is OperatorState.PAUSED
+    # At most one in-flight batch drains after the pause request.
+    assert observations["inputs_during_pause"] <= 64
+    assert observations["resumed_state"] is OperatorState.RUNNING
+    assert len(result.table()) == 200
+    # The 50s pause shows up in the makespan.
+    assert result.elapsed_s > 50.0
+
+
+def test_pause_and_resume_are_idempotent():
+    cluster = build_cluster(Environment())
+    env = cluster.env
+    controller = WorkflowController(cluster, slow_workflow())
+    main = env.process(controller.execute())
+
+    def supervisor():
+        yield env.timeout(6.0)
+        controller.pause()
+        controller.pause()  # second pause is a no-op
+        assert controller.is_paused
+        yield env.timeout(1.0)
+        controller.resume()
+        controller.resume()  # second resume is a no-op
+        assert not controller.is_paused
+
+    env.process(supervisor())
+    result = env.run(until=main)
+    assert result.progress.all_completed()
+
+
+def test_resume_without_pause_is_noop():
+    cluster = build_cluster(Environment())
+    controller = WorkflowController(cluster, slow_workflow())
+    controller.resume()  # nothing to release
+    result = cluster.env.run(until=cluster.env.process(controller.execute()))
+    assert len(result.table()) == 200
+
+
+# -- broadcast-build joins ------------------------------------------------------------
+
+
+LEFT = Schema.of(k=FieldType.INT, a=FieldType.STRING)
+RIGHT = Schema.of(k=FieldType.INT, b=FieldType.STRING)
+
+
+def join_workflow(broadcast_build):
+    build = Table.from_rows(LEFT, [[i % 5, f"a{i}"] for i in range(20)])
+    probe = Table.from_rows(RIGHT, [[i % 5, f"b{i}"] for i in range(100)])
+    wf = Workflow("bcast")
+    b = wf.add_operator(TableSource("build", build))
+    p = wf.add_operator(TableSource("probe", probe))
+    join = wf.add_operator(
+        HashJoinOperator(
+            "join",
+            build_key="k",
+            probe_key="k",
+            num_workers=4,
+            broadcast_build=broadcast_build,
+        )
+    )
+    sink = wf.add_operator(SinkOperator("sink"))
+    wf.link(b, join, input_port=0)
+    wf.link(p, join, input_port=1)
+    wf.link(join, sink)
+    return wf, build, probe
+
+
+@pytest.mark.parametrize("broadcast_build", [False, True])
+def test_multiworker_join_correct_with_either_strategy(broadcast_build):
+    wf, build, probe = join_workflow(broadcast_build)
+    cluster = build_cluster(Environment())
+    controller = WorkflowController(cluster, wf)
+    result = cluster.env.run(until=cluster.env.process(controller.execute()))
+    expected = hash_join(probe, build, "k", "k")
+    got = sorted(tuple(r.values) for r in result.table())
+    want = sorted(tuple(r.values) for r in expected)
+    assert got == want
+
+
+def test_broadcast_replicates_build_to_every_worker():
+    wf, build, probe = join_workflow(True)
+    cluster = build_cluster(Environment())
+    controller = WorkflowController(cluster, wf)
+    result = cluster.env.run(until=cluster.env.process(controller.execute()))
+    # Each of the 4 workers received the full 20-row build side.
+    progress = result.progress.of("join")
+    assert progress.input_tuples == 4 * len(build) + len(probe)
+
+
+def test_hash_strategy_partitions_build():
+    wf, build, probe = join_workflow(False)
+    cluster = build_cluster(Environment())
+    controller = WorkflowController(cluster, wf)
+    result = cluster.env.run(until=cluster.env.process(controller.execute()))
+    progress = result.progress.of("join")
+    assert progress.input_tuples == len(build) + len(probe)

@@ -1,0 +1,226 @@
+"""Tests for stream operators, operator stats and ray.wait."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.errors import InvalidWorkflow
+from repro.relational import FieldType, Schema, Table
+from repro.rayx import run_script
+from repro.sim import Environment
+from repro.workflow import Workflow, run_workflow
+from repro.workflow.operators import (
+    DistinctOperator,
+    FilterOperator,
+    LimitOperator,
+    SampleOperator,
+    SinkOperator,
+    TableSource,
+)
+
+SCHEMA = Schema.of(id=FieldType.INT, bucket=FieldType.INT)
+
+
+def make_table(n=100):
+    return Table.from_rows(SCHEMA, [[i, i % 7] for i in range(n)])
+
+
+def run_chain(*operators, table=None):
+    wf = Workflow("chain")
+    src = wf.add_operator(TableSource("src", table or make_table()))
+    sink = wf.add_operator(SinkOperator("sink"))
+    previous = src
+    for op in operators:
+        wf.add_operator(op)
+        wf.link(previous, op)
+        previous = op
+    wf.link(previous, sink)
+    return run_workflow(build_cluster(Environment()), wf)
+
+
+# -- limit --------------------------------------------------------------------
+
+
+def test_limit_keeps_first_k():
+    result = run_chain(LimitOperator("limit", 7))
+    assert result.table().column("id") == list(range(7))
+
+
+def test_limit_zero_yields_empty():
+    result = run_chain(LimitOperator("limit", 0))
+    assert result.table().is_empty()
+
+
+def test_limit_larger_than_input_passes_all():
+    result = run_chain(LimitOperator("limit", 10_000))
+    assert len(result.table()) == 100
+
+
+def test_limit_validation():
+    with pytest.raises(InvalidWorkflow):
+        LimitOperator("l", -1)
+
+
+# -- distinct -----------------------------------------------------------------------
+
+
+def test_distinct_by_key_keeps_first_occurrence():
+    result = run_chain(DistinctOperator("distinct", key="bucket"))
+    assert result.table().column("bucket") == list(range(7))
+    assert result.table().column("id") == list(range(7))
+
+
+def test_distinct_whole_row():
+    table = Table.from_rows(SCHEMA, [[1, 1], [1, 1], [2, 2]])
+    result = run_chain(DistinctOperator("distinct"), table=table)
+    assert len(result.table()) == 2
+
+
+def test_distinct_whole_row_rejects_parallelism():
+    wf = Workflow("bad")
+    src = wf.add_operator(TableSource("src", make_table()))
+    distinct = wf.add_operator(DistinctOperator("distinct", num_workers=2))
+    sink = wf.add_operator(SinkOperator("sink"))
+    wf.link(src, distinct)
+    wf.link(distinct, sink)
+    with pytest.raises(InvalidWorkflow, match="single worker"):
+        wf.compile_schemas()
+
+
+def test_distinct_by_key_parallel_is_correct():
+    result = run_chain(DistinctOperator("distinct", key="bucket", num_workers=3))
+    assert sorted(result.table().column("bucket")) == list(range(7))
+
+
+# -- sample ----------------------------------------------------------------------------
+
+
+def test_systematic_sample_rate():
+    result = run_chain(SampleOperator("sample", one_in=4))
+    assert len(result.table()) == 25
+    assert result.table().column("id")[:3] == [0, 4, 8]
+
+
+def test_keyed_sample_is_deterministic_per_key():
+    a = run_chain(SampleOperator("sample", one_in=3, key="bucket"))
+    b = run_chain(SampleOperator("sample", one_in=3, key="bucket"))
+    assert a.table().to_dicts() == b.table().to_dicts()
+    kept_buckets = set(a.table().column("bucket"))
+    dropped = set(range(7)) - kept_buckets
+    assert dropped  # some buckets entirely dropped -> key-consistency
+
+
+def test_sample_validation():
+    with pytest.raises(InvalidWorkflow):
+        SampleOperator("s", one_in=0)
+
+
+# -- operator stats -----------------------------------------------------------------------
+
+
+def test_operator_stats_account_busy_time():
+    from repro.relational import column_greater
+
+    result = run_chain(
+        FilterOperator("work", column_greater("id", -1), per_tuple_work_s=0.01)
+    )
+    stats = result.operator_stats
+    assert set(stats) == {"src", "work", "sink"}
+    assert stats["work"]["instances"] == 1
+    # 100 tuples x ~10ms of declared work dominate its busy time.
+    assert stats["work"]["busy_s"] >= 1.0
+    assert stats["work"]["busy_s"] < result.elapsed_s
+    assert stats["work"]["nodes"][0].startswith("worker-")
+
+
+def test_stats_split_across_instances():
+    from repro.relational import column_greater
+
+    wf = Workflow("mw")
+    src = wf.add_operator(TableSource("src", make_table(200)))
+    work = wf.add_operator(
+        FilterOperator(
+            "work", column_greater("id", -1), num_workers=4, per_tuple_work_s=0.01
+        )
+    )
+    sink = wf.add_operator(SinkOperator("sink"))
+    wf.link(src, work)
+    wf.link(work, sink)
+    result = run_workflow(build_cluster(Environment()), wf)
+    stats = result.operator_stats["work"]
+    assert stats["instances"] == 4
+    assert len(stats["nodes"]) == 4
+
+
+# -- ray.wait ----------------------------------------------------------------------------------
+
+
+def test_wait_returns_fastest_first():
+    def job(ctx, delay):
+        yield from ctx.compute(delay)
+        return delay
+
+    def driver(rt):
+        slow = rt.submit(job, 30.0)
+        fast = rt.submit(job, 1.0)
+        ready, not_ready = yield from rt.wait([slow, fast], num_returns=1)
+        first = yield from rt.get(ready[0])
+        rest = yield from rt.get(not_ready[0])
+        return first, rest
+
+    assert run_script(build_cluster(Environment()), driver, num_cpus=2) == (1.0, 30.0)
+
+
+def test_wait_num_returns_all():
+    def job(ctx, delay):
+        yield from ctx.compute(delay)
+        return delay
+
+    def driver(rt):
+        refs = [rt.submit(job, d) for d in (3.0, 1.0, 2.0)]
+        ready, not_ready = yield from rt.wait(refs, num_returns=3)
+        assert not not_ready
+        values = yield from rt.get_all(ready)
+        return sorted(values)
+
+    assert run_script(build_cluster(Environment()), driver, num_cpus=3) == [
+        1.0,
+        2.0,
+        3.0,
+    ]
+
+
+def test_wait_validates_num_returns():
+    def job(ctx):
+        return 1
+
+    def driver(rt):
+        refs = [rt.submit(job)]
+        with pytest.raises(ValueError):
+            yield from rt.wait(refs, num_returns=2)
+        yield from rt.get_all(refs)
+        return True
+
+    assert run_script(build_cluster(Environment()), driver)
+
+
+def test_wait_counts_failed_refs_as_ready():
+    def bad(ctx):
+        yield from ctx.compute(0.5)
+        raise RuntimeError("dead")
+
+    def good(ctx):
+        yield from ctx.compute(10.0)
+        return "ok"
+
+    def driver(rt):
+        refs = [rt.submit(bad), rt.submit(good)]
+        ready, not_ready = yield from rt.wait(refs, num_returns=1)
+        assert len(ready) == 1
+        try:
+            yield from rt.get(ready[0])
+        except RuntimeError:
+            pass
+        value = yield from rt.get(not_ready[0])
+        return value
+
+    assert run_script(build_cluster(Environment()), driver, num_cpus=2) == "ok"
