@@ -1,0 +1,62 @@
+"""Benchmark: real-time overhead of the observability layer.
+
+Runs the quick Fig 13a configuration (DICE at 10 and 40 report pairs,
+script + workflow) twice — once with the default null tracer and once
+with a full tracer installed — and reports the wall-clock cost of
+tracing.  Virtual timings are asserted bit-identical either way; only
+host time may differ.
+"""
+
+import time
+
+from repro.experiments.exp_scaling import run_fig13a
+from repro.obs import Tracer, tracing
+
+QUICK_SIZES = (10, 40)
+
+
+def _timings(report):
+    return [(row.series, row.x, row.measured) for row in report.rows]
+
+
+def _run_quick():
+    return run_fig13a(sizes=QUICK_SIZES)
+
+
+def test_tracer_overhead_on_fig13a_quick(benchmark, results_dir):
+    baseline_start = time.perf_counter()
+    baseline_report = _run_quick()
+    baseline_wall = time.perf_counter() - baseline_start
+
+    tracer = Tracer()
+
+    def traced():
+        with tracing(tracer):
+            return _run_quick()
+
+    traced_report = benchmark.pedantic(traced, rounds=1, iterations=1)
+
+    # Tracing must not perturb simulated time at all.
+    assert _timings(traced_report) == _timings(baseline_report)
+    assert len(tracer.spans) > 0
+
+    traced_wall = benchmark.stats.stats.mean
+    overhead = traced_wall / baseline_wall if baseline_wall > 0 else float("nan")
+    benchmark.extra_info["baseline_wall_s"] = round(baseline_wall, 4)
+    benchmark.extra_info["traced_wall_s"] = round(traced_wall, 4)
+    benchmark.extra_info["overhead_x"] = round(overhead, 3)
+    benchmark.extra_info["spans"] = len(tracer.spans)
+
+    lines = [
+        "obs-overhead: fig13a --quick (DICE sizes 10, 40)",
+        f"tracer off   {baseline_wall * 1e3:8.1f} ms wall",
+        f"tracer on    {traced_wall * 1e3:8.1f} ms wall"
+        f"  ({len(tracer.spans)} spans recorded)",
+        f"overhead     {overhead:8.2f}x",
+        "virtual timings: bit-identical with tracer on and off",
+    ]
+    (results_dir / "obs-overhead.txt").write_text(
+        "\n".join(lines) + "\n", encoding="utf-8"
+    )
+    print()
+    print("\n".join(lines))

@@ -2,6 +2,16 @@
 
 Runs the requested experiment reproductions (default: all) and prints
 each measured-vs-paper table.  ``--quick`` uses reduced dataset scales.
+
+Observability::
+
+    python -m repro trace fig13d --quick --trace /tmp/gotta.json
+
+The ``trace`` subcommand runs the named experiments with the
+virtual-clock tracer installed, prints a per-run time breakdown after
+each report, and ``--trace PATH`` writes the collected spans as a
+Chrome ``trace_event`` JSON file (load it in ``chrome://tracing`` or
+Perfetto).  ``--trace`` also works without the subcommand.
 """
 
 from __future__ import annotations
@@ -20,6 +30,7 @@ from repro.experiments.exp_scaling import (
     run_fig13d,
 )
 from repro.experiments.exp_workers import run_fig14a, run_fig14b, run_fig14c
+from repro.obs import Tracer, format_breakdown, tracing, write_chrome_trace
 
 __all__ = ["main", "QUICK_EXPERIMENTS"]
 
@@ -51,7 +62,8 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         metavar="experiment",
         help=f"which to run; choices: {', '.join(sorted(ALL_EXPERIMENTS))} "
-        "(default: all)",
+        "(default: all).  Prefix with 'trace' to also print per-run "
+        "virtual-time breakdowns, e.g. 'repro trace fig13d --quick'.",
     )
     parser.add_argument(
         "--quick", action="store_true", help="reduced dataset scales"
@@ -59,7 +71,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list", action="store_true", help="list experiments and exit"
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace_event JSON of the run to PATH "
+        "(implies tracing; open in chrome://tracing or Perfetto)",
+    )
     return parser
+
+
+def _unknown_experiments_message(unknown: List[str], registry) -> str:
+    noun = "experiment" if len(unknown) == 1 else "experiments"
+    lines = [f"repro: unknown {noun}: {', '.join(unknown)}", "valid experiment ids:"]
+    lines.extend(f"  {name}" for name in sorted(registry))
+    lines.append("(use --list to print them, 'trace <id>' for a time breakdown)")
+    return "\n".join(lines)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -70,15 +97,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in sorted(registry):
             print(name)
         return 0
-    names = args.experiments or sorted(registry)
+    names = list(args.experiments)
+    trace_mode = bool(names) and names[0] == "trace"
+    if trace_mode:
+        names = names[1:]
+    trace_mode = trace_mode or args.trace is not None
+    names = names or sorted(registry)
     unknown = [name for name in names if name not in registry]
     if unknown:
-        parser.error(
-            f"unknown experiments {unknown}; choices: {sorted(registry)}"
-        )
-    for name in names:
-        print(registry[name]().to_text())
-        print()
+        print(_unknown_experiments_message(unknown, registry), file=sys.stderr)
+        return 2
+    if args.trace is not None:
+        # Fail fast on an unwritable target instead of crashing after
+        # the experiments have already run.
+        from pathlib import Path
+
+        parent = Path(args.trace).resolve().parent
+        if not parent.is_dir():
+            print(
+                f"repro: --trace: directory does not exist: {parent}",
+                file=sys.stderr,
+            )
+            return 2
+    if not trace_mode:
+        for name in names:
+            print(registry[name]().to_text())
+            print()
+        return 0
+    tracer = Tracer()
+    with tracing(tracer):
+        for name in names:
+            print(registry[name]().to_text())
+            print()
+    print(format_breakdown(tracer))
+    if args.trace is not None:
+        write_chrome_trace(tracer, args.trace)
+        print(f"\nwrote Chrome trace: {args.trace}")
     return 0
 
 

@@ -9,6 +9,7 @@ from repro.cluster.network import Network
 from repro.cluster.node import Node
 from repro.cluster.serialization import CodecSuite, make_codecs
 from repro.errors import UnknownNode
+from repro.obs.tracer import current_tracer
 from repro.sim import Environment
 
 __all__ = ["Cluster", "build_cluster"]
@@ -25,9 +26,18 @@ class Cluster:
     nodes are named ``worker-0`` .. ``worker-N-1``.
     """
 
-    def __init__(self, env: Environment, config: ReproConfig) -> None:
+    def __init__(
+        self, env: Environment, config: ReproConfig, tracer=None
+    ) -> None:
         self.env = env
         self.config = config
+        #: Observability sink (``repro.obs``): an explicitly injected
+        #: tracer, else the globally installed one, else the no-op null
+        #: tracer.  Attached to this environment as a fresh run and
+        #: exposed to every component through ``env.tracer``.
+        self.tracer = tracer if tracer is not None else current_tracer()
+        self.tracer.attach(env)
+        env.tracer = self.tracer
         topology: ClusterTopologyConfig = config.topology
         self.controller = Node(env, CONTROLLER, topology.machine)
         self.workers: List[Node] = [
@@ -81,9 +91,13 @@ class Cluster:
         return f"<Cluster controller + {self.num_workers} workers @ t={self.env.now:.2f}s>"
 
 
-def build_cluster(env: Environment, config: ReproConfig = None) -> Cluster:
+def build_cluster(
+    env: Environment, config: ReproConfig = None, tracer=None
+) -> Cluster:
     """Construct the paper's testbed topology on ``env``.
 
-    ``config`` defaults to the calibrated :func:`repro.config.default_config`.
+    ``config`` defaults to the calibrated :func:`repro.config.default_config`;
+    ``tracer`` defaults to the globally installed tracer (usually the
+    no-op null tracer — see :mod:`repro.obs`).
     """
-    return Cluster(env, config or default_config())
+    return Cluster(env, config or default_config(), tracer=tracer)

@@ -40,11 +40,22 @@ class Network:
     def transfer(self, src: str, dst: str, nbytes: int) -> Generator:
         """Simulation process performing the transfer."""
         duration = self.transfer_time(src, dst, nbytes)
+        tracer = self.env.tracer
+        span = None
         if src != dst:
             self.bytes_moved += nbytes
             self.transfers += 1
+            if tracer.enabled:
+                link = f"{src}->{dst}"
+                tracer.metrics.counter("network.bytes", link=link).add(nbytes)
+                tracer.metrics.counter("network.transfers", link=link).inc()
+                span = tracer.start(
+                    "transfer", category="network", node=src, dst=dst, nbytes=nbytes
+                )
         if duration > 0:
             yield self.env.timeout(duration)
+        if span is not None:
+            tracer.end(span)
         return nbytes
 
     def broadcast_time(self, src: str, destinations: int, nbytes: int) -> float:

@@ -68,6 +68,11 @@ class Node:
         try:
             yield self.env.timeout(duration_s)
             self.busy_seconds += duration_s * cores
+            tracer = self.env.tracer
+            if tracer.enabled:
+                tracer.metrics.counter("node.busy_s", node=self.name).add(
+                    duration_s * cores
+                )
         finally:
             self.cpus.release(cores)
 

@@ -17,7 +17,7 @@ from typing import Any
 
 from repro.config import SerializationConfig
 
-__all__ = ["estimate_bytes", "Codec", "make_codecs", "Sized"]
+__all__ = ["estimate_bytes", "Codec", "make_codecs", "Sized", "record_codec"]
 
 #: Flat overhead charged for every boxed Python object.
 _OBJECT_OVERHEAD = 16
@@ -144,6 +144,31 @@ class CodecSuite:
         if producer_language == "python" and consumer_language == "python":
             return self.python
         return self.cross_language
+
+
+def record_codec(
+    tracer, codec: Codec, direction: str, nbytes: int, items: int, seconds: float
+) -> None:
+    """Count one codec invocation into a tracer's metrics registry.
+
+    Called by the engines wherever encode/decode time is charged
+    (workflow channels, sink gathering); keeps per-codec byte and
+    virtual-second totals so cross-language bridge costs (paper
+    Table I) are directly queryable.  No-op under the null tracer.
+    """
+    if not tracer.enabled:
+        return
+    metrics = tracer.metrics
+    metrics.counter("serialize.bytes", codec=codec.name, direction=direction).add(
+        nbytes
+    )
+    metrics.counter("serialize.items", codec=codec.name, direction=direction).add(
+        items
+    )
+    metrics.counter("serialize.seconds", codec=codec.name, direction=direction).add(
+        seconds
+    )
+    metrics.counter("serialize.calls", codec=codec.name, direction=direction).inc()
 
 
 def make_codecs(config: SerializationConfig) -> CodecSuite:

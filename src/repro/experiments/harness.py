@@ -3,11 +3,17 @@
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Tuple
+from typing import Callable, Optional, Tuple
 
+from repro.obs import Tracer, format_breakdown, tracing
 from repro.tasks.kge.common import KgeDataset, make_kge_dataset
 
-__all__ = ["cached_kge_dataset", "kge_paper_scales"]
+__all__ = [
+    "cached_kge_dataset",
+    "kge_paper_scales",
+    "run_traced",
+    "experiment_breakdown",
+]
 
 #: The paper's two KGE candidate-set sizes.
 KGE_SMALL = 6800
@@ -30,3 +36,26 @@ def cached_kge_dataset(
 def kge_paper_scales() -> Tuple[int, int]:
     """(6.8k, 68k) — the paper's KGE dataset sizes."""
     return KGE_SMALL, KGE_LARGE
+
+
+def run_traced(
+    experiment_fn: Callable[[], "object"], tracer: Optional[Tracer] = None
+) -> Tuple["object", Tracer]:
+    """Run one experiment with an observability tracer installed.
+
+    Every cluster the experiment builds records into the tracer as a
+    separate labelled run (``gotta/script``, ``gotta/workflow``, ...),
+    so the per-figure time breakdown splits each paradigm's virtual
+    time by mechanism — e.g. Fig 13d's GOTTA script time into
+    object-store put/get versus model compute.
+
+    Returns ``(experiment_report, tracer)``.
+    """
+    with tracing(tracer) as active:
+        report = experiment_fn()
+    return report, active
+
+
+def experiment_breakdown(tracer: Tracer) -> str:
+    """The per-run time-breakdown text for a traced experiment."""
+    return format_breakdown(tracer)

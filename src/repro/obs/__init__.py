@@ -1,0 +1,81 @@
+"""Observability for the simulated platforms: tracing, metrics, reports.
+
+The paper's claims are claims about *where time goes* — pipelining
+overlap, object-store serialization for the 1.59 GB BART model,
+cross-language bridge costs.  This package turns those buried charges
+into queryable data:
+
+* :mod:`repro.obs.tracer` — virtual-clock :class:`Span` collection with
+  a globally installable or per-run injectable :class:`Tracer` (the
+  default is the no-op :data:`NULL_TRACER`, so untraced runs pay
+  nothing and keep bit-identical timings);
+* :mod:`repro.obs.metrics` — labelled counters/gauges/histograms
+  (bytes per codec, network bytes per link, CPU-busy per node, ...);
+* :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (load it in
+  ``chrome://tracing`` or Perfetto) and plain-text time breakdowns.
+
+Quick use::
+
+    from repro.obs import tracing, format_breakdown, write_chrome_trace
+
+    with tracing() as tracer:
+        run = run_gotta_script(fresh_cluster(), paragraphs)
+    print(format_breakdown(tracer))
+    write_chrome_trace(tracer, "gotta.json")
+"""
+
+from repro.obs.export import (
+    DEFAULT_EXCLUDED_CATEGORIES,
+    STORE_AND_SERIALIZATION_CATEGORIES,
+    CategoryStat,
+    RunBreakdown,
+    breakdown,
+    chrome_trace,
+    chrome_trace_events,
+    format_breakdown,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceRun,
+    Tracer,
+    current_tracer,
+    install_tracer,
+    tracing,
+    uninstall_tracer,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "TraceRun",
+    "NULL_TRACER",
+    "install_tracer",
+    "uninstall_tracer",
+    "current_tracer",
+    "tracing",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "CategoryStat",
+    "RunBreakdown",
+    "breakdown",
+    "chrome_trace",
+    "chrome_trace_events",
+    "format_breakdown",
+    "write_chrome_trace",
+    "DEFAULT_EXCLUDED_CATEGORIES",
+    "STORE_AND_SERIALIZATION_CATEGORIES",
+]

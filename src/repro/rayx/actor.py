@@ -104,18 +104,29 @@ class ActorHandle:
     # -- actor loop ----------------------------------------------------------------
 
     def _loop(self) -> Generator:
+        tracer = self.runtime.tracer
         while True:
             message = yield self._mailbox.get()
             if isinstance(message, _Kill):
                 return
             method_name, args, ref = message
+            span = None
+            if tracer.enabled:
+                span = tracer.start(
+                    f"{self.actor_class.__name__}.{method_name}",
+                    category="rayx.actor",
+                    node=self.node.name,
+                    actor=self.name,
+                )
+                tracer.metrics.counter("rayx.actor_calls", actor=self.name).inc()
+            self._context.span = span
             yield self.runtime.env.timeout(self.runtime.config.rayx.task_dispatch_s)
             try:
                 resolved = []
                 for arg in args:
                     if isinstance(arg, ObjectRef):
                         value = yield from self.runtime.store.get(
-                            arg, self.node.name
+                            arg, self.node.name, parent=span
                         )
                         resolved.append(value)
                     else:
@@ -127,10 +138,16 @@ class ActorHandle:
                 else:
                     result = outcome
             except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
+                if span is not None:
+                    tracer.end(span, status="failed", error=type(exc).__name__)
                 ref.reject(exc)
                 continue
             self.calls_processed += 1
-            yield from self.runtime.store.store_result(ref, result, self.node.name)
+            yield from self.runtime.store.store_result(
+                ref, result, self.node.name, parent=span
+            )
+            if span is not None:
+                tracer.end(span, status="ok")
 
     def __repr__(self) -> str:
         state = "alive" if self._alive else "killed"

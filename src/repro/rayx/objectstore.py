@@ -50,27 +50,46 @@ class ObjectStore:
         self.get_count = 0
         self.bytes_stored = 0
 
-    def put(self, ref: ObjectRef, value: Any, node_name: str) -> Generator:
+    def put(
+        self, ref: ObjectRef, value: Any, node_name: str, parent=None
+    ) -> Generator:
         """Simulation process storing ``value`` on ``node_name``.
 
         Fulfils ``ref`` once the copy completes.
         """
         nbytes = estimate_bytes(value)
+        tracer = self.cluster.env.tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.start(
+                "put",
+                category="objectstore",
+                node=node_name,
+                parent=parent,
+                ref=ref.label,
+                nbytes=nbytes,
+            )
+            tracer.metrics.counter("objectstore.put.bytes").add(nbytes)
+            tracer.metrics.counter("objectstore.put.count").inc()
         node = self.cluster.node(node_name)
         node.allocate_ram(nbytes)
         yield self.cluster.env.timeout(self.config.put_time(nbytes))
         self._objects[ref.ref_id] = _StoredObject(value, nbytes, node_name)
         self.put_count += 1
         self.bytes_stored += nbytes
+        if span is not None:
+            tracer.end(span)
         ref.fulfil(value, node_name, nbytes)
         return ref
 
-    def store_result(self, ref: ObjectRef, value: Any, node_name: str) -> Generator:
+    def store_result(
+        self, ref: ObjectRef, value: Any, node_name: str, parent=None
+    ) -> Generator:
         """Store a task result (same cost model as :meth:`put`)."""
-        result = yield from self.put(ref, value, node_name)
+        result = yield from self.put(ref, value, node_name, parent=parent)
         return result
 
-    def get(self, ref: ObjectRef, node_name: str) -> Generator:
+    def get(self, ref: ObjectRef, node_name: str, parent=None) -> Generator:
         """Simulation process dereferencing ``ref`` from ``node_name``.
 
         Waits for the object to exist, pays the transfer if this node
@@ -80,6 +99,21 @@ class ObjectStore:
         stored = self._objects.get(ref.ref_id)
         if stored is None:
             raise ObjectNotFound(f"{ref.ref_id} fulfilled but not stored")
+        # The span opens only after the object exists: waiting for a
+        # producer is scheduling time, not object-store cost.
+        tracer = self.cluster.env.tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.start(
+                "get",
+                category="objectstore",
+                node=node_name,
+                parent=parent,
+                ref=ref.label,
+                nbytes=stored.nbytes,
+            )
+            tracer.metrics.counter("objectstore.get.bytes").add(stored.nbytes)
+            tracer.metrics.counter("objectstore.get.count").inc()
         if node_name not in stored.replicas:
             yield self.cluster.env.process(
                 self.cluster.transfer(stored.owner_node, node_name, stored.nbytes)
@@ -88,6 +122,8 @@ class ObjectStore:
             stored.replicas.add(node_name)
         yield self.cluster.env.timeout(self.config.get_time(stored.nbytes))
         self.get_count += 1
+        if span is not None:
+            tracer.end(span)
         return value
 
     def contains(self, ref: ObjectRef) -> bool:

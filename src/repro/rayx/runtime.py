@@ -60,6 +60,9 @@ class TaskContext:
     def __init__(self, runtime: "RayxRuntime", node: Node) -> None:
         self.runtime = runtime
         self.node = node
+        #: Enclosing trace span (the task's or driver's); object-store
+        #: and compute spans recorded through this context nest under it.
+        self.span = None
 
     @property
     def node_name(self) -> str:
@@ -67,7 +70,19 @@ class TaskContext:
 
     def compute(self, cpu_seconds: float, cores: int = 1) -> Generator:
         """Occupy ``cores`` of this task's node for ``cpu_seconds``."""
+        tracer = self.runtime.env.tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.start(
+                "compute",
+                category="compute",
+                node=self.node.name,
+                parent=self.span,
+                cores=cores,
+            )
         yield from self.node.compute(cpu_seconds, cores=cores)
+        if span is not None:
+            tracer.end(span)
 
     def model_compute(self, flops: float) -> Generator:
         """Run framework (PyTorch-like) compute inside this task.
@@ -79,17 +94,34 @@ class TaskContext:
         config = self.runtime.config
         cores = config.rayx.torch_cores_per_task
         throughput = config.topology.machine.flops_per_core_per_s * cores
+        tracer = self.runtime.env.tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.start(
+                "model_compute",
+                category="compute",
+                node=self.node.name,
+                parent=self.span,
+                cores=cores,
+                flops=flops,
+            )
         yield from self.node.compute(flops / throughput, cores=cores)
+        if span is not None:
+            tracer.end(span)
 
     def get(self, ref: ObjectRef) -> Generator:
         """Dereference an object ref from this task's node."""
-        value = yield from self.runtime.store.get(ref, self.node.name)
+        value = yield from self.runtime.store.get(
+            ref, self.node.name, parent=self.span
+        )
         return value
 
     def put(self, value: Any, label: str = "object") -> Generator:
         """Store ``value`` in the object store from this node."""
         ref = ObjectRef(self.runtime.env, label)
-        yield from self.runtime.store.put(ref, value, self.node.name)
+        yield from self.runtime.store.put(
+            ref, value, self.node.name, parent=self.span
+        )
         return ref
 
 
@@ -114,6 +146,9 @@ class RayxRuntime:
         self._task_counter = 0
         self.tasks_submitted = 0
         self.tasks_completed = 0
+        self.tracer = cluster.tracer
+        #: Span covering the driver's lifetime; tasks nest under it.
+        self._driver_span = None
 
     # -- task submission -------------------------------------------------------
 
@@ -138,14 +173,28 @@ class RayxRuntime:
     def _run_task(
         self, fn: Callable[..., Any], args: Sequence[Any], ref: ObjectRef, node: Node
     ) -> Generator:
+        tracer = self.tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.start(
+                ref.label,
+                category="rayx.task",
+                node=node.name,
+                parent=self._driver_span,
+            )
+            tracer.metrics.counter("rayx.tasks").inc()
         yield self.slots.request()
+        if span is not None:
+            # Time spent queued for a num_cpus slot, visible per task.
+            span.attrs["queued_s"] = round(self.env.now - span.start_s, 9)
         try:
             yield self.env.timeout(self.config.rayx.task_dispatch_s)
             context = TaskContext(self, node)
+            context.span = span
             resolved: List[Any] = []
             for arg in args:
                 if isinstance(arg, ObjectRef):
-                    value = yield from self.store.get(arg, node.name)
+                    value = yield from self.store.get(arg, node.name, parent=span)
                     resolved.append(value)
                 else:
                     resolved.append(arg)
@@ -155,12 +204,16 @@ class RayxRuntime:
             else:
                 result = outcome
         except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
+            if span is not None:
+                tracer.end(span, status="failed", error=type(exc).__name__)
             ref.reject(exc)
             return
         finally:
             self.slots.release()
-        yield from self.store.store_result(ref, result, node.name)
+        yield from self.store.store_result(ref, result, node.name, parent=span)
         self.tasks_completed += 1
+        if span is not None:
+            tracer.end(span, status="ok")
 
     # -- actors --------------------------------------------------------------------
 
@@ -185,14 +238,18 @@ class RayxRuntime:
 
     def get(self, ref: ObjectRef) -> Generator:
         """Driver-side ``ray.get`` for one ref."""
-        value = yield from self.store.get(ref, CONTROLLER)
+        value = yield from self.store.get(
+            ref, CONTROLLER, parent=self.driver_context.span
+        )
         return value
 
     def get_all(self, refs: Iterable[ObjectRef]) -> Generator:
         """Driver-side ``ray.get`` for a list of refs (in order)."""
         values: List[Any] = []
         for ref in refs:
-            value = yield from self.store.get(ref, CONTROLLER)
+            value = yield from self.store.get(
+                ref, CONTROLLER, parent=self.driver_context.span
+            )
             values.append(value)
         return values
 
@@ -242,13 +299,31 @@ def run_script(
     ``cluster.env.now``.
     """
     runtime = RayxRuntime(cluster, num_cpus=num_cpus, config=config)
+    tracer = runtime.tracer
 
     def main() -> Generator:
+        startup_span = None
+        if tracer.enabled:
+            startup_span = tracer.start(
+                "startup", category="rayx.startup", node=CONTROLLER
+            )
         yield cluster.env.timeout(runtime.config.rayx.startup_s)
+        if startup_span is not None:
+            tracer.end(startup_span)
         body = driver(runtime)
         if not inspect.isgenerator(body):
             raise RayxError("driver must be a generator function taking (rt)")
-        result = yield from body
+        if tracer.enabled:
+            runtime._driver_span = tracer.start(
+                "driver", category="rayx.driver", node=CONTROLLER
+            )
+            runtime.driver_context.span = runtime._driver_span
+        try:
+            result = yield from body
+        finally:
+            if runtime._driver_span is not None:
+                tracer.end(runtime._driver_span)
+                runtime._driver_span = None
         return result
 
     try:

@@ -30,6 +30,7 @@ import itertools
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from repro.errors import EmptySchedule, EventAlreadyTriggered, ProcessFailed
+from repro.obs.tracer import NULL_TRACER
 
 __all__ = [
     "Environment",
@@ -139,6 +140,16 @@ class Timeout(Event):
         self.value = value
         self.state = TRIGGERED
         env._schedule(self, delay=delay)
+        tracer = env.tracer
+        if tracer.enabled:
+            tracer.metrics.counter("sim.timeouts").inc()
+            if tracer.capture_timeouts:
+                tracer.record_complete(
+                    "timeout",
+                    category="sim.timeout",
+                    start_s=env.now,
+                    end_s=env.now + delay,
+                )
 
 
 class Process(Event):
@@ -157,6 +168,11 @@ class Process(Event):
         super().__init__(env)
         self._generator = generator
         self.name = getattr(generator, "__name__", "process")
+        self._span = (
+            env.tracer.start(self.name, category="sim.process")
+            if env.tracer.enabled
+            else None
+        )
         # Bootstrap: resume on the next kernel step at the current time.
         bootstrap = Event(env)
         bootstrap.succeed()
@@ -170,11 +186,17 @@ class Process(Event):
             else:
                 target = self._generator.send(event.value)
         except StopIteration as stop:
+            if self._span is not None:
+                self.env.tracer.end(self._span, status="ok")
             self.succeed(stop.value)
             return
         except BaseException as exc:  # noqa: BLE001 - must capture all
             # A process that dies forwards its exception to waiters; if
             # nothing ever waits, Environment.run() raises at the end.
+            if self._span is not None:
+                self.env.tracer.end(
+                    self._span, status="failed", error=type(exc).__name__
+                )
             self.env._note_failure(self, exc)
             self.fail(exc)
             return
@@ -255,6 +277,10 @@ class Environment:
         self._queue: List = []
         self._sequence = itertools.count()
         self._failures: List[ProcessFailure] = []
+        #: Observability hook; clusters replace this with an enabled
+        #: tracer (``repro.obs``).  The null default records nothing and
+        #: leaves event scheduling — hence all timings — untouched.
+        self.tracer = NULL_TRACER
 
     @property
     def now(self) -> float:
@@ -299,6 +325,8 @@ class Environment:
             raise EmptySchedule("no scheduled events remain")
         when, _priority, _seq, event = heapq.heappop(self._queue)
         self._now = when
+        if self.tracer.enabled:
+            self.tracer.metrics.counter("sim.events").inc()
         event._process_callbacks()
 
     def peek(self) -> float:

@@ -21,10 +21,17 @@ from typing import Any, Dict, Optional
 
 from repro.cluster import Cluster, build_cluster
 from repro.config import ReproConfig, default_config
+from repro.obs.tracer import Tracer
 from repro.relational import Table
 from repro.sim import Environment
 
-__all__ = ["TaskRun", "fresh_cluster", "PARADIGM_SCRIPT", "PARADIGM_WORKFLOW"]
+__all__ = [
+    "TaskRun",
+    "fresh_cluster",
+    "run_trace_of",
+    "PARADIGM_SCRIPT",
+    "PARADIGM_WORKFLOW",
+]
 
 PARADIGM_SCRIPT = "script"
 PARADIGM_WORKFLOW = "workflow"
@@ -42,6 +49,10 @@ class TaskRun:
     num_workers: int = 1
     #: Task-specific extras (losses, exact-match, operator count, ...).
     extras: Dict[str, Any] = field(default_factory=dict)
+    #: The tracer that observed this run (None when tracing was off);
+    #: feed it to :func:`repro.obs.format_breakdown` or
+    #: :func:`repro.obs.write_chrome_trace`.
+    trace: Optional[Tracer] = None
 
     def __repr__(self) -> str:
         return (
@@ -51,11 +62,25 @@ class TaskRun:
         )
 
 
-def fresh_cluster(config: Optional[ReproConfig] = None) -> Cluster:
+def fresh_cluster(
+    config: Optional[ReproConfig] = None, tracer: Optional[Tracer] = None
+) -> Cluster:
     """A new simulated testbed with its clock at zero.
 
     Every measurement in the experiment harness runs on a fresh
     cluster, mirroring how the paper timed each configuration from
-    submission to completion.
+    submission to completion.  ``tracer`` injects an observability
+    tracer for this run; by default the globally installed tracer (or
+    the no-op null tracer) is used.
     """
-    return build_cluster(Environment(), config or default_config())
+    return build_cluster(Environment(), config or default_config(), tracer=tracer)
+
+
+def run_trace_of(cluster: Cluster) -> Optional[Tracer]:
+    """The cluster's tracer if it recorded anything, else None.
+
+    Task runners store this on :attr:`TaskRun.trace` so callers can
+    tell "traced" from "untraced" runs without poking at the null
+    tracer singleton.
+    """
+    return cluster.tracer if cluster.tracer.enabled else None

@@ -18,7 +18,7 @@ from repro.datasets.maccrobat import CaseReport
 from repro.rayx import TaskContext, run_script
 from repro.relational import Table
 from repro.storage.textio import split_sentences
-from repro.tasks.base import PARADIGM_SCRIPT, TaskRun
+from repro.tasks.base import PARADIGM_SCRIPT, TaskRun, run_trace_of
 from repro.tasks.dice.common import (
     DICE_COSTS,
     OUTPUT_SCHEMA,
@@ -87,6 +87,7 @@ def run_dice_script(
         yield from rt.driver_context.compute(DICE_COSTS.collect_per_row_s * len(rows))
         return Table.from_rows(OUTPUT_SCHEMA, rows)
 
+    cluster.tracer.label_run("dice/script")
     start = cluster.env.now
     output = run_script(cluster, driver, num_cpus=num_cpus)
     return TaskRun(
@@ -95,5 +96,6 @@ def run_dice_script(
         output=output,
         elapsed_s=cluster.env.now - start,
         num_workers=num_cpus,
+        trace=run_trace_of(cluster),
         extras={"file_pairs": len(reports)},
     )

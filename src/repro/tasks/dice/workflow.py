@@ -18,7 +18,7 @@ from typing import Sequence
 from repro.cluster import Cluster
 from repro.datasets.maccrobat import CaseReport
 from repro.relational import FieldType, Schema, Tuple, udf_predicate
-from repro.tasks.base import PARADIGM_WORKFLOW, TaskRun
+from repro.tasks.base import PARADIGM_WORKFLOW, TaskRun, run_trace_of
 from repro.storage.textio import split_sentences
 from repro.tasks.dice.common import (
     DICE_COSTS,
@@ -464,6 +464,7 @@ def run_dice_workflow(
         wf = build_dice_workflow_relational(reports, num_workers=num_workers)
     else:
         raise ValueError(f"unknown DICE workflow style {style!r}")
+    cluster.tracer.label_run("dice/workflow")
     result = run_workflow(cluster, wf)
     return TaskRun(
         task="dice",
@@ -471,6 +472,7 @@ def run_dice_workflow(
         output=result.table("view-results"),
         elapsed_s=result.elapsed_s,
         num_workers=num_workers,
+        trace=run_trace_of(cluster),
         extras={
             "file_pairs": len(reports),
             "num_operators": wf.num_operators,

@@ -17,7 +17,7 @@ from repro.datasets.fsqa import FsqaParagraph
 from repro.ml.dataloader import DataLoader, TextDataset
 from repro.rayx import TaskContext, run_script
 from repro.relational import Table
-from repro.tasks.base import PARADIGM_SCRIPT, TaskRun
+from repro.tasks.base import PARADIGM_SCRIPT, TaskRun, run_trace_of
 from repro.tasks.gotta.common import (
     GOTTA_COSTS,
     PREDICTION_SCHEMA,
@@ -73,6 +73,7 @@ def run_gotta_script(
         )
         return Table.from_rows(PREDICTION_SCHEMA, rows)
 
+    cluster.tracer.label_run("gotta/script")
     start = cluster.env.now
     output = run_script(cluster, driver, num_cpus=num_cpus)
     return TaskRun(
@@ -81,6 +82,7 @@ def run_gotta_script(
         output=output,
         elapsed_s=cluster.env.now - start,
         num_workers=num_cpus,
+        trace=run_trace_of(cluster),
         extras={
             "num_paragraphs": len(paragraphs),
             "exact_match": exact_match_of(output),

@@ -15,7 +15,7 @@ from typing import Sequence
 from repro.cluster import Cluster
 from repro.datasets.fsqa import FsqaParagraph
 from repro.relational import Tuple
-from repro.tasks.base import PARADIGM_WORKFLOW, TaskRun
+from repro.tasks.base import PARADIGM_WORKFLOW, TaskRun, run_trace_of
 from repro.tasks.gotta.common import (
     GOTTA_COSTS,
     PREDICTION_SCHEMA,
@@ -87,6 +87,7 @@ def run_gotta_workflow(
     wf = build_gotta_workflow(
         paragraphs, num_workers=num_workers, load_seconds=load_seconds
     )
+    cluster.tracer.label_run("gotta/workflow")
     result = run_workflow(cluster, wf)
     output = result.table("predictions")
     return TaskRun(
@@ -95,6 +96,7 @@ def run_gotta_workflow(
         output=output,
         elapsed_s=result.elapsed_s,
         num_workers=num_workers,
+        trace=run_trace_of(cluster),
         extras={
             "num_paragraphs": len(paragraphs),
             "exact_match": exact_match_of(output),

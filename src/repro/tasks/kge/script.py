@@ -17,7 +17,7 @@ from repro.cluster import Cluster
 from repro.datasets.amazon import PURCHASE_RELATION, Product
 from repro.rayx import TaskContext, run_script
 from repro.relational import Table
-from repro.tasks.base import PARADIGM_SCRIPT, TaskRun
+from repro.tasks.base import PARADIGM_SCRIPT, TaskRun, run_trace_of
 from repro.tasks.kge.common import KGE_COSTS, RESULT_SCHEMA, KgeDataset
 
 __all__ = ["run_kge_script"]
@@ -90,6 +90,7 @@ def run_kge_script(
             rows.append([position, recovered, dataset.names[recovered], score])
         return Table.from_rows(RESULT_SCHEMA, rows)
 
+    cluster.tracer.label_run("kge/script")
     start = cluster.env.now
     output = run_script(cluster, driver, num_cpus=num_cpus)
     return TaskRun(
@@ -98,5 +99,6 @@ def run_kge_script(
         output=output,
         elapsed_s=cluster.env.now - start,
         num_workers=num_cpus,
+        trace=run_trace_of(cluster),
         extras={"num_candidates": dataset.num_candidates},
     )

@@ -33,7 +33,7 @@ from repro.relational import (
     Tuple,
     column_is_not_null,
 )
-from repro.tasks.base import PARADIGM_WORKFLOW, TaskRun
+from repro.tasks.base import PARADIGM_WORKFLOW, TaskRun, run_trace_of
 from repro.tasks.kge.common import (
     EMBEDDED_SCHEMA,
     KGE_COSTS,
@@ -409,6 +409,7 @@ def run_kge_workflow(
         num_workers=num_workers,
         models_config=cluster.config.models,
     )
+    cluster.tracer.label_run("kge/workflow")
     result = run_workflow(cluster, wf)
     return TaskRun(
         task="kge",
@@ -416,6 +417,7 @@ def run_kge_workflow(
         output=result.table("recommendations"),
         elapsed_s=result.elapsed_s,
         num_workers=num_workers,
+        trace=run_trace_of(cluster),
         extras={
             "num_candidates": dataset.num_candidates,
             "num_processing_ops": num_processing_ops,

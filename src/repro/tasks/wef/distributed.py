@@ -24,7 +24,7 @@ from repro.cluster import Cluster
 from repro.datasets.wildfire import FRAMINGS, LabeledTweet
 from repro.rayx import TaskContext, run_script
 from repro.relational import Table
-from repro.tasks.base import PARADIGM_SCRIPT, TaskRun
+from repro.tasks.base import PARADIGM_SCRIPT, TaskRun, run_trace_of
 from repro.tasks.wef.common import (
     LOSS_SCHEMA,
     WEF_COSTS,
@@ -95,6 +95,7 @@ def run_wef_distributed(
             models[framing] = model
         return Table.from_rows(LOSS_SCHEMA, rows), models
 
+    cluster.tracer.label_run("wef-distributed/script")
     start = cluster.env.now
     output, models = run_script(cluster, driver, num_cpus=num_cpus)
     return TaskRun(
@@ -103,5 +104,6 @@ def run_wef_distributed(
         output=output,
         elapsed_s=cluster.env.now - start,
         num_workers=num_cpus,
+        trace=run_trace_of(cluster),
         extras={"num_tweets": len(tweets), "models": models},
     )

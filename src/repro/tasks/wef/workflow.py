@@ -24,7 +24,7 @@ from typing import Iterable, List, Sequence
 from repro.cluster import Cluster
 from repro.datasets.wildfire import FRAMINGS, LabeledTweet
 from repro.relational import Schema, Tuple
-from repro.tasks.base import PARADIGM_WORKFLOW, TaskRun
+from repro.tasks.base import PARADIGM_WORKFLOW, TaskRun, run_trace_of
 from repro.tasks.wef.common import (
     LOSS_SCHEMA,
     WEF_COSTS,
@@ -118,6 +118,7 @@ def build_wef_workflow(tweets: Sequence[LabeledTweet]) -> Workflow:
 def run_wef_workflow(cluster: Cluster, tweets: Sequence[LabeledTweet]) -> TaskRun:
     """Run the workflow-paradigm WEF task; returns its :class:`TaskRun`."""
     wf = build_wef_workflow(tweets)
+    cluster.tracer.label_run("wef/workflow")
     result = run_workflow(cluster, wf)
     train = wf.operators["train-framing-ensemble"]
     return TaskRun(
@@ -126,6 +127,7 @@ def run_wef_workflow(cluster: Cluster, tweets: Sequence[LabeledTweet]) -> TaskRu
         output=result.table("training-summary"),
         elapsed_s=result.elapsed_s,
         num_workers=1,
+        trace=run_trace_of(cluster),
         extras={
             "num_tweets": len(tweets),
             "models": dict(train.trained_models),

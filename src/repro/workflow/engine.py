@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Any, Dict, Generator, List, Optional, Sequence
 
 from repro.cluster import CONTROLLER, Cluster, Codec, Node, estimate_bytes
+from repro.cluster.serialization import record_codec
 from repro.config import ReproConfig
 from repro.errors import OperatorError
 from repro.relational import Table, Tuple
@@ -224,6 +225,9 @@ class WorkflowController:
         self.workflow = workflow
         self.config = config or cluster.config
         self.env = cluster.env
+        self.tracer = cluster.tracer
+        #: Span covering the whole execution; instance spans nest under it.
+        self._exec_span = None
         self.progress = ProgressTracker()
         self._instances: Dict[str, List[_Instance]] = {}
         self._placement_counter = 0
@@ -358,6 +362,13 @@ class WorkflowController:
     def execute(self) -> Generator:
         """Simulation process: run the workflow, return a result."""
         start = self.env.now
+        tracer = self.tracer
+        if tracer.enabled:
+            self._exec_span = tracer.start(
+                self.workflow.name or "workflow",
+                category="workflow.controller",
+                node=CONTROLLER,
+            )
         self.workflow.compile_schemas()  # validates + captures schemas
         self._build_plan()
         wf_config = self.config.workflow
@@ -365,7 +376,18 @@ class WorkflowController:
             wf_config.startup_s
             + wf_config.operator_deploy_s * self.workflow.num_operators
         )
+        deploy_span = None
+        if tracer.enabled:
+            deploy_span = tracer.start(
+                "deploy",
+                category="workflow.deploy",
+                node=CONTROLLER,
+                parent=self._exec_span,
+                operators=self.workflow.num_operators,
+            )
         yield self.env.timeout(deploy_time)
+        if deploy_span is not None:
+            tracer.end(deploy_span)
         for progress in (
             self.progress.of(op_id) for op_id in self._instances
         ):
@@ -382,10 +404,16 @@ class WorkflowController:
                 progress = self.progress.of(op_id)
                 if progress.state is not OperatorState.COMPLETED:
                     progress.transition(OperatorState.FAILED)
+            if self._exec_span is not None:
+                tracer.end(self._exec_span, status="failed")
+                self._exec_span = None
             raise
 
         results, charts = yield from self._gather_results()
         elapsed = self.env.now - start
+        if self._exec_span is not None:
+            tracer.end(self._exec_span, status="ok")
+            self._exec_span = None
         stats = {
             op_id: {
                 "instances": len(instances),
@@ -422,7 +450,22 @@ class WorkflowController:
                     self.cluster.transfer(instance.node.name, CONTROLLER, nbytes)
                 )
                 codec = self.cluster.codecs.python
-                yield from controller_node.compute(codec.decode_time(nbytes))
+                decode_s = codec.decode_time(nbytes)
+                tracer = self.tracer
+                span = None
+                if tracer.enabled:
+                    record_codec(tracer, codec, "decode", nbytes, 0, decode_s)
+                    span = tracer.start(
+                        "gather-sink",
+                        category="serialization",
+                        node=CONTROLLER,
+                        parent=self._exec_span,
+                        sink=op_id,
+                        nbytes=nbytes,
+                    )
+                yield from controller_node.compute(decode_s)
+                if span is not None:
+                    tracer.end(span)
                 results[op_id] = table
                 if isinstance(executor, _VisualizationExecutor):
                     charts[op_id] = executor.chart_spec()
@@ -433,6 +476,17 @@ class WorkflowController:
     def _run_instance(self, instance: _Instance) -> Generator:
         operator = instance.operator
         executor = instance.executor
+        tracer = self.tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.start(
+                f"{operator.operator_id}[{instance.worker_index}]",
+                category="workflow.operator",
+                node=instance.node.name,
+                parent=self._exec_span,
+                operator=operator.operator_id,
+                language=operator.language.value,
+            )
         try:
             executor.open()
             yield from self._settle_charges(instance)
@@ -444,9 +498,15 @@ class WorkflowController:
             yield from self._settle_charges(instance)
             yield from self._finish_outbound(instance)
         except OperatorError:
+            if span is not None:
+                tracer.end(span, status="failed")
             raise
         except Exception as exc:
+            if span is not None:
+                tracer.end(span, status="failed", error=type(exc).__name__)
             raise OperatorError(operator.operator_id, str(exc)) from exc
+        if span is not None:
+            tracer.end(span, status="ok", busy_s=round(instance.busy_s, 9))
         progress = self.progress.of(operator.operator_id)
         progress.worker_completed()
         if progress.state is OperatorState.COMPLETED:
@@ -482,11 +542,30 @@ class WorkflowController:
                     continue
                 yield from self._pause_point()
                 # Decode + handling on the consumer's node.
+                decode_s = port.codec.decode_time(message.nbytes, len(message.tuples))
+                tracer = self.tracer
+                span = None
+                if tracer.enabled:
+                    record_codec(
+                        tracer,
+                        port.codec,
+                        "decode",
+                        message.nbytes,
+                        len(message.tuples),
+                        decode_s,
+                    )
+                    span = tracer.start(
+                        f"decode:{port.codec.name}",
+                        category="serialization",
+                        node=instance.node.name,
+                        nbytes=message.nbytes,
+                    )
                 yield from self._instance_compute(
                     instance,
-                    port.codec.decode_time(message.nbytes, len(message.tuples))
-                    + self.config.workflow.batch_handling_s,
+                    decode_s + self.config.workflow.batch_handling_s,
                 )
+                if span is not None:
+                    tracer.end(span)
                 outputs: List[Tuple] = []
                 seconds = 0.0
                 flops = 0.0
@@ -552,11 +631,32 @@ class WorkflowController:
         batch = _Batch(rows)
         outbound.observe_batch(batch)
         # Encode + handling on the producer's node.
+        encode_s = outbound.codec.encode_time(batch.nbytes, len(batch.tuples))
+        tracer = self.tracer
+        span = None
+        if tracer.enabled:
+            link = f"{outbound.link.producer_id}->{outbound.link.consumer_id}"
+            record_codec(
+                tracer, outbound.codec, "encode", batch.nbytes, len(batch.tuples),
+                encode_s,
+            )
+            tracer.metrics.counter("workflow.batches", link=link).inc()
+            tracer.metrics.counter("workflow.tuples", link=link).add(
+                len(batch.tuples)
+            )
+            tracer.metrics.counter("workflow.bytes", link=link).add(batch.nbytes)
+            span = tracer.start(
+                f"encode:{outbound.codec.name}",
+                category="serialization",
+                node=instance.node.name,
+                nbytes=batch.nbytes,
+            )
         yield from self._instance_compute(
             instance,
-            outbound.codec.encode_time(batch.nbytes, len(batch.tuples))
-            + self.config.workflow.batch_handling_s,
+            encode_s + self.config.workflow.batch_handling_s,
         )
+        if span is not None:
+            tracer.end(span)
         destination = outbound.consumer_nodes[index]
         if destination.name != instance.node.name:
             yield self.env.process(
@@ -564,7 +664,13 @@ class WorkflowController:
                     instance.node.name, destination.name, batch.nbytes
                 )
             )
-        yield outbound.consumer_ports[index].store.put(batch)
+        store = outbound.consumer_ports[index].store
+        if tracer.enabled:
+            link = f"{outbound.link.producer_id}->{outbound.link.consumer_id}"
+            tracer.metrics.histogram("workflow.queue_depth", link=link).record(
+                len(store)
+            )
+        yield store.put(batch)
 
     def _finish_outbound(self, instance: _Instance) -> Generator:
         """Flush residual buffers and propagate EOS markers."""

@@ -1,0 +1,113 @@
+"""Integration tests: tracer wired through both simulated engines."""
+
+import pytest
+
+from repro.cluster.serialization import estimate_bytes
+from repro.obs import Tracer, breakdown, tracing
+from repro.tasks.base import fresh_cluster
+from repro.tasks.kge.common import make_kge_dataset
+from repro.tasks.kge.workflow import run_kge_workflow
+
+
+@pytest.fixture()
+def kge_dataset():
+    return make_kge_dataset(120, universe_size=600)
+
+
+def test_rayx_objectstore_counters_match_estimate_bytes():
+    payloads = [list(range(50)), "x" * 2000, {"k": 1.5}]
+
+    def driver(rt):
+        refs = []
+        for payload in payloads:
+            ref = yield from rt.put(payload)
+            refs.append(ref)
+        for ref in refs:
+            yield from rt.get(ref)
+        return None
+
+    from repro.rayx import run_script
+
+    with tracing() as tracer:
+        run_script(fresh_cluster(), driver)
+
+    expected = sum(estimate_bytes(p) for p in payloads)
+    metrics = tracer.metrics
+    assert metrics.total("objectstore.put.bytes") == expected
+    assert metrics.total("objectstore.get.bytes") == expected
+    assert metrics.total("objectstore.put.count") == len(payloads)
+    assert metrics.total("objectstore.get.count") == len(payloads)
+    # Span-level attributes agree with the counters.
+    put_bytes = sum(
+        s.attrs["nbytes"] for s in tracer.finished_spans(category="objectstore")
+        if s.name == "put"
+    )
+    assert put_bytes == expected
+
+
+def test_workflow_channel_counters_match_estimate_bytes(kge_dataset):
+    with tracing() as tracer:
+        run = run_kge_workflow(fresh_cluster(), kge_dataset)
+
+    assert run.trace is tracer
+    metrics = tracer.metrics
+    # Every encoded batch records its estimate_bytes size both in the
+    # per-link counters and on its serialization span; the independent
+    # sums must agree exactly.
+    encode_span_bytes = sum(
+        s.attrs["nbytes"]
+        for s in tracer.finished_spans(category="serialization")
+        if s.name.startswith("encode:")
+    )
+    assert metrics.total("workflow.bytes") == encode_span_bytes
+    assert metrics.total("workflow.bytes") > 0
+    assert metrics.value(
+        "serialize.bytes", codec="python", direction="encode"
+    ) == pytest.approx(metrics.total("workflow.bytes"))
+    # One batch counter tick per encode span.
+    n_encodes = len(
+        [
+            s
+            for s in tracer.finished_spans(category="serialization")
+            if s.name.startswith("encode:")
+        ]
+    )
+    assert metrics.total("workflow.batches") == n_encodes
+    # Output rows all flowed through the sink link's tuple counter.
+    assert metrics.total("workflow.tuples") > 0
+
+
+def test_workflow_run_produces_operator_and_controller_spans(kge_dataset):
+    with tracing() as tracer:
+        run_kge_workflow(fresh_cluster(), kge_dataset)
+    (run,) = [b for b in breakdown(tracer) if b.label == "kge/workflow"]
+    assert run.category_total("workflow.controller") == pytest.approx(run.wall_s)
+    assert run.category_total("workflow.operator") > 0
+    assert run.category_total("workflow.deploy") > 0
+
+
+def test_one_tracer_observes_both_engines(kge_dataset):
+    from repro.tasks.kge.script import run_kge_script
+
+    with tracing() as tracer:
+        run_kge_script(fresh_cluster(), kge_dataset)
+        run_kge_workflow(fresh_cluster(), kge_dataset)
+
+    labels = [r.label for r in tracer.runs]
+    assert labels == ["kge/script", "kge/workflow"]
+    categories = {s.category for s in tracer.finished_spans()}
+    assert {"rayx.task", "rayx.driver", "objectstore"} <= categories
+    assert {"workflow.controller", "workflow.operator"} <= categories
+
+
+def test_node_busy_counter_accumulates(kge_dataset):
+    with tracing() as tracer:
+        run_kge_workflow(fresh_cluster(), kge_dataset)
+    assert tracer.metrics.total("node.busy_s") > 0
+
+
+def test_untraced_run_records_nothing(kge_dataset):
+    tracer = Tracer()  # never installed
+    run = run_kge_workflow(fresh_cluster(), kge_dataset)
+    assert run.trace is None
+    assert tracer.spans == []

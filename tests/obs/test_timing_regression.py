@@ -1,0 +1,89 @@
+"""Tracing must never change simulated timings.
+
+Two guarantees, both load-bearing for the paper reproduction:
+
+* with the default null tracer, every task accumulates virtual time
+  **bit-identical** to the pre-observability seed (the constants below
+  were recorded before the instrumentation existed);
+* enabling a tracer changes *nothing* — recording is bookkeeping only,
+  so traced and untraced runs agree to the last bit as well.
+"""
+
+import pytest
+
+from repro.datasets.fsqa import generate_fsqa
+from repro.datasets.maccrobat import generate_maccrobat
+from repro.datasets.wildfire import generate_wildfire_tweets
+from repro.obs import Tracer, tracing
+from repro.tasks.base import fresh_cluster
+from repro.tasks.dice.script import run_dice_script
+from repro.tasks.dice.workflow import run_dice_workflow
+from repro.tasks.gotta.script import run_gotta_script
+from repro.tasks.gotta.workflow import run_gotta_workflow
+from repro.tasks.kge.common import make_kge_dataset
+from repro.tasks.kge.script import run_kge_script
+from repro.tasks.kge.workflow import run_kge_workflow
+from repro.tasks.wef.script import run_wef_script
+from repro.tasks.wef.workflow import run_wef_workflow
+
+#: Virtual timings recorded at the seed, before repro.obs existed.
+#: Exact float equality is intentional: the simulation is
+#: deterministic, and any drift means instrumentation leaked time.
+SEED_TIMINGS = {
+    "gotta/script-1": 144.76202222480745,
+    "gotta/workflow-1": 63.28371245803674,
+    "gotta/script-4": 394.96291672400747,
+    "dice/script-4": 6.1191600006,
+    "dice/workflow-4": 8.091464697066668,
+    "kge/script": 20.96539552413334,
+    "kge/workflow": 14.958064386766669,
+    "wef/script": 268.78335006426664,
+    "wef/workflow": 258.2124729179,
+}
+
+
+def _run_all():
+    paras1 = generate_fsqa(1)
+    paras4 = generate_fsqa(4)
+    reports = generate_maccrobat(4)
+    kge = make_kge_dataset(300, universe_size=1000)
+    tweets = generate_wildfire_tweets(40)
+    return {
+        "gotta/script-1": run_gotta_script(fresh_cluster(), paras1).elapsed_s,
+        "gotta/workflow-1": run_gotta_workflow(fresh_cluster(), paras1).elapsed_s,
+        "gotta/script-4": run_gotta_script(fresh_cluster(), paras4).elapsed_s,
+        "dice/script-4": run_dice_script(fresh_cluster(), reports).elapsed_s,
+        "dice/workflow-4": run_dice_workflow(fresh_cluster(), reports).elapsed_s,
+        "kge/script": run_kge_script(fresh_cluster(), kge).elapsed_s,
+        "kge/workflow": run_kge_workflow(fresh_cluster(), kge).elapsed_s,
+        "wef/script": run_wef_script(fresh_cluster(), tweets).elapsed_s,
+        "wef/workflow": run_wef_workflow(fresh_cluster(), tweets).elapsed_s,
+    }
+
+
+def test_null_tracer_timings_bit_identical_to_seed():
+    assert _run_all() == SEED_TIMINGS
+
+
+def test_enabled_tracer_does_not_perturb_timings():
+    with tracing(Tracer()):
+        traced = _run_all()
+    assert traced == SEED_TIMINGS
+
+
+def test_capture_timeouts_does_not_perturb_timings():
+    # The noisiest possible tracer setting still charges zero time.
+    with tracing(Tracer(capture_timeouts=True)):
+        key = "gotta/script-1"
+        elapsed = run_gotta_script(fresh_cluster(), generate_fsqa(1)).elapsed_s
+    assert elapsed == SEED_TIMINGS[key]
+
+
+@pytest.mark.parametrize("paradigm", ["script", "workflow"])
+def test_traced_output_rows_match_untraced(paradigm):
+    dataset = make_kge_dataset(120, universe_size=600)
+    runner = run_kge_script if paradigm == "script" else run_kge_workflow
+    plain = runner(fresh_cluster(), dataset)
+    with tracing(Tracer()):
+        traced = runner(fresh_cluster(), dataset)
+    assert traced.output.rows == plain.output.rows

@@ -1,0 +1,163 @@
+"""Tests for virtual-clock span tracing."""
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    Tracer,
+    current_tracer,
+    install_tracer,
+    tracing,
+    uninstall_tracer,
+)
+from repro.sim import Environment
+
+
+def test_span_lifecycle_reads_virtual_clock():
+    env = Environment()
+    tracer = Tracer()
+    tracer.attach(env, "t")
+
+    def proc(env):
+        span = tracer.start("work", category="compute", node="n0", cores=2)
+        yield env.timeout(1.5)
+        tracer.end(span, status="ok")
+
+    env.process(proc(env))
+    env.run()
+    (span,) = tracer.finished_spans()
+    assert span.start_s == 0.0
+    assert span.end_s == 1.5
+    assert span.duration_s == 1.5
+    assert span.attrs == {"cores": 2, "status": "ok"}
+    assert span.node == "n0"
+
+
+def test_double_end_raises():
+    tracer = Tracer()
+    span = tracer.start("x")
+    tracer.end(span)
+    with pytest.raises(ValueError):
+        tracer.end(span)
+
+
+def test_open_span_reports_zero_duration_and_is_not_finished():
+    tracer = Tracer()
+    span = tracer.start("open")
+    assert not span.finished
+    assert span.duration_s == 0.0
+    assert tracer.finished_spans() == []
+
+
+def test_parent_threading_keeps_concurrent_processes_apart():
+    """Interleaved processes must not steal each other's children.
+
+    Two simulated workers run concurrently with overlapping child
+    spans; explicit parent threading (rather than a global "current
+    span" stack) must attribute each child to its own worker.
+    """
+    env = Environment()
+    tracer = Tracer()
+    tracer.attach(env, "t")
+
+    def worker(env, name, delay):
+        parent = tracer.start(name, category="task")
+        yield env.timeout(delay)
+        child = tracer.start(f"{name}.inner", category="step", parent=parent)
+        yield env.timeout(1.0)
+        tracer.end(child)
+        tracer.end(parent)
+
+    env.process(worker(env, "a", 0.25))
+    env.process(worker(env, "b", 0.75))
+    env.run()
+
+    spans = {s.name: s for s in tracer.finished_spans()}
+    assert spans["a.inner"].parent_id == spans["a"].span_id
+    assert spans["b.inner"].parent_id == spans["b"].span_id
+    # The children genuinely overlapped in virtual time.
+    assert spans["a.inner"].start_s < spans["b.inner"].start_s < spans["a.inner"].end_s
+    assert [c.name for c in tracer.children_of(spans["a"])] == ["a.inner"]
+    assert [c.name for c in tracer.children_of(spans["b"])] == ["b.inner"]
+
+
+def test_span_ordering_is_start_time_ordered_per_run():
+    env = Environment()
+    tracer = Tracer()
+    tracer.attach(env, "t")
+
+    def proc(env, name, at):
+        yield env.timeout(at)
+        with tracer.span(name, category="c"):
+            yield env.timeout(0.1)
+
+    for name, at in (("late", 2.0), ("early", 0.0), ("mid", 1.0)):
+        env.process(proc(env, name, at))
+    env.run()
+    starts = [s.start_s for s in tracer.spans if s.category == "c"]
+    assert starts == sorted(starts)
+
+
+def test_attach_starts_new_runs_and_label_run_renames():
+    tracer = Tracer()
+    env1, env2 = Environment(), Environment()
+    tracer.attach(env1)
+    tracer.label_run("first/script")
+    s1 = tracer.start("a")
+    tracer.end(s1)
+    tracer.attach(env2, "second")
+    s2 = tracer.start("b")
+    tracer.end(s2)
+    assert [r.label for r in tracer.runs] == ["first/script", "second"]
+    assert s1.run_id == 0
+    assert s2.run_id == 1
+    assert [s.name for s in tracer.finished_spans(run_id=1)] == ["b"]
+
+
+def test_clear_resets_spans_metrics_and_runs():
+    tracer = Tracer()
+    tracer.attach(Environment(), "r")
+    tracer.end(tracer.start("a"))
+    tracer.metrics.counter("c").inc()
+    tracer.clear()
+    assert tracer.spans == []
+    assert tracer.runs == []
+    assert tracer.metrics.total("c") == 0
+    assert tracer.start("b").span_id == 0
+
+
+def test_install_uninstall_and_tracing_restore():
+    assert current_tracer() is NULL_TRACER
+    outer = Tracer()
+    install_tracer(outer)
+    try:
+        assert current_tracer() is outer
+        with tracing() as inner:
+            assert inner is not outer
+            assert current_tracer() is inner
+        assert current_tracer() is outer
+        with tracing(outer) as again:
+            assert again is outer
+    finally:
+        uninstall_tracer()
+    assert current_tracer() is NULL_TRACER
+
+
+def test_tracing_restores_previous_even_on_error():
+    with pytest.raises(RuntimeError):
+        with tracing():
+            raise RuntimeError("boom")
+    assert current_tracer() is NULL_TRACER
+
+
+def test_null_tracer_is_inert():
+    assert not NULL_TRACER.enabled
+    span = NULL_TRACER.start("anything", category="x")
+    NULL_TRACER.end(span)
+    NULL_TRACER.end(span)  # double-end is fine on the null tracer
+    with NULL_TRACER.span("ctx"):
+        pass
+    assert NULL_TRACER.finished_spans() == []
+    assert NULL_TRACER.now == 0.0
+    NULL_TRACER.attach(Environment())
+    assert NULL_TRACER.runs == []

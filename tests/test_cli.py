@@ -1,7 +1,5 @@
 """Tests for the command-line interface."""
 
-import pytest
-
 from repro.cli import QUICK_EXPERIMENTS, build_parser, main
 from repro.experiments import ALL_EXPERIMENTS
 
@@ -16,9 +14,14 @@ def test_list_prints_experiments(capsys):
     assert out == sorted(ALL_EXPERIMENTS)
 
 
-def test_unknown_experiment_errors():
-    with pytest.raises(SystemExit):
-        main(["not-an-experiment"])
+def test_unknown_experiment_exits_2_with_valid_ids(capsys):
+    assert main(["not-an-experiment"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment" in err
+    assert "not-an-experiment" in err
+    for name in ALL_EXPERIMENTS:
+        assert name in err
+    assert "--list" in err
 
 
 def test_quick_run_single_experiment(capsys):
