@@ -1,0 +1,77 @@
+"""Benchmark: recovery cost under deterministic fault injection.
+
+Runs the quick ``recovery`` experiment configuration (DICE at 40 file
+pairs, GOTTA at 1 paragraph, script + workflow), checks the two
+determinism guarantees the subsystem makes —
+
+* a fixed-seed schedule produces the *identical* virtual-time recovery
+  timeline on every run, and
+* every fault-injected run completes with output identical to the
+  clean run —
+
+and records the clean/faulted/overhead table.  Uses plain pytest (no
+``benchmark`` fixture), so CI can smoke it with nothing but pytest:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_recovery.py -q
+"""
+
+from repro.datasets import generate_maccrobat
+from repro.experiments.exp_recovery import run_recovery
+from repro.faults import FaultSchedule, faults_injected
+from repro.tasks import fresh_cluster
+from repro.tasks.dice import run_dice_script, run_dice_workflow
+
+QUICK_DOCS = 40
+QUICK_PARAGRAPHS = 1
+SEED = 11
+
+
+def _timeline(injector, run):
+    return (run.elapsed_s, injector.injected, injector.retries, injector.skipped)
+
+
+def test_recovery_timeline_is_deterministic():
+    """Same seed, same workload -> bit-identical recovery timeline."""
+    reports = generate_maccrobat(num_docs=QUICK_DOCS, seed=7)
+    clean = run_dice_script(fresh_cluster(), reports, num_cpus=4)
+    schedule = FaultSchedule.generate(
+        seed=SEED,
+        horizon_s=clean.elapsed_s * 0.8,
+        tasks=2,
+        nodes=1,
+        links=1,
+        replicas=1,
+    )
+    timelines = []
+    for _ in range(2):
+        with faults_injected(schedule) as injector:
+            script = run_dice_script(fresh_cluster(), reports, num_cpus=4)
+        timelines.append(_timeline(injector, script))
+        with faults_injected(schedule) as injector:
+            workflow = run_dice_workflow(fresh_cluster(), reports)
+        timelines.append(_timeline(injector, workflow))
+    assert timelines[0] == timelines[2], "script recovery timeline diverged"
+    assert timelines[1] == timelines[3], "workflow recovery timeline diverged"
+    assert timelines[0][0] > clean.elapsed_s, "faults charged no recovery time"
+
+
+def test_recovery_cost_quick(results_dir):
+    """Measure recovery overhead per paradigm; outputs stay correct.
+
+    ``run_recovery`` raises if any fault-injected run's output differs
+    from the clean run's, so passing is itself the correctness oracle.
+    """
+    report = run_recovery(num_docs=QUICK_DOCS, num_paragraphs=QUICK_PARAGRAPHS)
+    for task in ("dice", "gotta"):
+        script = [r for r in report.rows if r.series == "script-overhead" and r.x == task]
+        workflow = [
+            r for r in report.rows if r.series == "workflow-overhead" and r.x == task
+        ]
+        assert script and workflow
+        assert script[0].measured >= 0.0
+        assert workflow[0].measured >= 0.0
+    (results_dir / "recovery.txt").write_text(
+        report.to_text() + "\n", encoding="utf-8"
+    )
+    print()
+    print(report.to_text())

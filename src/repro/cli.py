@@ -12,12 +12,23 @@ virtual-clock tracer installed, prints a per-run time breakdown after
 each report, and ``--trace PATH`` writes the collected spans as a
 Chrome ``trace_event`` JSON file (load it in ``chrome://tracing`` or
 Perfetto).  ``--trace`` also works without the subcommand.
+
+Fault injection (``repro.faults``)::
+
+    python -m repro faults seed=7,tasks=2,nodes=1       # inspect a schedule
+    python -m repro fig14a --quick --faults seed=7,tasks=2,nodes=1
+
+The ``faults`` subcommand prints the deterministic schedule a spec
+expands to; ``--faults SPEC`` runs the named experiments with that
+schedule installed, so every cluster they build injects the same
+faults (and recovers from them — outputs stay correct).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 from typing import List, Optional
 
 from repro.experiments import ALL_EXPERIMENTS
@@ -29,7 +40,10 @@ from repro.experiments.exp_scaling import (
     run_fig13c,
     run_fig13d,
 )
+from repro.experiments.exp_recovery import run_recovery
 from repro.experiments.exp_workers import run_fig14a, run_fig14b, run_fig14c
+from repro.errors import FaultSpecError
+from repro.faults import FaultSchedule, faults_injected
 from repro.obs import Tracer, format_breakdown, tracing, write_chrome_trace
 
 __all__ = ["main", "QUICK_EXPERIMENTS"]
@@ -46,6 +60,7 @@ QUICK_EXPERIMENTS = {
     "fig14a": lambda: run_fig14a(num_docs=40),
     "fig14b": run_fig14b,
     "fig14c": lambda: run_fig14c(num_candidates=4000, universe_size=4000),
+    "recovery": lambda: run_recovery(num_docs=40, num_paragraphs=1),
 }
 
 
@@ -78,7 +93,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a Chrome trace_event JSON of the run to PATH "
         "(implies tracing; open in chrome://tracing or Perfetto)",
     )
+    parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="run with a deterministic fault schedule installed; SPEC is "
+        "'seed=7,tasks=2,nodes=1,...' or a path to a schedule JSON "
+        "(inspect with the 'faults' subcommand: 'repro faults SPEC')",
+    )
     return parser
+
+
+def _fault_summary(injector) -> str:
+    return (
+        f"faults: {injector.injected} injected, {injector.retries} recovery "
+        f"actions, {injector.skipped} skipped (seed="
+        f"{injector.schedule.seed})"
+    )
 
 
 def _unknown_experiments_message(unknown: List[str], registry) -> str:
@@ -98,6 +129,24 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(name)
         return 0
     names = list(args.experiments)
+    if names and names[0] == "faults":
+        spec = names[1] if len(names) == 2 else args.faults
+        if spec is None or len(names) > 2:
+            print("repro: faults: usage: repro faults SPEC", file=sys.stderr)
+            return 2
+        try:
+            print(FaultSchedule.from_spec(spec).describe())
+        except FaultSpecError as exc:
+            print(f"repro: faults: {exc}", file=sys.stderr)
+            return 2
+        return 0
+    schedule = None
+    if args.faults is not None:
+        try:
+            schedule = FaultSchedule.from_spec(args.faults)
+        except FaultSpecError as exc:
+            print(f"repro: --faults: {exc}", file=sys.stderr)
+            return 2
     trace_mode = bool(names) and names[0] == "trace"
     if trace_mode:
         names = names[1:]
@@ -119,17 +168,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 2
+    fault_context = (
+        faults_injected(schedule) if schedule is not None else nullcontext()
+    )
     if not trace_mode:
-        for name in names:
-            print(registry[name]().to_text())
-            print()
+        with fault_context as injector:
+            for name in names:
+                print(registry[name]().to_text())
+                print()
+        if injector is not None:
+            print(_fault_summary(injector))
         return 0
     tracer = Tracer()
-    with tracing(tracer):
+    with fault_context as injector, tracing(tracer):
         for name in names:
             print(registry[name]().to_text())
             print()
     print(format_breakdown(tracer))
+    if injector is not None:
+        print(_fault_summary(injector))
     if args.trace is not None:
         write_chrome_trace(tracer, args.trace)
         print(f"\nwrote Chrome trace: {args.trace}")

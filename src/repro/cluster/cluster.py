@@ -9,6 +9,7 @@ from repro.cluster.network import Network
 from repro.cluster.node import Node
 from repro.cluster.serialization import CodecSuite, make_codecs
 from repro.errors import UnknownNode
+from repro.faults.injector import current_injector
 from repro.obs.tracer import current_tracer
 from repro.sim import Environment
 
@@ -27,7 +28,7 @@ class Cluster:
     """
 
     def __init__(
-        self, env: Environment, config: ReproConfig, tracer=None
+        self, env: Environment, config: ReproConfig, tracer=None, faults=None
     ) -> None:
         self.env = env
         self.config = config
@@ -38,6 +39,12 @@ class Cluster:
         self.tracer = tracer if tracer is not None else current_tracer()
         self.tracer.attach(env)
         env.tracer = self.tracer
+        #: Fault injector (``repro.faults``), resolved exactly like the
+        #: tracer: explicit argument, else the globally installed one,
+        #: else the dormant null injector.
+        self.faults = faults if faults is not None else current_injector()
+        self.faults.attach(env)
+        env.faults = self.faults
         topology: ClusterTopologyConfig = config.topology
         self.controller = Node(env, CONTROLLER, topology.machine)
         self.workers: List[Node] = [
@@ -92,12 +99,14 @@ class Cluster:
 
 
 def build_cluster(
-    env: Environment, config: ReproConfig = None, tracer=None
+    env: Environment, config: ReproConfig = None, tracer=None, faults=None
 ) -> Cluster:
     """Construct the paper's testbed topology on ``env``.
 
     ``config`` defaults to the calibrated :func:`repro.config.default_config`;
     ``tracer`` defaults to the globally installed tracer (usually the
-    no-op null tracer — see :mod:`repro.obs`).
+    no-op null tracer — see :mod:`repro.obs`); ``faults`` defaults to
+    the globally installed fault injector (usually dormant — see
+    :mod:`repro.faults`).
     """
-    return Cluster(env, config or default_config(), tracer=tracer)
+    return Cluster(env, config or default_config(), tracer=tracer, faults=faults)

@@ -38,8 +38,15 @@ class Network:
         return self.config.transfer_time(nbytes)
 
     def transfer(self, src: str, dst: str, nbytes: int) -> Generator:
-        """Simulation process performing the transfer."""
+        """Simulation process performing the transfer.
+
+        A transfer starting inside a link-degradation window (injected
+        by :mod:`repro.faults`) takes ``factor`` times longer; the
+        factor is sampled once at transfer start, which keeps the
+        charge deterministic for transfers straddling a window edge.
+        """
         duration = self.transfer_time(src, dst, nbytes)
+        factor = self.env.faults.link_factor(self.env.now)
         tracer = self.env.tracer
         span = None
         if src != dst:
@@ -52,10 +59,17 @@ class Network:
                 span = tracer.start(
                     "transfer", category="network", node=src, dst=dst, nbytes=nbytes
                 )
-        if duration > 0:
-            yield self.env.timeout(duration)
-        if span is not None:
-            tracer.end(span)
+                if factor > 1.0:
+                    span.attrs["degraded_factor"] = factor
+                    tracer.metrics.counter("faults.link_slowdown_s").add(
+                        duration * (factor - 1.0)
+                    )
+        try:
+            if duration > 0:
+                yield self.env.timeout(duration * factor)
+        finally:
+            if span is not None:
+                tracer.end(span)
         return nbytes
 
     def broadcast_time(self, src: str, destinations: int, nbytes: int) -> float:

@@ -126,6 +126,13 @@ class RayxConfig:
     task_dispatch_s: float = 2.0e-3
     #: Driver/cluster startup charged once per script run.
     startup_s: float = 2.0
+    #: Recovery knobs (only consulted when a fault schedule is active).
+    #: Retries per task on an injected (transient) fault before the
+    #: failure propagates to the driver, Ray's ``max_retries`` analogue.
+    max_task_retries: int = 5
+    #: First retry waits this long; later retries multiply it.
+    retry_backoff_base_s: float = 0.5
+    retry_backoff_multiplier: float = 2.0
 
 
 @dataclass(frozen=True)
@@ -161,6 +168,13 @@ class WorkflowConfig:
     #: Intra-operator parallel efficiency for model compute (Amdahl-ish
     #: discount when using multiple cores inside one operator).
     multicore_efficiency: float = 0.285
+    #: Recovery knobs (only consulted when a fault schedule is active).
+    #: Cost of snapshotting an operator instance's state at an epoch
+    #: boundary (one checkpoint per consumed batch).
+    checkpoint_s: float = 2.0e-3
+    #: Cost of restarting a crashed instance from its last checkpoint
+    #: (re-deploy + state restore) before the epoch replays.
+    operator_restart_s: float = 0.25
 
 
 @dataclass(frozen=True)

@@ -102,6 +102,32 @@ class OperatorError(WorkflowError):
         self.operator_id = operator_id
 
 
+class FaultError(ReproError):
+    """Base class for the deterministic fault-injection subsystem."""
+
+
+class InjectedFault(FaultError):
+    """A failure injected by a :class:`repro.faults.FaultSchedule`.
+
+    Engines treat this as *transient*: the script runtime retries the
+    task with exponential backoff, the workflow engine restores the
+    operator instance from its last checkpoint.  ``kind`` names the
+    fault class (``task``, ``operator``, ``node``, ``replica``).
+    """
+
+    def __init__(self, message: str, kind: str = "task") -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
+class FaultSpecError(FaultError):
+    """A fault-schedule spec string or JSON document was malformed."""
+
+
+class ReconstructionError(FaultError):
+    """An object lost all replicas and has no lineage to rebuild from."""
+
+
 class MLError(ReproError):
     """Base class for model/tokenizer/training errors."""
 

@@ -8,6 +8,7 @@ E1b         Fig 12b (KGE time vs #operators)            :func:`run_fig12b`
 E2          Table I (Scala vs Python operators)         :func:`run_table1`
 E3a-d       Fig 13a-d (scaling dataset size)            :func:`run_fig13a` ...
 E4a-c       Fig 14a-c (number of workers)               :func:`run_fig14a` ...
+E5          Recovery under injected faults (extension)  :func:`run_recovery`
 ==========  ==========================================  ======================
 
 Each returns an :class:`repro.metrics.ExperimentReport` holding the
@@ -17,6 +18,7 @@ measured values side by side with the paper's, rendered by
 
 from repro.experiments.exp_language import run_table1
 from repro.experiments.exp_modularity import run_fig12a, run_fig12b
+from repro.experiments.exp_recovery import run_recovery
 from repro.experiments.exp_scaling import (
     run_fig13a,
     run_fig13b,
@@ -36,6 +38,7 @@ __all__ = [
     "run_fig14a",
     "run_fig14b",
     "run_fig14c",
+    "run_recovery",
 ]
 
 ALL_EXPERIMENTS = {
@@ -49,4 +52,5 @@ ALL_EXPERIMENTS = {
     "fig14a": run_fig14a,
     "fig14b": run_fig14b,
     "fig14c": run_fig14c,
+    "recovery": run_recovery,
 }

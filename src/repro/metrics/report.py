@@ -9,7 +9,7 @@ rather than absolute seconds (DESIGN.md section 6).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional
 
 __all__ = ["ExperimentRow", "ExperimentReport"]
 

@@ -8,7 +8,7 @@ implementations.
 
 from __future__ import annotations
 
-from typing import Any, Generic, Iterator, List, Sequence, TypeVar
+from typing import Generic, Iterator, List, Sequence, TypeVar
 
 __all__ = ["TextDataset", "DataLoader"]
 

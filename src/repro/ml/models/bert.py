@@ -13,7 +13,7 @@ virtual time for.  See DESIGN.md section 2.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

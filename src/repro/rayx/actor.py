@@ -28,7 +28,7 @@ Usage::
 from __future__ import annotations
 
 import inspect
-from typing import Any, Generator, Optional, Tuple, Type
+from typing import Any, Generator, Tuple, Type
 
 from repro.errors import RayxError
 from repro.rayx.objectref import ObjectRef
@@ -143,9 +143,15 @@ class ActorHandle:
                 ref.reject(exc)
                 continue
             self.calls_processed += 1
-            yield from self.runtime.store.store_result(
-                ref, result, self.node.name, parent=span
-            )
+            try:
+                yield from self.runtime.store.store_result(
+                    ref, result, self.node.name, parent=span
+                )
+            except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
+                if span is not None:
+                    tracer.end(span, status="failed", error=type(exc).__name__)
+                ref.reject(exc)
+                continue
             if span is not None:
                 tracer.end(span, status="ok")
 

@@ -9,33 +9,46 @@ The model here:
 
 * ``put`` charges serialize+copy time proportional to object size and
   reserves RAM on the owning node;
-* ``get`` from the owning node charges a per-access mapping/validation
-  cost proportional to size;
+* ``get`` from a node holding a replica charges a per-access
+  mapping/validation cost proportional to size;
 * ``get`` from another node additionally pays a network transfer and
   caches a local copy, so repeated access from the same node pays the
-  transfer only once (as Ray's per-node plasma stores do).
+  transfer only once (as Ray's per-node plasma stores do).  Concurrent
+  getters on one node share a single in-flight transfer — the second
+  dereference waits on the first instead of paying (and reserving RAM
+  for) a duplicate copy.
+
+Fault tolerance (``repro.faults``): the transfer source fails over to
+any surviving replica when the owner's copy is lost, and an object
+whose replicas are *all* lost is rebuilt from recorded task lineage by
+the runtime's reconstructor before the ``get`` proceeds.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, Set
+from fnmatch import fnmatch
+from typing import Any, Callable, Dict, Generator, Optional, Set, Tuple
 
 from repro.cluster import Cluster, estimate_bytes
 from repro.config import ObjectStoreConfig
-from repro.errors import ObjectNotFound
+from repro.errors import ObjectNotFound, ReconstructionError
 from repro.rayx.objectref import ObjectRef
 
 __all__ = ["ObjectStore"]
 
+#: Pseudo-node key marking an in-flight lineage reconstruction.
+_REBUILD = "__rebuild__"
+
 
 class _StoredObject:
-    __slots__ = ("value", "nbytes", "owner_node", "replicas")
+    __slots__ = ("value", "nbytes", "owner_node", "replicas", "label")
 
-    def __init__(self, value: Any, nbytes: int, owner_node: str) -> None:
+    def __init__(self, value: Any, nbytes: int, owner_node: str, label: str) -> None:
         self.value = value
         self.nbytes = nbytes
         self.owner_node = owner_node
         self.replicas: Set[str] = {owner_node}
+        self.label = label
 
 
 class ObjectStore:
@@ -45,17 +58,35 @@ class ObjectStore:
         self.cluster = cluster
         self.config = config
         self._objects: Dict[str, _StoredObject] = {}
+        #: One event per in-flight transfer/rebuild, keyed by
+        #: ``(ref_id, node)``; late arrivals wait on it instead of
+        #: duplicating the work (and the RAM reservation).
+        self._inflight: Dict[Tuple[str, str], Any] = {}
+        #: ``ref_id -> (fn, args)`` recorded by the runtime at submit
+        #: time; the basis for lineage reconstruction.
+        self.lineage: Dict[str, Tuple] = {}
+        #: Generator function ``(ref) -> value`` installed by the
+        #: runtime; re-executes the producing task to rebuild a lost
+        #: object (charging its full virtual cost).
+        self.reconstructor: Optional[Callable[[ObjectRef], Generator]] = None
         # Telemetry used by tests and EXPERIMENTS.md narratives.
         self.put_count = 0
         self.get_count = 0
         self.bytes_stored = 0
+        self.transfers_deduped = 0
+        self.replicas_lost = 0
+        self.reconstructions = 0
+        cluster.faults.register_store(self)
 
     def put(
         self, ref: ObjectRef, value: Any, node_name: str, parent=None
     ) -> Generator:
         """Simulation process storing ``value`` on ``node_name``.
 
-        Fulfils ``ref`` once the copy completes.
+        Fulfils ``ref`` once the copy completes.  Re-``put`` of an
+        already-stored ``ref_id`` releases the previous entry's replica
+        RAM reservations before the new copy is charged — overwriting
+        must not leak node RAM for the rest of the run.
         """
         nbytes = estimate_bytes(value)
         tracer = self.cluster.env.tracer
@@ -71,14 +102,21 @@ class ObjectStore:
             )
             tracer.metrics.counter("objectstore.put.bytes").add(nbytes)
             tracer.metrics.counter("objectstore.put.count").inc()
-        node = self.cluster.node(node_name)
-        node.allocate_ram(nbytes)
-        yield self.cluster.env.timeout(self.config.put_time(nbytes))
-        self._objects[ref.ref_id] = _StoredObject(value, nbytes, node_name)
-        self.put_count += 1
-        self.bytes_stored += nbytes
-        if span is not None:
-            tracer.end(span)
+        try:
+            previous = self._objects.get(ref.ref_id)
+            if previous is not None:
+                self._release_entry(previous)
+            node = self.cluster.node(node_name)
+            node.allocate_ram(nbytes)
+            yield self.cluster.env.timeout(self.config.put_time(nbytes))
+            self._objects[ref.ref_id] = _StoredObject(
+                value, nbytes, node_name, ref.label
+            )
+            self.put_count += 1
+            self.bytes_stored += nbytes
+        finally:
+            if span is not None:
+                tracer.end(span)
         ref.fulfil(value, node_name, nbytes)
         return ref
 
@@ -92,8 +130,10 @@ class ObjectStore:
     def get(self, ref: ObjectRef, node_name: str, parent=None) -> Generator:
         """Simulation process dereferencing ``ref`` from ``node_name``.
 
-        Waits for the object to exist, pays the transfer if this node
-        holds no replica yet, then pays the per-access mapping cost.
+        Waits for the object to exist, rebuilds it from lineage if all
+        replicas were lost, pays the transfer if this node holds no
+        replica yet (joining any transfer already in flight), then pays
+        the per-access mapping cost.
         """
         value = yield ref.ready
         stored = self._objects.get(ref.ref_id)
@@ -114,20 +154,172 @@ class ObjectStore:
             )
             tracer.metrics.counter("objectstore.get.bytes").add(stored.nbytes)
             tracer.metrics.counter("objectstore.get.count").inc()
-        if node_name not in stored.replicas:
+        try:
+            while node_name not in stored.replicas:
+                if not stored.replicas:
+                    yield from self._rebuild(ref, span)
+                    continue
+                yield from self._fetch_replica(ref, stored, node_name)
+            yield self.cluster.env.timeout(self.config.get_time(stored.nbytes))
+            self.get_count += 1
+            # A rebuild re-ran the producer; hand back the fresh value
+            # so callers observe exactly what the store holds.
+            value = stored.value
+        finally:
+            if span is not None:
+                tracer.end(span)
+        return value
+
+    def _fetch_replica(
+        self, ref: ObjectRef, stored: _StoredObject, node_name: str
+    ) -> Generator:
+        """Materialize a local replica on ``node_name`` (one transfer).
+
+        The first getter on a node performs the transfer and reserves
+        the RAM; concurrent getters wait on its completion event, so
+        one replica is charged exactly once however many processes
+        dereference simultaneously.
+        """
+        key = (ref.ref_id, node_name)
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.transfers_deduped += 1
+            tracer = self.cluster.env.tracer
+            if tracer.enabled:
+                tracer.metrics.counter("objectstore.get.deduped").inc()
+            yield existing
+            return
+        event = self.cluster.env.event()
+        self._inflight[key] = event
+        try:
+            source = self._transfer_source(stored)
             yield self.cluster.env.process(
-                self.cluster.transfer(stored.owner_node, node_name, stored.nbytes)
+                self.cluster.transfer(source, node_name, stored.nbytes)
             )
             self.cluster.node(node_name).allocate_ram(stored.nbytes)
             stored.replicas.add(node_name)
-        yield self.cluster.env.timeout(self.config.get_time(stored.nbytes))
-        self.get_count += 1
-        if span is not None:
-            tracer.end(span)
-        return value
+        except BaseException as exc:
+            del self._inflight[key]
+            event.fail(exc)
+            raise
+        del self._inflight[key]
+        event.succeed()
+
+    def _transfer_source(self, stored: _StoredObject) -> str:
+        """Pick the replica to fetch from: the owner, else a survivor.
+
+        Replica failover: when the owner's copy was lost (node crash or
+        injected replica loss) the transfer reads from the
+        lexicographically first surviving replica — deterministic, so
+        recovery timelines replay identically.
+        """
+        faults = self.cluster.env.faults
+        now = self.cluster.env.now
+        if stored.owner_node in stored.replicas and not faults.node_down(
+            stored.owner_node, now
+        ):
+            return stored.owner_node
+        for name in sorted(stored.replicas):
+            if not faults.node_down(name, now):
+                return name
+        # Every replica host is inside an outage window; read from the
+        # first one anyway rather than deadlocking (the data survives,
+        # the window only kills new work placed there).
+        return sorted(stored.replicas)[0]
+
+    def _rebuild(self, ref: ObjectRef, parent=None) -> Generator:
+        """Re-create a zero-replica object from its recorded lineage."""
+        key = (ref.ref_id, _REBUILD)
+        existing = self._inflight.get(key)
+        if existing is not None:
+            yield existing
+            return
+        if self.reconstructor is None or ref.ref_id not in self.lineage:
+            raise ReconstructionError(
+                f"object {ref.label!r} ({ref.ref_id}) lost all replicas and "
+                "has no recorded lineage to rebuild from"
+            )
+        event = self.cluster.env.event()
+        self._inflight[key] = event
+        try:
+            yield from self.reconstructor(ref)
+            self.reconstructions += 1
+        except BaseException as exc:
+            del self._inflight[key]
+            event.fail(exc)
+            raise
+        del self._inflight[key]
+        event.succeed()
+
+    def restore(self, ref: ObjectRef, value: Any, node_name: str) -> Generator:
+        """Re-store a rebuilt object on ``node_name`` (reconstruction).
+
+        Charges the full ``put`` cost and re-reserves the RAM; the node
+        becomes the object's new owner.
+        """
+        stored = self._objects[ref.ref_id]
+        self.cluster.node(node_name).allocate_ram(stored.nbytes)
+        yield self.cluster.env.timeout(self.config.put_time(stored.nbytes))
+        stored.value = value
+        stored.owner_node = node_name
+        stored.replicas.add(node_name)
+
+    # -- fault hooks (called by repro.faults) -----------------------------------
+
+    def drop_replica(self, target: str) -> int:
+        """Drop one replica of the first stored object matching ``target``.
+
+        Chooses deterministically: insertion order over objects, and
+        within an object a non-owner replica first (exercising owner
+        failover last).  The final copy of an object is only dropped
+        when lineage can rebuild it; otherwise the object is skipped.
+        Returns the number of replicas dropped (0 or 1).
+        """
+        for ref_id, stored in self._objects.items():
+            if not fnmatch(stored.label, target) or not stored.replicas:
+                continue
+            if len(stored.replicas) == 1 and ref_id not in self.lineage:
+                continue
+            non_owners = sorted(stored.replicas - {stored.owner_node})
+            victim = non_owners[0] if non_owners else stored.owner_node
+            self._evict(stored, victim)
+            return 1
+        return 0
+
+    def evict_node(self, node_name: str) -> int:
+        """Drop every replica hosted on ``node_name`` (node crash).
+
+        An object whose *only* replica lived there survives unless
+        lineage can rebuild it — dropping it would make the value
+        unrecoverable, which no schedule is allowed to do.
+        Returns the number of replicas dropped.
+        """
+        dropped = 0
+        for ref_id, stored in self._objects.items():
+            if node_name not in stored.replicas:
+                continue
+            if len(stored.replicas) == 1 and ref_id not in self.lineage:
+                continue
+            self._evict(stored, node_name)
+            dropped += 1
+        return dropped
+
+    def _evict(self, stored: _StoredObject, node_name: str) -> None:
+        stored.replicas.discard(node_name)
+        self.cluster.node(node_name).free_ram(stored.nbytes)
+        self.replicas_lost += 1
+        if stored.owner_node == node_name and stored.replicas:
+            stored.owner_node = sorted(stored.replicas)[0]
+
+    # -- queries / teardown ------------------------------------------------------
 
     def contains(self, ref: ObjectRef) -> bool:
         return ref.ref_id in self._objects
+
+    def replicas_of(self, ref: ObjectRef) -> Set[str]:
+        """Node names currently holding a replica (copy)."""
+        stored = self._objects.get(ref.ref_id)
+        return set(stored.replicas) if stored is not None else set()
 
     def nbytes_of(self, ref: ObjectRef) -> int:
         """Stored size of a fulfilled ref."""
@@ -136,9 +328,15 @@ class ObjectStore:
         except KeyError:
             raise ObjectNotFound(f"{ref.ref_id} is not in the object store") from None
 
+    def _release_entry(self, stored: _StoredObject) -> None:
+        for node_name in stored.replicas:
+            self.cluster.node(node_name).free_ram(stored.nbytes)
+        stored.replicas.clear()
+
     def free_all(self) -> None:
         """Release every replica's RAM reservation (runtime shutdown)."""
         for stored in self._objects.values():
-            for node_name in stored.replicas:
-                self.cluster.node(node_name).free_ram(stored.nbytes)
+            self._release_entry(stored)
         self._objects.clear()
+        self._inflight.clear()
+        self.lineage.clear()

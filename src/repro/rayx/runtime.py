@@ -40,7 +40,7 @@ from typing import Any, Callable, Generator, Iterable, List, Optional, Sequence
 
 from repro.cluster import CONTROLLER, Cluster, Node
 from repro.config import ReproConfig
-from repro.errors import RayxError
+from repro.errors import InjectedFault, RayxError
 from repro.rayx.objectref import ObjectRef
 from repro.rayx.objectstore import ObjectStore
 from repro.sim import Environment, Resource
@@ -63,14 +63,25 @@ class TaskContext:
         #: Enclosing trace span (the task's or driver's); object-store
         #: and compute spans recorded through this context nest under it.
         self.span = None
+        #: Label consulted for injected *task* faults at compute
+        #: boundaries; only retryable task bodies set it (the driver,
+        #: actors and reconstruction runs are exempt).
+        self.fault_label: Optional[str] = None
 
     @property
     def node_name(self) -> str:
         return self.node.name
 
     def compute(self, cpu_seconds: float, cores: int = 1) -> Generator:
-        """Occupy ``cores`` of this task's node for ``cpu_seconds``."""
+        """Occupy ``cores`` of this task's node for ``cpu_seconds``.
+
+        A node crash injected while the computation was in flight
+        surfaces here, at the completion checkpoint — the earliest
+        timed boundary where a real runtime would observe the loss.
+        """
         tracer = self.runtime.env.tracer
+        faults = self.runtime.env.faults
+        start = self.runtime.env.now
         span = None
         if tracer.enabled:
             span = tracer.start(
@@ -80,9 +91,13 @@ class TaskContext:
                 parent=self.span,
                 cores=cores,
             )
-        yield from self.node.compute(cpu_seconds, cores=cores)
-        if span is not None:
-            tracer.end(span)
+        try:
+            yield from self.node.compute(cpu_seconds, cores=cores)
+            if faults.active:
+                yield from self._fault_checkpoint(faults, start)
+        finally:
+            if span is not None:
+                tracer.end(span)
 
     def model_compute(self, flops: float) -> Generator:
         """Run framework (PyTorch-like) compute inside this task.
@@ -95,6 +110,8 @@ class TaskContext:
         cores = config.rayx.torch_cores_per_task
         throughput = config.topology.machine.flops_per_core_per_s * cores
         tracer = self.runtime.env.tracer
+        faults = self.runtime.env.faults
+        start = self.runtime.env.now
         span = None
         if tracer.enabled:
             span = tracer.start(
@@ -105,9 +122,35 @@ class TaskContext:
                 cores=cores,
                 flops=flops,
             )
-        yield from self.node.compute(flops / throughput, cores=cores)
-        if span is not None:
-            tracer.end(span)
+        try:
+            yield from self.node.compute(flops / throughput, cores=cores)
+            if faults.active:
+                yield from self._fault_checkpoint(faults, start)
+        finally:
+            if span is not None:
+                tracer.end(span)
+
+    def _fault_checkpoint(self, faults, start: float) -> Generator:
+        """Injection checks at a compute-completion boundary.
+
+        A node crash that happened while the computation was in flight,
+        or a due task fault, surfaces here — the earliest timed point
+        where a real runtime would observe the loss.
+        """
+        now = self.runtime.env.now
+        if faults.node_crashed_between(self.node.name, start, now):
+            raise InjectedFault(
+                f"node {self.node.name} crashed mid-compute", kind="node"
+            )
+        if self.fault_label is not None:
+            fault = faults.take_task_fault(self.fault_label, now)
+            if fault is not None:
+                # The task makes delay_s of further progress, then dies.
+                if fault.delay_s > 0:
+                    yield self.runtime.env.timeout(fault.delay_s)
+                raise InjectedFault(
+                    f"injected fault in task {self.fault_label!r}", kind="task"
+                )
 
     def get(self, ref: ObjectRef) -> Generator:
         """Dereference an object ref from this task's node."""
@@ -142,6 +185,7 @@ class RayxRuntime:
         self.num_cpus = num_cpus
         self.slots = Resource(self.env, capacity=num_cpus)
         self.store = ObjectStore(cluster, self.config.object_store)
+        self.store.reconstructor = self._reconstruct_ref
         self.driver_context = TaskContext(self, cluster.controller)
         self._task_counter = 0
         self.tasks_submitted = 0
@@ -167,6 +211,12 @@ class RayxRuntime:
         node = self.cluster.worker_round_robin(self._task_counter)
         self._task_counter += 1
         self.tasks_submitted += 1
+        if self.env.faults.active:
+            # Lineage, the basis for object reconstruction: enough to
+            # re-execute the producer if every replica is lost.  Only
+            # recorded under fault injection — clean runs keep zero
+            # bookkeeping overhead.
+            self.store.lineage[ref.ref_id] = (fn, args)
         self.env.process(self._run_task(fn, args, ref, node))
         return ref
 
@@ -174,19 +224,141 @@ class RayxRuntime:
         self, fn: Callable[..., Any], args: Sequence[Any], ref: ObjectRef, node: Node
     ) -> Generator:
         tracer = self.tracer
+        faults = self.env.faults
+        max_retries = self.config.rayx.max_task_retries if faults.active else 0
+        attempt = 0
+        while True:
+            span = None
+            if tracer.enabled:
+                span = tracer.start(
+                    ref.label,
+                    category="rayx.task",
+                    node=node.name,
+                    parent=self._driver_span,
+                )
+                if attempt:
+                    span.attrs["attempt"] = attempt
+                tracer.metrics.counter("rayx.tasks").inc()
+            yield self.slots.request()
+            if span is not None:
+                # Time spent queued for a num_cpus slot, visible per task.
+                span.attrs["queued_s"] = round(self.env.now - span.start_s, 9)
+            retry = False
+            try:
+                yield self.env.timeout(self.config.rayx.task_dispatch_s)
+                if faults.active:
+                    if faults.node_down(node.name, self.env.now):
+                        raise InjectedFault(
+                            f"node {node.name} is down", kind="node"
+                        )
+                    fault = faults.take_task_fault(ref.label, self.env.now)
+                    if fault is not None:
+                        # The task makes delay_s of progress, then dies.
+                        if fault.delay_s > 0:
+                            yield self.env.timeout(fault.delay_s)
+                        raise InjectedFault(
+                            f"injected fault in task {ref.label!r}", kind="task"
+                        )
+                context = TaskContext(self, node)
+                context.span = span
+                context.fault_label = ref.label
+                resolved: List[Any] = []
+                for arg in args:
+                    if isinstance(arg, ObjectRef):
+                        value = yield from self.store.get(arg, node.name, parent=span)
+                        resolved.append(value)
+                    else:
+                        resolved.append(arg)
+                outcome = fn(context, *resolved)
+                if inspect.isgenerator(outcome):
+                    result = yield from outcome
+                else:
+                    result = outcome
+            except InjectedFault as exc:
+                # Only *injected* faults are retried; real exceptions
+                # from task bodies propagate unchanged (below).
+                if attempt < max_retries:
+                    if span is not None:
+                        tracer.end(span, status="retried", error=exc.kind)
+                    retry = True
+                else:
+                    if span is not None:
+                        tracer.end(span, status="failed", error=type(exc).__name__)
+                    ref.reject(exc)
+                    return
+            except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
+                if span is not None:
+                    tracer.end(span, status="failed", error=type(exc).__name__)
+                ref.reject(exc)
+                return
+            finally:
+                self.slots.release()
+            if retry:
+                yield from self._backoff(attempt, ref, node)
+                attempt += 1
+                continue
+            break
+        try:
+            yield from self.store.store_result(ref, result, node.name, parent=span)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
+            if span is not None:
+                tracer.end(span, status="failed", error=type(exc).__name__)
+            ref.reject(exc)
+            return
+        self.tasks_completed += 1
+        if span is not None:
+            tracer.end(span, status="ok")
+
+    def _backoff(self, attempt: int, ref: ObjectRef, node: Node) -> Generator:
+        """Charge the exponential retry backoff on the virtual clock."""
+        rayx = self.config.rayx
+        delay = rayx.retry_backoff_base_s * (
+            rayx.retry_backoff_multiplier**attempt
+        )
+        faults = self.env.faults
+        faults.retries += 1
+        tracer = self.tracer
+        span = None
+        if tracer.enabled:
+            tracer.metrics.counter("faults.retries").inc()
+            tracer.metrics.counter("faults.recovery.virtual_seconds").add(delay)
+            span = tracer.start(
+                f"retry-backoff:{ref.label}",
+                category="faults.recovery",
+                node=node.name,
+                parent=self._driver_span,
+                attempt=attempt,
+            )
+        try:
+            yield self.env.timeout(delay)
+        finally:
+            if span is not None:
+                tracer.end(span)
+
+    def _reconstruct_ref(self, ref: ObjectRef) -> Generator:
+        """Rebuild a lost object by re-executing its producing task.
+
+        Installed as ``store.reconstructor``; runs on the first healthy
+        worker, re-dereferences the producer's arguments (recursively
+        reconstructing *them* if needed) and re-runs the task body,
+        charging its full virtual cost.  Reconstruction runs outside
+        the ``num_cpus`` slot pool — it is triggered from inside a
+        ``get`` that may itself hold a slot, and waiting for a second
+        slot there could deadlock a fully subscribed pool.
+        """
+        fn, args = self.store.lineage[ref.ref_id]
+        node = self._healthy_worker()
+        tracer = self.tracer
+        start = self.env.now
         span = None
         if tracer.enabled:
             span = tracer.start(
-                ref.label,
-                category="rayx.task",
+                f"reconstruct:{ref.label}",
+                category="faults.recovery",
                 node=node.name,
                 parent=self._driver_span,
             )
-            tracer.metrics.counter("rayx.tasks").inc()
-        yield self.slots.request()
-        if span is not None:
-            # Time spent queued for a num_cpus slot, visible per task.
-            span.attrs["queued_s"] = round(self.env.now - span.start_s, 9)
+            tracer.metrics.counter("faults.reconstructions").inc()
         try:
             yield self.env.timeout(self.config.rayx.task_dispatch_s)
             context = TaskContext(self, node)
@@ -203,17 +375,23 @@ class RayxRuntime:
                 result = yield from outcome
             else:
                 result = outcome
-        except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
-            if span is not None:
-                tracer.end(span, status="failed", error=type(exc).__name__)
-            ref.reject(exc)
-            return
+            yield from self.store.restore(ref, result, node.name)
         finally:
-            self.slots.release()
-        yield from self.store.store_result(ref, result, node.name, parent=span)
-        self.tasks_completed += 1
-        if span is not None:
-            tracer.end(span, status="ok")
+            if span is not None:
+                tracer.end(span)
+            if tracer.enabled:
+                tracer.metrics.counter("faults.recovery.virtual_seconds").add(
+                    self.env.now - start
+                )
+
+    def _healthy_worker(self) -> Node:
+        """First worker outside any outage window (deterministic)."""
+        now = self.env.now
+        faults = self.env.faults
+        for worker in self.cluster.workers:
+            if not faults.node_down(worker.name, now):
+                return worker
+        return self.cluster.workers[0]
 
     # -- actors --------------------------------------------------------------------
 

@@ -13,7 +13,7 @@ Two shapes are provided:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List
 
 from repro.errors import SchemaError
 from repro.relational.schema import Schema

@@ -9,7 +9,7 @@ tuple/table types so both paradigms compute over identical data.
 from __future__ import annotations
 
 import enum
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
 from repro.errors import DuplicateField, FieldNotFound, TypeMismatch
 

@@ -31,6 +31,15 @@ class Tuple:
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("Tuple is immutable")
 
+    def __copy__(self) -> "Tuple":
+        return self
+
+    def __deepcopy__(self, memo: Dict[int, Any]) -> "Tuple":
+        # Immutable (and holding only immutable values), so a deep copy
+        # is the object itself; also keeps operator-state checkpoints
+        # (repro.workflow recovery) from tripping over __setattr__.
+        return self
+
     # -- constructors --------------------------------------------------------
 
     @classmethod

@@ -30,6 +30,7 @@ import itertools
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from repro.errors import EmptySchedule, EventAlreadyTriggered, ProcessFailed
+from repro.faults.injector import NULL_INJECTOR
 from repro.obs.tracer import NULL_TRACER
 
 __all__ = [
@@ -281,6 +282,10 @@ class Environment:
         #: tracer (``repro.obs``).  The null default records nothing and
         #: leaves event scheduling — hence all timings — untouched.
         self.tracer = NULL_TRACER
+        #: Fault-injection hook (``repro.faults``); clusters replace
+        #: this with an active injector.  The null default answers every
+        #: check benignly and charges no virtual time.
+        self.faults = NULL_INJECTOR
 
     @property
     def now(self) -> float:
@@ -370,6 +375,7 @@ class Environment:
         until.add_callback(mark)
         while not done[0]:
             if not self._queue:
+                self._abort_open_process_spans()
                 raise EmptySchedule(
                     "simulation ran out of events before the awaited event "
                     "triggered (deadlock?)"
@@ -378,8 +384,23 @@ class Environment:
         # The awaited event consumed any failure it represents.
         self._failures = [f for f in self._failures if f.process is not until]
         if until.exception is not None:
+            self._abort_open_process_spans()
             raise until.exception
         return until.value
+
+    def _abort_open_process_spans(self) -> None:
+        """Close span records of processes abandoned by a dying run.
+
+        When the awaited process fails (or the schedule deadlocks),
+        sibling processes are never resumed again; without this their
+        spans would stay open forever and a traced failing run would
+        leak unbalanced spans.
+        """
+        if not self.tracer.enabled:
+            return
+        for span in self.tracer.spans:
+            if span.category == "sim.process" and not span.finished:
+                self.tracer.end(span, status="aborted")
 
     def _raise_orphan_failures(self) -> None:
         """Surface crashes of processes nothing ever waited on.

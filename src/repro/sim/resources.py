@@ -16,7 +16,7 @@ Two primitives cover everything the engines need:
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, List, Optional, Tuple
+from typing import Any, Deque, List, Optional
 
 from repro.sim.core import Environment, Event
 

@@ -19,7 +19,7 @@ the parsed objects.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.errors import AnnotationParseError
 

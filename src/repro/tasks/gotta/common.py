@@ -15,7 +15,7 @@ model once per worker and runs the forward pass unpinned across cores.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from repro.config import ModelConfig, default_config
 from repro.datasets.fsqa import FsqaParagraph

@@ -25,13 +25,11 @@ cost, which is ~25 % of a 6.8k-candidate run but ~1 % of a 68k run.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
-import numpy as np
 
 from repro.config import ModelConfig, default_config
 from repro.datasets.amazon import (
-    PRODUCT_SCHEMA,
     PURCHASE_RELATION,
     Product,
     build_kge_model,

@@ -29,7 +29,6 @@ from repro.tasks.wef.common import (
     LOSS_SCHEMA,
     WEF_COSTS,
     make_framing_model,
-    training_pairs as _training_pairs,
     tweets_table,
 )
 from repro.workflow import LogicalOperator, OperatorExecutor, Workflow, run_workflow

@@ -10,7 +10,7 @@ configuration errors surface before execution (paper Section III-A:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List
 
 from repro.errors import InvalidWorkflow
 from repro.relational import Schema

@@ -22,6 +22,7 @@ and are therefore pipeline breakers, exactly as in a real engine.
 
 from __future__ import annotations
 
+import copy
 from typing import Any, Dict, Generator, List, Optional, Sequence
 
 from repro.cluster import CONTROLLER, Cluster, Codec, Node, estimate_bytes
@@ -163,6 +164,11 @@ class _Instance:
         self.outbound: List[_Outbound] = []
         #: Virtual CPU-seconds this instance charged (compute + codec).
         self.busy_s = 0.0
+        #: Epoch counter under fault injection: one epoch per
+        #: checkpointed input batch (the engine's recovery granularity).
+        self.epoch = 0
+        #: Restarts this instance performed (injected operator faults).
+        self.restarts = 0
 
     @property
     def operator_id(self) -> str:
@@ -228,6 +234,9 @@ class WorkflowController:
         self.tracer = cluster.tracer
         #: Span covering the whole execution; instance spans nest under it.
         self._exec_span = None
+        #: Instance spans still live, closed as "aborted" if a sibling
+        #: operator's failure tears the execution down around them.
+        self._instance_spans: List[Any] = []
         self.progress = ProgressTracker()
         self._instances: Dict[str, List[_Instance]] = {}
         self._placement_counter = 0
@@ -369,41 +378,49 @@ class WorkflowController:
                 category="workflow.controller",
                 node=CONTROLLER,
             )
-        self.workflow.compile_schemas()  # validates + captures schemas
-        self._build_plan()
-        wf_config = self.config.workflow
-        deploy_time = (
-            wf_config.startup_s
-            + wf_config.operator_deploy_s * self.workflow.num_operators
-        )
-        deploy_span = None
-        if tracer.enabled:
-            deploy_span = tracer.start(
-                "deploy",
-                category="workflow.deploy",
-                node=CONTROLLER,
-                parent=self._exec_span,
-                operators=self.workflow.num_operators,
-            )
-        yield self.env.timeout(deploy_time)
-        if deploy_span is not None:
-            tracer.end(deploy_span)
-        for progress in (
-            self.progress.of(op_id) for op_id in self._instances
-        ):
-            progress.transition(OperatorState.READY)
-
-        processes = []
-        for instances in self._instances.values():
-            for instance in instances:
-                processes.append(self.env.process(self._run_instance(instance)))
         try:
+            self.workflow.compile_schemas()  # validates + captures schemas
+            self._build_plan()
+            wf_config = self.config.workflow
+            deploy_time = (
+                wf_config.startup_s
+                + wf_config.operator_deploy_s * self.workflow.num_operators
+            )
+            deploy_span = None
+            if tracer.enabled:
+                deploy_span = tracer.start(
+                    "deploy",
+                    category="workflow.deploy",
+                    node=CONTROLLER,
+                    parent=self._exec_span,
+                    operators=self.workflow.num_operators,
+                )
+            try:
+                yield self.env.timeout(deploy_time)
+            finally:
+                if deploy_span is not None:
+                    tracer.end(deploy_span)
+            for progress in (
+                self.progress.of(op_id) for op_id in self._instances
+            ):
+                progress.transition(OperatorState.READY)
+
+            processes = []
+            for instances in self._instances.values():
+                for instance in instances:
+                    processes.append(self.env.process(self._run_instance(instance)))
             yield self.env.all_of(processes)
         except BaseException:
             for op_id in self._instances:
                 progress = self.progress.of(op_id)
-                if progress.state is not OperatorState.COMPLETED:
+                if progress.state not in (
+                    OperatorState.COMPLETED,
+                    OperatorState.FAILED,
+                ):
                     progress.transition(OperatorState.FAILED)
+            for span in self._instance_spans:
+                if not span.finished:
+                    tracer.end(span, status="aborted")
             if self._exec_span is not None:
                 tracer.end(self._exec_span, status="failed")
                 self._exec_span = None
@@ -463,9 +480,11 @@ class WorkflowController:
                         sink=op_id,
                         nbytes=nbytes,
                     )
-                yield from controller_node.compute(decode_s)
-                if span is not None:
-                    tracer.end(span)
+                try:
+                    yield from controller_node.compute(decode_s)
+                finally:
+                    if span is not None:
+                        tracer.end(span)
                 results[op_id] = table
                 if isinstance(executor, _VisualizationExecutor):
                     charts[op_id] = executor.chart_spec()
@@ -474,8 +493,10 @@ class WorkflowController:
     # -- instance loop ------------------------------------------------------------
 
     def _run_instance(self, instance: _Instance) -> Generator:
+        # NOTE: always dereference ``instance.executor`` — a
+        # checkpoint restore replaces it mid-run, so a local alias
+        # captured here would go stale after the first restart.
         operator = instance.operator
-        executor = instance.executor
         tracer = self.tracer
         span = None
         if tracer.enabled:
@@ -487,14 +508,15 @@ class WorkflowController:
                 operator=operator.operator_id,
                 language=operator.language.value,
             )
+            self._instance_spans.append(span)
         try:
-            executor.open()
+            instance.executor.open()
             yield from self._settle_charges(instance)
-            if isinstance(executor, SourceExecutor):
+            if isinstance(instance.executor, SourceExecutor):
                 yield from self._run_source(instance)
             else:
                 yield from self._run_consumer(instance)
-            executor.close()
+            instance.executor.close()
             yield from self._settle_charges(instance)
             yield from self._finish_outbound(instance)
         except OperatorError:
@@ -531,6 +553,7 @@ class WorkflowController:
 
     def _run_consumer(self, instance: _Instance) -> Generator:
         operator = instance.operator
+        faults = self.env.faults
         for port_number in range(operator.num_input_ports):
             tuple_cost = operator.tuple_cost_s(port_number)
             port = instance.inbound[port_number]
@@ -541,31 +564,78 @@ class WorkflowController:
                     eos_seen += 1
                     continue
                 yield from self._pause_point()
-                # Decode + handling on the consumer's node.
-                decode_s = port.codec.decode_time(message.nbytes, len(message.tuples))
-                tracer = self.tracer
-                span = None
-                if tracer.enabled:
-                    record_codec(
-                        tracer,
-                        port.codec,
-                        "decode",
-                        message.nbytes,
-                        len(message.tuples),
-                        decode_s,
-                    )
-                    span = tracer.start(
-                        f"decode:{port.codec.name}",
-                        category="serialization",
-                        node=instance.node.name,
-                        nbytes=message.nbytes,
-                    )
+                yield from self._consume_batch(
+                    instance, port, port_number, message, tuple_cost
+                )
+                if faults.active:
+                    instance.epoch += 1
+            flushed = list(instance.executor.on_finish(port_number))
+            yield from self._settle_charges(instance)
+            if flushed:
+                yield from self._emit(instance, flushed)
+
+    def _consume_batch(
+        self,
+        instance: _Instance,
+        port: _InboundPort,
+        port_number: int,
+        message: _Batch,
+        tuple_cost: float,
+    ) -> Generator:
+        """Decode, process and emit one input batch — exactly once.
+
+        The batch is the engine's epoch: under fault injection the
+        executor state is checkpointed at the batch boundary (after the
+        upstream epoch marker, before any tuple of this batch), and an
+        injected operator crash rolls the executor back to that
+        checkpoint and replays the whole batch.  Outputs are only
+        emitted after the batch completes, so downstream never sees
+        tuples from an attempt that died mid-batch.
+        """
+        operator = instance.operator
+        faults = self.env.faults
+        wf_config = self.config.workflow
+        snapshot = None
+        while True:
+            # Decode + handling on the consumer's node (re-charged on
+            # replay: the restarted executor re-reads the batch).
+            decode_s = port.codec.decode_time(message.nbytes, len(message.tuples))
+            tracer = self.tracer
+            span = None
+            if tracer.enabled:
+                record_codec(
+                    tracer,
+                    port.codec,
+                    "decode",
+                    message.nbytes,
+                    len(message.tuples),
+                    decode_s,
+                )
+                span = tracer.start(
+                    f"decode:{port.codec.name}",
+                    category="serialization",
+                    node=instance.node.name,
+                    nbytes=message.nbytes,
+                )
+            try:
                 yield from self._instance_compute(
                     instance,
-                    decode_s + self.config.workflow.batch_handling_s,
+                    decode_s + wf_config.batch_handling_s,
                 )
+            finally:
                 if span is not None:
                     tracer.end(span)
+            if faults.active and snapshot is None:
+                # Checkpoint at the epoch boundary: executor state
+                # before any tuple of this batch mutates it.
+                snapshot = copy.deepcopy(instance.executor)
+                yield from self._instance_compute(instance, wf_config.checkpoint_s)
+            fault = (
+                faults.take_operator_fault(operator.operator_id, self.env.now)
+                if faults.active
+                else None
+            )
+            if fault is None:
                 outputs: List[Tuple] = []
                 seconds = 0.0
                 flops = 0.0
@@ -580,10 +650,53 @@ class WorkflowController:
                 yield from self._charge(instance, seconds, flops)
                 if outputs:
                     yield from self._emit(instance, outputs)
-            flushed = list(instance.executor.on_finish(port_number))
-            yield from self._settle_charges(instance)
-            if flushed:
-                yield from self._emit(instance, flushed)
+                return
+            # Injected crash mid-batch: half the tuples' work is done
+            # and lost, then the operator restarts from the checkpoint.
+            crash_at = len(message.tuples) // 2
+            partial_s = 0.0
+            partial_f = 0.0
+            for row in message.tuples[:crash_at]:
+                instance.executor.process_tuple(row, port_number)
+                extra_s, extra_f = instance.executor.pending.take()
+                partial_s += tuple_cost + extra_s
+                partial_f += extra_f
+            yield from self._charge(instance, partial_s, partial_f)
+            yield from self._restart_from_checkpoint(instance, snapshot)
+
+    def _restart_from_checkpoint(
+        self, instance: _Instance, snapshot: OperatorExecutor
+    ) -> Generator:
+        """Roll the executor back to the epoch checkpoint and recover."""
+        faults = self.env.faults
+        faults.retries += 1
+        instance.restarts += 1
+        tracer = self.tracer
+        start = self.env.now
+        span = None
+        if tracer.enabled:
+            tracer.metrics.counter("faults.retries").inc()
+            span = tracer.start(
+                f"restart:{instance.operator_id}[{instance.worker_index}]",
+                category="faults.recovery",
+                node=instance.node.name,
+                parent=self._exec_span,
+                epoch=instance.epoch,
+            )
+        try:
+            # A fresh copy of the snapshot each time, so the snapshot
+            # itself survives repeated crashes of the same batch.
+            instance.executor = copy.deepcopy(snapshot)
+            yield from self._instance_compute(
+                instance, self.config.workflow.operator_restart_s
+            )
+        finally:
+            if span is not None:
+                tracer.end(span)
+            if tracer.enabled:
+                tracer.metrics.counter("faults.recovery.virtual_seconds").add(
+                    self.env.now - start
+                )
 
     # -- cost settlement -----------------------------------------------------------
 
@@ -651,12 +764,14 @@ class WorkflowController:
                 node=instance.node.name,
                 nbytes=batch.nbytes,
             )
-        yield from self._instance_compute(
-            instance,
-            encode_s + self.config.workflow.batch_handling_s,
-        )
-        if span is not None:
-            tracer.end(span)
+        try:
+            yield from self._instance_compute(
+                instance,
+                encode_s + self.config.workflow.batch_handling_s,
+            )
+        finally:
+            if span is not None:
+                tracer.end(span)
         destination = outbound.consumer_nodes[index]
         if destination.name != instance.node.name:
             yield self.env.process(

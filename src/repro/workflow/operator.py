@@ -15,7 +15,7 @@ charges into simulated node compute after each call.
 from __future__ import annotations
 
 import abc
-from typing import Iterable, List, Optional, Sequence, Tuple as PyTuple
+from typing import Iterable, Optional, Sequence, Tuple as PyTuple
 
 from repro.errors import InvalidWorkflow
 from repro.relational import Schema, Tuple

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, Sequence
 
 from repro.errors import InvalidWorkflow
 from repro.relational import Schema, Table, Tuple

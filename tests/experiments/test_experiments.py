@@ -5,7 +5,6 @@ assertions) live in benchmarks/; these tests exercise the harness
 plumbing and the mechanisms at sizes that run in seconds.
 """
 
-import pytest
 
 from repro.experiments.exp_language import run_table1
 from repro.experiments.exp_modularity import run_fig12a, run_fig12b

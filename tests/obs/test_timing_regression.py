@@ -87,3 +87,20 @@ def test_traced_output_rows_match_untraced(paradigm):
     with tracing(Tracer()):
         traced = runner(fresh_cluster(), dataset)
     assert traced.output.rows == plain.output.rows
+
+
+def test_installed_empty_fault_schedule_timings_bit_identical():
+    """An armed injector with nothing to inject charges zero time.
+
+    ``faults_injected(FaultSchedule.empty())`` installs a real injector
+    whose ``active`` flag is False — every engine checkpoint must
+    short-circuit before touching the virtual clock, keeping all task
+    timings bit-identical to the pre-faults seed.
+    """
+    from repro.faults import FaultSchedule, faults_injected
+
+    with faults_injected(FaultSchedule.empty()) as injector:
+        timings = _run_all()
+    assert timings == SEED_TIMINGS
+    assert injector.injected == 0
+    assert injector.retries == 0

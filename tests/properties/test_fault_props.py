@@ -1,0 +1,93 @@
+"""Property: runs leak no resources, with or without injected faults.
+
+After any run — clean or under an arbitrary seeded fault schedule, on
+either engine — every node's RAM reservations are back to baseline and
+every vCPU has been released.  Recovery machinery (retries, replica
+failover, reconstruction, checkpoint restores) must account for every
+byte and core it touches.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import build_cluster
+from repro.faults import FaultSchedule, faults_injected
+from repro.rayx import run_script
+from repro.relational import FieldType, Schema, Table, column_greater
+from repro.sim import Environment
+from repro.workflow import Workflow, run_workflow
+from repro.workflow.operators import FilterOperator, SinkOperator, TableSource
+
+SCHEMA = Schema.of(id=FieldType.INT, score=FieldType.FLOAT)
+
+schedules = st.one_of(
+    st.none(),  # a clean run is a degenerate schedule
+    st.builds(
+        FaultSchedule.generate,
+        seed=st.integers(0, 2**16),
+        horizon_s=st.just(8.0),
+        tasks=st.integers(0, 3),
+        operators=st.integers(0, 2),
+        nodes=st.integers(0, 1),
+        links=st.integers(0, 1),
+        replicas=st.integers(0, 1),
+    ),
+)
+
+
+def assert_resources_released(cluster):
+    for node in [cluster.controller, *cluster.workers]:
+        assert node.ram_used == 0, f"{node.name} leaked {node.ram_used} bytes"
+        assert node.cpus.available == node.cpus.capacity, (
+            f"{node.name} leaked {node.cpus.capacity - node.cpus.available} vCPUs"
+        )
+
+
+def script_run():
+    def task(ctx, x):
+        yield from ctx.compute(0.5)
+        return [x] * 200
+
+    def driver(rt):
+        refs = [rt.submit(task, i) for i in range(4)]
+        values = yield from rt.get_all(refs)
+        return values
+
+    cluster = build_cluster(Environment())
+    run_script(cluster, driver, num_cpus=2)
+    return cluster
+
+
+def workflow_run():
+    table = Table.from_rows(SCHEMA, [[i, i / 10] for i in range(120)])
+    wf = Workflow("leak-check")
+    src = wf.add_operator(TableSource("scan", table))
+    keep = wf.add_operator(FilterOperator("keep", column_greater("score", 2.0)))
+    sink = wf.add_operator(SinkOperator("results"))
+    wf.link(src, keep)
+    wf.link(keep, sink)
+    cluster = build_cluster(Environment())
+    run_workflow(cluster, wf)
+    return cluster
+
+
+@settings(max_examples=25, deadline=None)
+@given(schedule=schedules)
+def test_script_run_releases_all_resources(schedule):
+    if schedule is None:
+        assert_resources_released(script_run())
+        return
+    with faults_injected(schedule):
+        cluster = script_run()
+    assert_resources_released(cluster)
+
+
+@settings(max_examples=25, deadline=None)
+@given(schedule=schedules)
+def test_workflow_run_releases_all_resources(schedule):
+    if schedule is None:
+        assert_resources_released(workflow_run())
+        return
+    with faults_injected(schedule):
+        cluster = workflow_run()
+    assert_resources_released(cluster)

@@ -1,0 +1,112 @@
+"""Regression tests for object-store accounting bugs.
+
+Two fixed bugs, each pinned here:
+
+* concurrent ``get`` of the same object on the same node used to run
+  two transfers and reserve the replica's RAM twice — now the first
+  getter transfers and every concurrent getter joins it;
+* re-``put`` of an existing ``ref_id`` used to leak the previous
+  copy's RAM reservations for the rest of the run.
+"""
+
+from repro.cluster import build_cluster, estimate_bytes
+from repro.rayx import ObjectRef, RayxRuntime
+from repro.sim import Environment
+
+
+def make_runtime():
+    cluster = build_cluster(Environment())
+    return cluster, RayxRuntime(cluster)
+
+
+# -- concurrent-get dedup (double-charge fix) -------------------------------------
+
+
+def _concurrent_get_scenario(num_getters):
+    """Run ``num_getters`` simultaneous gets of one object on worker-0."""
+    cluster, runtime = make_runtime()
+    store = runtime.store
+    env = cluster.env
+    payload = list(range(10_000))
+    done = {}
+
+    def producer():
+        ref = yield from runtime.put(payload, label="shared")
+        done["ref"] = ref
+        getters = [
+            env.process(store.get(ref, "worker-0")) for _ in range(num_getters)
+        ]
+        values = []
+        for getter in getters:
+            values.append((yield getter))
+        return values
+
+    values = env.run(until=env.process(producer()))
+    return cluster, store, done["ref"], values
+
+
+def test_concurrent_gets_run_one_transfer():
+    cluster, store, ref, values = _concurrent_get_scenario(num_getters=3)
+    assert values == [list(range(10_000))] * 3
+    assert store.transfers_deduped == 2  # getters 2 and 3 joined getter 1
+    # Exactly one replica's worth of RAM is reserved on the fetching node.
+    assert cluster.node("worker-0").ram_used == store.nbytes_of(ref)
+    assert store.replicas_of(ref) == {"controller", "worker-0"}
+
+
+def test_concurrent_gets_cost_no_more_than_one():
+    solo, _, _, _ = _concurrent_get_scenario(num_getters=1)
+    trio, _, _, _ = _concurrent_get_scenario(num_getters=3)
+    # The joiners wait on the in-flight transfer, then pay only the
+    # per-access mapping cost in parallel — same virtual makespan.
+    assert trio.env.now == solo.env.now
+
+
+# -- put-overwrite RAM release (leak fix) -----------------------------------------
+
+
+def test_put_overwrite_releases_previous_ram():
+    cluster, runtime = make_runtime()
+    store = runtime.store
+    env = cluster.env
+    node = cluster.node("worker-0")
+
+    def scenario():
+        ref = ObjectRef(env, label="state")
+        yield from store.put(ref, list(range(5_000)), "worker-0")
+        first_nbytes = store.nbytes_of(ref)
+        assert node.ram_used == first_nbytes
+        # A producer re-storing the same logical object (same ref_id)
+        # must release the old copy's reservation, not stack a new one
+        # on top of it.
+        replacement = ObjectRef(env, label="state")
+        replacement.ref_id = ref.ref_id
+        yield from store.put(replacement, list(range(20_000)), "worker-0")
+        assert node.ram_used == store.nbytes_of(replacement)
+        assert node.ram_used == estimate_bytes(list(range(20_000)))
+        return True
+
+    assert env.run(until=env.process(scenario()))
+
+
+def test_put_overwrite_releases_every_replica():
+    cluster, runtime = make_runtime()
+    store = runtime.store
+    env = cluster.env
+
+    def scenario():
+        ref = ObjectRef(env, label="state")
+        yield from store.put(ref, list(range(5_000)), "worker-0")
+        yield from store.get(ref, "worker-1")  # second replica
+        nbytes = store.nbytes_of(ref)
+        assert cluster.node("worker-1").ram_used == nbytes
+        replacement = ObjectRef(env, label="state")
+        replacement.ref_id = ref.ref_id
+        yield from store.put(replacement, list(range(5_000)), "worker-2")
+        # Both old replicas released; only the new copy is reserved.
+        assert cluster.node("worker-0").ram_used == 0
+        assert cluster.node("worker-1").ram_used == 0
+        assert cluster.node("worker-2").ram_used == store.nbytes_of(replacement)
+        return True
+
+    assert env.run(until=env.process(scenario()))

@@ -8,7 +8,6 @@ from repro.relational import (
     Schema,
     StreamingHashJoin,
     Table,
-    Tuple,
     hash_join,
 )
 

@@ -34,3 +34,39 @@ def test_quick_run_single_experiment(capsys):
 def test_parser_help_mentions_choices():
     parser = build_parser()
     assert "fig13a" in parser.format_help()
+
+
+# -- fault injection --------------------------------------------------------------
+
+
+def test_faults_subcommand_prints_schedule(capsys):
+    assert main(["faults", "seed=7,tasks=2,nodes=1"]) == 0
+    out = capsys.readouterr().out
+    assert "fault schedule: 3 events" in out
+    assert "seed=7" in out
+    assert "task" in out and "node" in out
+
+
+def test_faults_subcommand_without_spec_is_usage_error(capsys):
+    assert main(["faults"]) == 2
+    assert "usage: repro faults SPEC" in capsys.readouterr().err
+
+
+def test_faults_subcommand_rejects_bad_spec(capsys):
+    assert main(["faults", "tasks=2"]) == 2
+    err = capsys.readouterr().err
+    assert "repro: faults:" in err and "seed" in err
+
+
+def test_faults_flag_runs_experiment_and_prints_summary(capsys):
+    assert main(["--quick", "fig12a", "--faults", "seed=7,tasks=2"]) == 0
+    out = capsys.readouterr().out
+    assert "fig12a" in out
+    assert "faults:" in out and "(seed=7)" in out
+
+
+def test_faults_flag_rejects_bad_spec_before_running(capsys):
+    assert main(["--quick", "fig12a", "--faults", "seed=7,bogus=1"]) == 2
+    captured = capsys.readouterr()
+    assert "repro: --faults:" in captured.err
+    assert "fig12a" not in captured.out  # nothing ran

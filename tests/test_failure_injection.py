@@ -200,3 +200,68 @@ def test_compute_requesting_too_many_cores_fails():
     node = cluster.workers[0]
     with pytest.raises(InsufficientResources):
         cluster.env.run(until=cluster.env.process(node.compute(1.0, cores=99)))
+
+
+# -- span hygiene on failing runs --------------------------------------------------
+
+
+def test_workflow_failure_leaves_no_open_spans():
+    """Tracer spans must balance even when an operator dies mid-run.
+
+    Regression test: deploy/decode/encode/gather spans used to leak
+    open when an exception unwound the engine's generators.
+    """
+    from repro.obs import Tracer, tracing
+
+    tracer = Tracer()
+    with tracing(tracer):
+        cluster = fresh_cluster()
+        controller = WorkflowController(cluster, failing_workflow())
+        with pytest.raises(OperatorError):
+            cluster.env.run(until=cluster.env.process(controller.execute()))
+    assert tracer.spans  # the run was traced at all
+    open_spans = [span for span in tracer.spans if not span.finished]
+    assert open_spans == []
+
+
+def test_script_failure_leaves_no_open_spans():
+    """Task/objectstore spans close even when the task body raises."""
+    from repro.obs import Tracer, tracing
+
+    def bad_task(ctx):
+        yield from ctx.compute(0.1)
+        raise RuntimeError("poisoned")
+
+    def driver(rt):
+        value = yield from rt.get(rt.submit(bad_task))
+        return value
+
+    tracer = Tracer()
+    with tracing(tracer):
+        with pytest.raises(RuntimeError, match="poisoned"):
+            run_script(fresh_cluster(), driver)
+    assert tracer.spans
+    open_spans = [span for span in tracer.spans if not span.finished]
+    assert open_spans == []
+
+
+def test_faulted_recovery_run_leaves_no_open_spans():
+    """Retry/backoff and restart spans balance across injected faults."""
+    from repro.faults import FaultEvent, FaultSchedule, faults_injected
+    from repro.obs import Tracer, tracing
+
+    def task(ctx, x):
+        yield from ctx.compute(0.5)
+        return x
+
+    def driver(rt):
+        values = yield from rt.get_all([rt.submit(task, i) for i in range(3)])
+        return values
+
+    schedule = FaultSchedule(events=(FaultEvent(0.01, "task", target="task"),))
+    tracer = Tracer()
+    with faults_injected(schedule), tracing(tracer):
+        assert run_script(fresh_cluster(), driver) == [0, 1, 2]
+    open_spans = [span for span in tracer.spans if not span.finished]
+    assert open_spans == []
+    assert any(span.category == "faults.recovery" for span in tracer.spans)

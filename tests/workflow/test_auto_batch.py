@@ -2,8 +2,6 @@
 
 import dataclasses
 
-import pytest
-
 from repro.cluster import build_cluster
 from repro.config import default_config
 from repro.relational import FieldType, Schema, Table, column_greater

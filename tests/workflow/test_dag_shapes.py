@@ -2,8 +2,6 @@
 join chains — shapes where pipelined engines typically deadlock or
 drop data."""
 
-import pytest
-
 from repro.cluster import build_cluster
 from repro.relational import (
     FieldType,

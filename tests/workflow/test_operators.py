@@ -10,7 +10,6 @@ from repro.sim import Environment
 from repro.workflow import Workflow, run_workflow
 from repro.workflow.operators import (
     AggregationFunction,
-    FilterOperator,
     GroupByOperator,
     JsonlSource,
     MapOperator,
