@@ -22,6 +22,18 @@ The ``faults`` subcommand prints the deterministic schedule a spec
 expands to; ``--faults SPEC`` runs the named experiments with that
 schedule installed, so every cluster they build injects the same
 faults (and recovers from them — outputs stay correct).
+
+Scheduling (``repro.sched``)::
+
+    python -m repro sched                                # list policies
+    python -m repro fig13d --quick --scheduler locality
+    python -m repro scheduling --quick                   # policy comparison
+
+The ``sched`` subcommand prints the placement-policy catalogue;
+``--scheduler NAME`` runs the named experiments with that policy
+installed in both engines.  It composes with ``--trace`` (placement
+decisions appear as ``sched.place`` spans) and ``--faults`` (policies
+steer work around injected outages).
 """
 
 from __future__ import annotations
@@ -41,10 +53,12 @@ from repro.experiments.exp_scaling import (
     run_fig13d,
 )
 from repro.experiments.exp_recovery import run_recovery
+from repro.experiments.exp_scheduling import run_scheduling
 from repro.experiments.exp_workers import run_fig14a, run_fig14b, run_fig14c
 from repro.errors import FaultSpecError
 from repro.faults import FaultSchedule, faults_injected
 from repro.obs import Tracer, format_breakdown, tracing, write_chrome_trace
+from repro.sched import policy_catalogue, scheduling, valid_policy
 
 __all__ = ["main", "QUICK_EXPERIMENTS"]
 
@@ -61,6 +75,9 @@ QUICK_EXPERIMENTS = {
     "fig14b": run_fig14b,
     "fig14c": lambda: run_fig14c(num_candidates=4000, universe_size=4000),
     "recovery": lambda: run_recovery(num_docs=40, num_paragraphs=1),
+    "scheduling": lambda: run_scheduling(
+        num_candidates=1500, universe_size=4000, num_paragraphs=1
+    ),
 }
 
 
@@ -101,6 +118,13 @@ def build_parser() -> argparse.ArgumentParser:
         "'seed=7,tasks=2,nodes=1,...' or a path to a schedule JSON "
         "(inspect with the 'faults' subcommand: 'repro faults SPEC')",
     )
+    parser.add_argument(
+        "--scheduler",
+        metavar="NAME",
+        default=None,
+        help="placement policy installed in both engines for the run "
+        "(list with the 'sched' subcommand: 'repro sched')",
+    )
     return parser
 
 
@@ -129,6 +153,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(name)
         return 0
     names = list(args.experiments)
+    if names and names[0] == "sched":
+        if len(names) > 1:
+            print("repro: sched: usage: repro sched", file=sys.stderr)
+            return 2
+        print(policy_catalogue())
+        return 0
+    if args.scheduler is not None and not valid_policy(args.scheduler):
+        print(
+            f"repro: --scheduler: unknown policy {args.scheduler!r}\n"
+            + policy_catalogue(),
+            file=sys.stderr,
+        )
+        return 2
     if names and names[0] == "faults":
         spec = names[1] if len(names) == 2 else args.faults
         if spec is None or len(names) > 2:
@@ -171,8 +208,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     fault_context = (
         faults_injected(schedule) if schedule is not None else nullcontext()
     )
+    sched_context = (
+        scheduling(args.scheduler) if args.scheduler is not None else nullcontext()
+    )
     if not trace_mode:
-        with fault_context as injector:
+        with fault_context as injector, sched_context:
             for name in names:
                 print(registry[name]().to_text())
                 print()
@@ -180,7 +220,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(_fault_summary(injector))
         return 0
     tracer = Tracer()
-    with fault_context as injector, tracing(tracer):
+    with fault_context as injector, tracing(tracer), sched_context:
         for name in names:
             print(registry[name]().to_text())
             print()

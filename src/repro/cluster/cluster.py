@@ -76,8 +76,18 @@ class Cluster:
         return list(self._nodes)
 
     def worker_round_robin(self, index: int) -> Node:
-        """Deterministic worker assignment for the i-th placement."""
-        return self.workers[index % self.num_workers]
+        """Deterministic worker assignment for the i-th placement.
+
+        .. deprecated::
+            Placement decisions belong to :class:`repro.sched.Scheduler`;
+            this method remains only as a compatibility shim and now
+            delegates to the default policy's arithmetic.  New code
+            should build a scheduler and call
+            :meth:`repro.sched.Scheduler.place`.
+        """
+        from repro.sched.policy import round_robin_index  # local: avoid cycle
+
+        return self.workers[round_robin_index(index, self.num_workers)]
 
     # -- data movement ---------------------------------------------------------
 

@@ -19,7 +19,7 @@ four-machine GCP clusters, each VM with 8 vCPUs and 64 GB RAM.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 GIB = 1024**3
 MIB = 1024**2
@@ -260,6 +260,11 @@ class ReproConfig:
     rayx: RayxConfig = field(default_factory=RayxConfig)
     workflow: WorkflowConfig = field(default_factory=WorkflowConfig)
     models: ModelConfig = field(default_factory=ModelConfig)
+    #: Placement-policy name consulted by both engines' schedulers (see
+    #: :mod:`repro.sched`).  ``None`` falls back to the globally
+    #: installed policy (``repro.sched.scheduling``), else the seed-
+    #: identical ``round_robin`` default.
+    scheduler: Optional[str] = None
 
 
 DEFAULT_CONFIG = ReproConfig()

@@ -128,6 +128,14 @@ class ReconstructionError(FaultError):
     """An object lost all replicas and has no lineage to rebuild from."""
 
 
+class SchedError(ReproError):
+    """Base class for scheduling/placement errors."""
+
+
+class UnknownPolicy(SchedError):
+    """A placement-policy name that is not in the registry."""
+
+
 class MLError(ReproError):
     """Base class for model/tokenizer/training errors."""
 

@@ -9,6 +9,7 @@ E2          Table I (Scala vs Python operators)         :func:`run_table1`
 E3a-d       Fig 13a-d (scaling dataset size)            :func:`run_fig13a` ...
 E4a-c       Fig 14a-c (number of workers)               :func:`run_fig14a` ...
 E5          Recovery under injected faults (extension)  :func:`run_recovery`
+E6          Placement-policy comparison (extension)     :func:`run_scheduling`
 ==========  ==========================================  ======================
 
 Each returns an :class:`repro.metrics.ExperimentReport` holding the
@@ -19,6 +20,7 @@ measured values side by side with the paper's, rendered by
 from repro.experiments.exp_language import run_table1
 from repro.experiments.exp_modularity import run_fig12a, run_fig12b
 from repro.experiments.exp_recovery import run_recovery
+from repro.experiments.exp_scheduling import run_scheduling
 from repro.experiments.exp_scaling import (
     run_fig13a,
     run_fig13b,
@@ -39,6 +41,7 @@ __all__ = [
     "run_fig14b",
     "run_fig14c",
     "run_recovery",
+    "run_scheduling",
 ]
 
 ALL_EXPERIMENTS = {
@@ -53,4 +56,5 @@ ALL_EXPERIMENTS = {
     "fig14b": run_fig14b,
     "fig14c": run_fig14c,
     "recovery": run_recovery,
+    "scheduling": run_scheduling,
 }

@@ -108,6 +108,8 @@ class ActorHandle:
         while True:
             message = yield self._mailbox.get()
             if isinstance(message, _Kill):
+                # The actor's placement slot frees only when it dies.
+                self.runtime.scheduler.release(self.node.name)
                 return
             method_name, args, ref = message
             span = None

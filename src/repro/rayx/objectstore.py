@@ -73,6 +73,11 @@ class ObjectStore:
         self.put_count = 0
         self.get_count = 0
         self.bytes_stored = 0
+        #: Inter-node replica fetches actually performed, and the
+        #: virtual seconds they took — what the locality placement
+        #: policy exists to reduce (see ``benchmarks/bench_scheduling``).
+        self.transfers = 0
+        self.transfer_seconds = 0.0
         self.transfers_deduped = 0
         self.replicas_lost = 0
         self.reconstructions = 0
@@ -191,6 +196,7 @@ class ObjectStore:
             return
         event = self.cluster.env.event()
         self._inflight[key] = event
+        started = self.cluster.env.now
         try:
             source = self._transfer_source(stored)
             yield self.cluster.env.process(
@@ -204,6 +210,13 @@ class ObjectStore:
             raise
         del self._inflight[key]
         event.succeed()
+        elapsed = self.cluster.env.now - started
+        self.transfers += 1
+        self.transfer_seconds += elapsed
+        tracer = self.cluster.env.tracer
+        if tracer.enabled:
+            tracer.metrics.counter("objectstore.transfer.count").inc()
+            tracer.metrics.counter("objectstore.transfer.seconds").add(elapsed)
 
     def _transfer_source(self, stored: _StoredObject) -> str:
         """Pick the replica to fetch from: the owner, else a survivor.

@@ -43,9 +43,25 @@ from repro.config import ReproConfig
 from repro.errors import InjectedFault, RayxError
 from repro.rayx.objectref import ObjectRef
 from repro.rayx.objectstore import ObjectStore
+from repro.sched import PlacementRequest, Scheduler
 from repro.sim import Environment, Resource
 
 __all__ = ["TaskContext", "RayxRuntime", "run_script"]
+
+
+def _locality_refs(args: Sequence[Any]) -> tuple:
+    """The ``ObjectRef`` arguments of a task, as placement hints.
+
+    Scans one level into list/tuple arguments — the idiomatic
+    ``rt.submit(fn, [model_ref], ...)`` pattern nests the big refs.
+    """
+    refs: List[ObjectRef] = []
+    for arg in args:
+        if isinstance(arg, ObjectRef):
+            refs.append(arg)
+        elif isinstance(arg, (list, tuple)):
+            refs.extend(item for item in arg if isinstance(item, ObjectRef))
+    return tuple(refs)
 
 
 class TaskContext:
@@ -186,8 +202,12 @@ class RayxRuntime:
         self.slots = Resource(self.env, capacity=num_cpus)
         self.store = ObjectStore(cluster, self.config.object_store)
         self.store.reconstructor = self._reconstruct_ref
+        #: Placement layer (``repro.sched``): every node decision —
+        #: submission, retry resubmission, lineage reconstruction and
+        #: actor placement — goes through this scheduler.
+        self.scheduler = Scheduler(cluster, config=self.config)
+        self.scheduler.store = self.store
         self.driver_context = TaskContext(self, cluster.controller)
-        self._task_counter = 0
         self.tasks_submitted = 0
         self.tasks_completed = 0
         self.tracer = cluster.tracer
@@ -208,8 +228,11 @@ class RayxRuntime:
         node before the body runs, as Ray does.
         """
         ref = ObjectRef(self.env, label or getattr(fn, "__name__", "task"))
-        node = self.cluster.worker_round_robin(self._task_counter)
-        self._task_counter += 1
+        node = self.scheduler.place(
+            PlacementRequest(
+                kind="task", label=ref.label, refs=_locality_refs(args)
+            )
+        )
         self.tasks_submitted += 1
         if self.env.faults.active:
             # Lineage, the basis for object reconstruction: enough to
@@ -227,87 +250,107 @@ class RayxRuntime:
         faults = self.env.faults
         max_retries = self.config.rayx.max_task_retries if faults.active else 0
         attempt = 0
-        while True:
-            span = None
-            if tracer.enabled:
-                span = tracer.start(
-                    ref.label,
-                    category="rayx.task",
-                    node=node.name,
-                    parent=self._driver_span,
-                )
-                if attempt:
-                    span.attrs["attempt"] = attempt
-                tracer.metrics.counter("rayx.tasks").inc()
-            yield self.slots.request()
-            if span is not None:
-                # Time spent queued for a num_cpus slot, visible per task.
-                span.attrs["queued_s"] = round(self.env.now - span.start_s, 9)
-            retry = False
-            try:
-                yield self.env.timeout(self.config.rayx.task_dispatch_s)
-                if faults.active:
-                    if faults.node_down(node.name, self.env.now):
-                        raise InjectedFault(
-                            f"node {node.name} is down", kind="node"
-                        )
-                    fault = faults.take_task_fault(ref.label, self.env.now)
-                    if fault is not None:
-                        # The task makes delay_s of progress, then dies.
-                        if fault.delay_s > 0:
-                            yield self.env.timeout(fault.delay_s)
-                        raise InjectedFault(
-                            f"injected fault in task {ref.label!r}", kind="task"
-                        )
-                context = TaskContext(self, node)
-                context.span = span
-                context.fault_label = ref.label
-                resolved: List[Any] = []
-                for arg in args:
-                    if isinstance(arg, ObjectRef):
-                        value = yield from self.store.get(arg, node.name, parent=span)
-                        resolved.append(value)
+        try:
+            while True:
+                span = None
+                if tracer.enabled:
+                    span = tracer.start(
+                        ref.label,
+                        category="rayx.task",
+                        node=node.name,
+                        parent=self._driver_span,
+                    )
+                    if attempt:
+                        span.attrs["attempt"] = attempt
+                    tracer.metrics.counter("rayx.tasks").inc()
+                yield self.slots.request()
+                if span is not None:
+                    # Time spent queued for a num_cpus slot, visible per task.
+                    span.attrs["queued_s"] = round(self.env.now - span.start_s, 9)
+                retry = False
+                try:
+                    yield self.env.timeout(self.config.rayx.task_dispatch_s)
+                    if faults.active:
+                        if faults.node_down(node.name, self.env.now):
+                            raise InjectedFault(
+                                f"node {node.name} is down", kind="node"
+                            )
+                        fault = faults.take_task_fault(ref.label, self.env.now)
+                        if fault is not None:
+                            # The task makes delay_s of progress, then dies.
+                            if fault.delay_s > 0:
+                                yield self.env.timeout(fault.delay_s)
+                            raise InjectedFault(
+                                f"injected fault in task {ref.label!r}", kind="task"
+                            )
+                    context = TaskContext(self, node)
+                    context.span = span
+                    context.fault_label = ref.label
+                    resolved: List[Any] = []
+                    for arg in args:
+                        if isinstance(arg, ObjectRef):
+                            value = yield from self.store.get(
+                                arg, node.name, parent=span
+                            )
+                            resolved.append(value)
+                        else:
+                            resolved.append(arg)
+                    outcome = fn(context, *resolved)
+                    if inspect.isgenerator(outcome):
+                        result = yield from outcome
                     else:
-                        resolved.append(arg)
-                outcome = fn(context, *resolved)
-                if inspect.isgenerator(outcome):
-                    result = yield from outcome
-                else:
-                    result = outcome
-            except InjectedFault as exc:
-                # Only *injected* faults are retried; real exceptions
-                # from task bodies propagate unchanged (below).
-                if attempt < max_retries:
-                    if span is not None:
-                        tracer.end(span, status="retried", error=exc.kind)
-                    retry = True
-                else:
+                        result = outcome
+                except InjectedFault as exc:
+                    # Only *injected* faults are retried; real exceptions
+                    # from task bodies propagate unchanged (below).
+                    if attempt < max_retries:
+                        if span is not None:
+                            tracer.end(span, status="retried", error=exc.kind)
+                        retry = True
+                    else:
+                        if span is not None:
+                            tracer.end(
+                                span, status="failed", error=type(exc).__name__
+                            )
+                        ref.reject(exc)
+                        return
+                except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
                     if span is not None:
                         tracer.end(span, status="failed", error=type(exc).__name__)
                     ref.reject(exc)
                     return
+                finally:
+                    self.slots.release()
+                if retry:
+                    yield from self._backoff(attempt, ref, node)
+                    attempt += 1
+                    # Resubmission is a fresh placement decision; the
+                    # default policy keeps the task on the same node.
+                    self.scheduler.release(node.name)
+                    node = self.scheduler.place(
+                        PlacementRequest(
+                            kind="retry",
+                            label=ref.label,
+                            refs=_locality_refs(args),
+                            prev_node=node.name,
+                        )
+                    )
+                    continue
+                break
+            try:
+                yield from self.store.store_result(
+                    ref, result, node.name, parent=span
+                )
             except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
                 if span is not None:
                     tracer.end(span, status="failed", error=type(exc).__name__)
                 ref.reject(exc)
                 return
-            finally:
-                self.slots.release()
-            if retry:
-                yield from self._backoff(attempt, ref, node)
-                attempt += 1
-                continue
-            break
-        try:
-            yield from self.store.store_result(ref, result, node.name, parent=span)
-        except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
+            self.tasks_completed += 1
             if span is not None:
-                tracer.end(span, status="failed", error=type(exc).__name__)
-            ref.reject(exc)
-            return
-        self.tasks_completed += 1
-        if span is not None:
-            tracer.end(span, status="ok")
+                tracer.end(span, status="ok")
+        finally:
+            self.scheduler.release(node.name)
 
     def _backoff(self, attempt: int, ref: ObjectRef, node: Node) -> Generator:
         """Charge the exponential retry backoff on the virtual clock."""
@@ -347,7 +390,11 @@ class RayxRuntime:
         slot there could deadlock a fully subscribed pool.
         """
         fn, args = self.store.lineage[ref.ref_id]
-        node = self._healthy_worker()
+        node = self.scheduler.place(
+            PlacementRequest(
+                kind="reconstruction", label=ref.label, refs=_locality_refs(args)
+            )
+        )
         tracer = self.tracer
         start = self.env.now
         span = None
@@ -377,6 +424,7 @@ class RayxRuntime:
                 result = outcome
             yield from self.store.restore(ref, result, node.name)
         finally:
+            self.scheduler.release(node.name)
             if span is not None:
                 tracer.end(span)
             if tracer.enabled:
@@ -384,27 +432,21 @@ class RayxRuntime:
                     self.env.now - start
                 )
 
-    def _healthy_worker(self) -> Node:
-        """First worker outside any outage window (deterministic)."""
-        now = self.env.now
-        faults = self.env.faults
-        for worker in self.cluster.workers:
-            if not faults.node_down(worker.name, now):
-                return worker
-        return self.cluster.workers[0]
-
     # -- actors --------------------------------------------------------------------
 
     def create_actor(self, actor_class: type, *init_args: Any):
-        """Start a stateful actor pinned to the next round-robin node.
+        """Start a stateful actor on a scheduler-chosen node.
 
+        The placement shares the runtime's scheduler (and, under the
+        default policy, its round-robin counter) with task submission.
         Returns an :class:`repro.rayx.ActorHandle`; see its docstring
         for the calling convention.
         """
         from repro.rayx.actor import ActorHandle
 
-        node = self.cluster.worker_round_robin(self._task_counter)
-        self._task_counter += 1
+        node = self.scheduler.place(
+            PlacementRequest(kind="actor", label=actor_class.__name__)
+        )
         return ActorHandle(self, actor_class, init_args, node)
 
     # -- driver-side helpers -----------------------------------------------------

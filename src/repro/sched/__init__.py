@@ -1,0 +1,115 @@
+"""Pluggable scheduling & placement, shared by both engines.
+
+Until this package existed, every placement decision in the repo was a
+hard-coded ``cluster.worker_round_robin(counter)`` call — the script
+runtime's task submission, its retry/lineage-reconstruction paths, its
+actor placement, and the workflow engine's operator-instance layout.
+``repro.sched`` extracts those decisions into one swappable layer:
+
+* :class:`PlacementPolicy` — the strategy interface, with a catalogue
+  of implementations (``round_robin``, ``least_loaded``, ``locality``,
+  ``packed``, ``spread``; see :mod:`repro.sched.policy`);
+* :class:`Scheduler` — one per engine session; owns per-node load
+  accounts, filters candidates through the fault injector's outage
+  windows, and emits every decision to the observability layer.
+
+Selecting a policy follows the tracer/injector pattern:
+
+>>> from repro.sched import scheduling
+>>> with scheduling("locality"):
+...     run = run_kge_script(fresh_cluster(), dataset, num_cpus=4)
+
+or per-config via ``ReproConfig(scheduler="locality")``, or from the
+command line with ``python -m repro fig13d --scheduler locality``
+(``python -m repro sched`` prints the catalogue).
+
+The default ``round_robin`` policy reproduces the seed's placement
+bit-identically — pinned by ``tests/obs/test_timing_regression.py`` —
+and *every* policy produces identical task/workflow outputs (placement
+changes timing, never results; pinned by the hypothesis suite in
+``tests/properties/test_sched_props.py``).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.sched.policy import (
+    DEFAULT_POLICY,
+    POLICIES,
+    LeastLoadedPolicy,
+    LocalityPolicy,
+    PackedPolicy,
+    PlacementPolicy,
+    PlacementRequest,
+    RoundRobinPolicy,
+    SpreadPolicy,
+    make_policy,
+    policy_catalogue,
+    valid_policy,
+)
+from repro.sched.scheduler import NodeAccount, Scheduler
+
+__all__ = [
+    "PlacementPolicy",
+    "PlacementRequest",
+    "RoundRobinPolicy",
+    "LeastLoadedPolicy",
+    "LocalityPolicy",
+    "PackedPolicy",
+    "SpreadPolicy",
+    "NodeAccount",
+    "Scheduler",
+    "POLICIES",
+    "DEFAULT_POLICY",
+    "make_policy",
+    "policy_catalogue",
+    "valid_policy",
+    "install_policy",
+    "uninstall_policy",
+    "current_policy_name",
+    "scheduling",
+]
+
+#: The globally installed policy name, if any (see :func:`install_policy`).
+_installed: Optional[str] = None
+
+
+def install_policy(name: str) -> str:
+    """Make ``name`` the default policy for schedulers built afterwards.
+
+    Validates eagerly (raises :class:`repro.errors.UnknownPolicy`), so
+    a typo fails at install time rather than mid-experiment.
+    """
+    global _installed
+    make_policy(name)  # validate
+    _installed = name
+    return name
+
+
+def uninstall_policy() -> None:
+    """Clear the globally installed policy (back to ``round_robin``)."""
+    global _installed
+    _installed = None
+
+
+def current_policy_name() -> Optional[str]:
+    """The globally installed policy name, or None."""
+    return _installed
+
+
+@contextmanager
+def scheduling(name: str) -> Iterator[str]:
+    """Install a placement policy for the duration of a ``with`` block.
+
+    >>> with scheduling("least_loaded"):
+    ...     run = run_gotta_script(fresh_cluster(), paragraphs, num_cpus=4)
+    """
+    global _installed
+    previous = _installed
+    install_policy(name)
+    try:
+        yield name
+    finally:
+        _installed = previous

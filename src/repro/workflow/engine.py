@@ -30,6 +30,7 @@ from repro.cluster.serialization import record_codec
 from repro.config import ReproConfig
 from repro.errors import OperatorError
 from repro.relational import Table, Tuple
+from repro.sched import PlacementRequest, Scheduler
 from repro.sim import Store
 from repro.workflow.dag import Link, Workflow
 from repro.workflow.operator import LogicalOperator, OperatorExecutor, SourceExecutor
@@ -239,7 +240,9 @@ class WorkflowController:
         self._instance_spans: List[Any] = []
         self.progress = ProgressTracker()
         self._instances: Dict[str, List[_Instance]] = {}
-        self._placement_counter = 0
+        #: Placement layer (``repro.sched``): operator-instance layout
+        #: goes through this scheduler, one per controller session.
+        self.scheduler = Scheduler(cluster, config=self.config)
         #: Pause gate: None while running; an un-triggered event while
         #: paused (instances wait on it before touching the next batch).
         self._pause_gate = None
@@ -283,10 +286,16 @@ class WorkflowController:
 
     # -- compilation -------------------------------------------------------------
 
-    def _place(self) -> Node:
-        node = self.cluster.worker_round_robin(self._placement_counter)
-        self._placement_counter += 1
-        return node
+    def _place(self, operator: LogicalOperator, worker_index: int) -> Node:
+        return self.scheduler.place(
+            PlacementRequest(
+                kind="operator",
+                label=f"{operator.operator_id}[{worker_index}]",
+                operator_id=operator.operator_id,
+                worker_index=worker_index,
+                num_workers=operator.num_workers,
+            )
+        )
 
     def _build_plan(self) -> None:
         """Create instances, inbound ports and outbound channels."""
@@ -301,7 +310,7 @@ class WorkflowController:
                     _Instance(
                         operator,
                         index,
-                        self._place(),
+                        self._place(operator, index),
                         operator.create_executor(index),
                     )
                 )
@@ -527,6 +536,8 @@ class WorkflowController:
             if span is not None:
                 tracer.end(span, status="failed", error=type(exc).__name__)
             raise OperatorError(operator.operator_id, str(exc)) from exc
+        finally:
+            self.scheduler.release(instance.node.name)
         if span is not None:
             tracer.end(span, status="ok", busy_s=round(instance.busy_s, 9))
         progress = self.progress.of(operator.operator_id)

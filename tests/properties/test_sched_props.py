@@ -1,0 +1,90 @@
+"""Property: placement changes timing, never results.
+
+For any placement policy, on either engine, with or without an
+arbitrary seeded fault schedule, the run's output rows are identical to
+the same configuration under the default ``round_robin`` policy.  This
+is the contract that makes the scheduler safe to swap mid-experiment:
+policies decide *where* work runs and nothing else.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import build_cluster
+from repro.faults import FaultSchedule, faults_injected
+from repro.rayx import run_script
+from repro.relational import FieldType, Schema, Table, column_greater
+from repro.sched import POLICIES, scheduling
+from repro.sim import Environment
+from repro.workflow import Workflow, run_workflow
+from repro.workflow.operators import FilterOperator, SinkOperator, TableSource
+
+SCHEMA = Schema.of(id=FieldType.INT, score=FieldType.FLOAT)
+
+policies = st.sampled_from(sorted(POLICIES))
+
+schedules = st.one_of(
+    st.none(),  # a clean run is a degenerate schedule
+    st.builds(
+        FaultSchedule.generate,
+        seed=st.integers(0, 2**16),
+        horizon_s=st.just(8.0),
+        tasks=st.integers(0, 2),
+        operators=st.integers(0, 2),
+        nodes=st.integers(0, 1),
+        replicas=st.integers(0, 1),
+    ),
+)
+
+
+def script_outputs():
+    def task(ctx, x):
+        yield from ctx.compute(0.3)
+        return [(x, float(x) * 1.5)]
+
+    def driver(rt):
+        refs = [rt.submit(task, i, label=f"t{i}") for i in range(6)]
+        partials = yield from rt.get_all(refs)
+        return sorted(row for partial in partials for row in partial)
+
+    cluster = build_cluster(Environment())
+    return run_script(cluster, driver, num_cpus=3)
+
+
+def workflow_outputs():
+    table = Table.from_rows(
+        SCHEMA, [[i, float(i % 5)] for i in range(40)]
+    )
+    wf = Workflow("props")
+    source = wf.add_operator(TableSource("rows", table, num_workers=2))
+    keep = wf.add_operator(
+        FilterOperator("keep", column_greater("score", 1.0), num_workers=2)
+    )
+    sink = wf.add_operator(SinkOperator("out"))
+    wf.link(source, keep)
+    wf.link(keep, sink)
+    cluster = build_cluster(Environment())
+    result = run_workflow(cluster, wf)
+    return sorted(tuple(row.values) for row in result.table("out").rows)
+
+
+def run_under(policy, schedule, run_fn):
+    if schedule is not None:
+        with faults_injected(schedule), scheduling(policy):
+            return run_fn()
+    with scheduling(policy):
+        return run_fn()
+
+
+@settings(max_examples=12, deadline=None)
+@given(policy=policies, schedule=schedules)
+def test_script_outputs_equal_round_robin(policy, schedule):
+    expected = run_under("round_robin", schedule, script_outputs)
+    assert run_under(policy, schedule, script_outputs) == expected
+
+
+@settings(max_examples=12, deadline=None)
+@given(policy=policies, schedule=schedules)
+def test_workflow_outputs_equal_round_robin(policy, schedule):
+    expected = run_under("round_robin", schedule, workflow_outputs)
+    assert run_under(policy, schedule, workflow_outputs) == expected

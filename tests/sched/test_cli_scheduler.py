@@ -1,0 +1,46 @@
+"""CLI surface of the scheduling layer."""
+
+from repro.cli import main
+from repro.sched import POLICIES
+
+
+def test_sched_subcommand_prints_catalogue(capsys):
+    assert main(["sched"]) == 0
+    out = capsys.readouterr().out
+    for name in POLICIES:
+        assert name in out
+    assert "--scheduler" in out
+
+
+def test_sched_subcommand_rejects_extra_args(capsys):
+    assert main(["sched", "round_robin"]) == 2
+    assert "usage: repro sched" in capsys.readouterr().err
+
+
+def test_unknown_scheduler_exits_2_with_catalogue(capsys):
+    assert main(["--scheduler", "fifo", "fig12a", "--quick"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown policy 'fifo'" in err
+    for name in POLICIES:
+        assert name in err
+
+
+def test_scheduler_flag_runs_experiment(capsys):
+    assert main(["--quick", "--scheduler", "least_loaded", "fig12a"]) == 0
+    assert "fig12a" in capsys.readouterr().out
+
+
+def test_scheduler_flag_composes_with_trace(tmp_path, capsys):
+    trace_file = tmp_path / "kge.json"
+    assert main(
+        ["--quick", "--scheduler", "locality", "fig12a", "--trace", str(trace_file)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "fig12a" in out
+    assert trace_file.exists()
+
+
+def test_parser_help_mentions_scheduler():
+    from repro.cli import build_parser
+
+    assert "--scheduler" in build_parser().format_help()

@@ -1,0 +1,252 @@
+"""Unit tests for the placement-policy catalogue."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.errors import UnknownPolicy
+from repro.sched import (
+    DEFAULT_POLICY,
+    POLICIES,
+    PlacementRequest,
+    Scheduler,
+    make_policy,
+    policy_catalogue,
+    valid_policy,
+)
+from repro.sim import Environment
+
+
+class FakeFaults:
+    """Deterministic injector stand-in: named nodes are down."""
+
+    def __init__(self, down=()):
+        self.active = True
+        self.down = set(down)
+
+    def node_down(self, name, now):
+        return name in self.down
+
+
+class FakeStore:
+    def __init__(self, replicas=None):
+        self.replicas = replicas or {}
+
+    def replicas_of(self, ref):
+        return set(self.replicas.get(ref.ref_id, ()))
+
+
+class FakeRef:
+    def __init__(self, ref_id, nbytes):
+        self.ref_id = ref_id
+        self.nbytes = nbytes
+
+
+def make_scheduler(policy, down=(), replicas=None):
+    cluster = build_cluster(Environment())
+    sched = Scheduler(cluster, policy=policy)
+    if down:
+        cluster.env.faults = FakeFaults(down)
+    sched.store = FakeStore(replicas)
+    return sched
+
+
+def names(nodes):
+    return [node.name for node in nodes]
+
+
+# -- registry ----------------------------------------------------------------
+
+
+def test_registry_and_default():
+    assert DEFAULT_POLICY == "round_robin"
+    assert set(POLICIES) == {
+        "round_robin",
+        "least_loaded",
+        "locality",
+        "packed",
+        "spread",
+    }
+    for name in POLICIES:
+        assert valid_policy(name)
+        assert make_policy(name).name == name
+    assert not valid_policy("fifo")
+
+
+def test_make_policy_unknown_raises():
+    with pytest.raises(UnknownPolicy, match="fifo"):
+        make_policy("fifo")
+
+
+def test_catalogue_lists_every_policy():
+    text = policy_catalogue()
+    for name, cls in POLICIES.items():
+        assert name in text
+        assert cls.description in text
+    assert "--scheduler" in text
+
+
+def test_request_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown placement kind"):
+        PlacementRequest(kind="gang")
+
+
+def test_largest_ref_picks_biggest_fulfilled():
+    big, small = FakeRef("b", 100), FakeRef("s", 10)
+    pending = FakeRef("p", 0)
+    assert PlacementRequest(kind="task", refs=(small, big)).largest_ref() is big
+    assert PlacementRequest(kind="task", refs=(pending,)).largest_ref() is None
+    assert PlacementRequest(kind="task").largest_ref() is None
+
+
+# -- round_robin (the seed behaviour) ----------------------------------------
+
+
+def test_round_robin_cycles_all_workers():
+    sched = make_scheduler("round_robin")
+    chosen = [
+        sched.place(PlacementRequest(kind="task")).name for _ in range(6)
+    ]
+    assert chosen == [
+        "worker-0", "worker-1", "worker-2", "worker-3", "worker-0", "worker-1",
+    ]
+
+
+def test_round_robin_counter_shared_across_kinds():
+    # The seed used one counter for tasks and actors alike.
+    sched = make_scheduler("round_robin")
+    first = sched.place(PlacementRequest(kind="task")).name
+    second = sched.place(PlacementRequest(kind="actor")).name
+    third = sched.place(PlacementRequest(kind="operator")).name
+    assert [first, second, third] == ["worker-0", "worker-1", "worker-2"]
+
+
+def test_round_robin_retry_stays_put_and_skips_counter():
+    sched = make_scheduler("round_robin")
+    sched.place(PlacementRequest(kind="task"))  # worker-0
+    retry = sched.place(PlacementRequest(kind="retry", prev_node="worker-3"))
+    assert retry.name == "worker-3"
+    # The retry must not advance the shared counter.
+    assert sched.place(PlacementRequest(kind="task")).name == "worker-1"
+
+
+def test_round_robin_reconstruction_first_healthy():
+    sched = make_scheduler("round_robin", down={"worker-0", "worker-1"})
+    node = sched.place(PlacementRequest(kind="reconstruction"))
+    assert node.name == "worker-2"
+
+
+def test_round_robin_fresh_placement_ignores_faults():
+    # Seed semantics: submission cycles over all workers, down or not.
+    sched = make_scheduler("round_robin", down={"worker-0"})
+    assert sched.place(PlacementRequest(kind="task")).name == "worker-0"
+
+
+# -- least_loaded ------------------------------------------------------------
+
+
+def test_least_loaded_prefers_idle_node():
+    sched = make_scheduler("least_loaded")
+    first = sched.place(PlacementRequest(kind="task"))
+    second = sched.place(PlacementRequest(kind="task"))
+    assert first.name == "worker-0"
+    assert second.name == "worker-1"  # worker-0 now has outstanding=1
+    sched.release(first.name)
+    sched.release(second.name)
+    # All idle again: totals break the tie, so worker-2 is next.
+    assert sched.place(PlacementRequest(kind="task")).name == "worker-2"
+
+
+def test_least_loaded_skips_down_nodes():
+    sched = make_scheduler("least_loaded", down={"worker-0"})
+    assert sched.place(PlacementRequest(kind="task")).name == "worker-1"
+
+
+# -- locality ----------------------------------------------------------------
+
+
+def test_locality_follows_existing_replica():
+    ref = FakeRef("model", 1000)
+    sched = make_scheduler("locality", replicas={"model": ["worker-2"]})
+    node = sched.place(PlacementRequest(kind="task", refs=(ref,)))
+    assert node.name == "worker-2"
+
+
+def test_locality_burst_converges_on_planned_replica():
+    # No replica on any worker yet (driver put it on the controller):
+    # the first placement plans one, the rest of the burst follow it.
+    ref = FakeRef("model", 1000)
+    sched = make_scheduler("locality", replicas={"model": ["controller"]})
+    chosen = {
+        sched.place(PlacementRequest(kind="task", refs=(ref,))).name
+        for _ in range(4)
+    }
+    assert chosen == {"worker-0"}
+
+
+def test_locality_spills_when_local_node_is_full():
+    ref = FakeRef("model", 1000)
+    sched = make_scheduler("locality", replicas={"model": ["worker-0"]})
+    num_cpus = sched.workers[0].num_cpus
+    for _ in range(num_cpus):
+        assert sched.place(
+            PlacementRequest(kind="task", refs=(ref,))
+        ).name == "worker-0"
+    spilled = sched.place(PlacementRequest(kind="task", refs=(ref,)))
+    assert spilled.name != "worker-0"
+
+
+def test_locality_without_hints_falls_back_to_least_loaded():
+    sched = make_scheduler("locality")
+    assert sched.place(PlacementRequest(kind="task")).name == "worker-0"
+    assert sched.place(PlacementRequest(kind="task")).name == "worker-1"
+
+
+def test_locality_aligns_operator_peers():
+    # Instance k of every operator lands on worker k % N.
+    sched = make_scheduler("locality")
+    layout = [
+        sched.place(
+            PlacementRequest(
+                kind="operator", operator_id=op, worker_index=k, num_workers=2
+            )
+        ).name
+        for op in ("scan", "join")
+        for k in range(2)
+    ]
+    assert layout == ["worker-0", "worker-1", "worker-0", "worker-1"]
+
+
+def test_locality_operator_avoids_down_node():
+    sched = make_scheduler("locality", down={"worker-0"})
+    node = sched.place(
+        PlacementRequest(
+            kind="operator", operator_id="scan", worker_index=0, num_workers=1
+        )
+    )
+    assert node.name != "worker-0"
+
+
+# -- packed / spread ---------------------------------------------------------
+
+
+def test_packed_fills_first_node_then_spills():
+    sched = make_scheduler("packed")
+    num_cpus = sched.workers[0].num_cpus
+    chosen = [
+        sched.place(PlacementRequest(kind="task")).name
+        for _ in range(num_cpus + 2)
+    ]
+    assert chosen[:num_cpus] == ["worker-0"] * num_cpus
+    assert chosen[num_cpus:] == ["worker-1", "worker-1"]
+
+
+def test_spread_balances_cumulative_totals():
+    sched = make_scheduler("spread")
+    chosen = [sched.place(PlacementRequest(kind="task")).name for _ in range(8)]
+    assert chosen == [f"worker-{i % 4}" for i in range(8)]
+
+
+def test_spread_skips_down_nodes():
+    sched = make_scheduler("spread", down={"worker-1"})
+    chosen = [sched.place(PlacementRequest(kind="task")).name for _ in range(3)]
+    assert chosen == ["worker-0", "worker-2", "worker-3"]

@@ -1,0 +1,17 @@
+"""The default policy must not merely default — it must pin the seed.
+
+``tests/obs/test_timing_regression.py`` already proves that runs with
+*no* policy installed reproduce the pre-``repro.sched`` timings
+bit-identically.  This adds the explicit-install case: selecting
+``round_robin`` by name (as ``--scheduler round_robin`` does) routes
+every placement through the scheduler's accounting and yet changes no
+timing by one bit.
+"""
+
+from repro.sched import scheduling
+from tests.obs.test_timing_regression import SEED_TIMINGS, _run_all
+
+
+def test_installed_round_robin_timings_bit_identical_to_seed():
+    with scheduling("round_robin"):
+        assert _run_all() == SEED_TIMINGS

@@ -1,0 +1,111 @@
+"""Tuple-routing contracts: repro.workflow.partitioning.
+
+Co-locating hash-partition peers (the ``locality`` placement policy)
+only works if routing itself is stable: the same key must map to the
+same instance index on every run, process and Python version.
+"""
+
+import zlib
+
+import pytest
+
+from repro.relational import FieldType, Schema, Tuple
+from repro.workflow.partitioning import (
+    BroadcastPartitioner,
+    HashPartitioner,
+    Partitioner,
+    RoundRobinPartitioner,
+    stable_hash,
+)
+
+SCHEMA = Schema.of(id=FieldType.INT, name=FieldType.STRING)
+
+
+def row(id_, name):
+    return Tuple(SCHEMA, [id_, name])
+
+
+# -- stable_hash -------------------------------------------------------------
+
+
+def test_stable_hash_is_deterministic_and_unsalted():
+    # CRC32 of repr: reproducible across processes, unlike builtin hash.
+    for value in (42, "item-7", ("a", 1), None, 3.5):
+        assert stable_hash(value) == stable_hash(value)
+        assert stable_hash(value) == zlib.crc32(repr(value).encode("utf-8"))
+        assert stable_hash(value) >= 0
+
+
+def test_stable_hash_distinguishes_values():
+    assert stable_hash("item-1") != stable_hash("item-2")
+
+
+# -- HashPartitioner ---------------------------------------------------------
+
+
+def test_hash_partitioner_routes_equal_keys_together():
+    partitioner = HashPartitioner(4, key="name")
+    first = partitioner.route(row(1, "alpha"))
+    second = partitioner.route(row(2, "alpha"))
+    assert first == second
+    assert len(first) == 1
+    assert 0 <= first[0] < 4
+
+
+def test_hash_partitioner_is_stable_across_instances():
+    # Two independent partitioners (e.g. on two producer instances)
+    # must agree, or a keyed consumer would see a split key space.
+    a, b = HashPartitioner(3, key="id"), HashPartitioner(3, key="id")
+    for i in range(50):
+        assert a.route(row(i, f"n{i}")) == b.route(row(i, f"n{i}"))
+
+
+def test_hash_partitioner_matches_stable_hash_arithmetic():
+    partitioner = HashPartitioner(5, key="name")
+    t = row(9, "gamma")
+    assert partitioner.route(t) == [stable_hash("gamma") % 5]
+
+
+# -- BroadcastPartitioner ----------------------------------------------------
+
+
+def test_broadcast_fans_out_to_every_instance():
+    partitioner = BroadcastPartitioner(4)
+    assert partitioner.route(row(1, "a")) == [0, 1, 2, 3]
+    # Every tuple, not just the first.
+    assert partitioner.route(row(2, "b")) == [0, 1, 2, 3]
+
+
+# -- RoundRobinPartitioner ---------------------------------------------------
+
+
+def test_round_robin_cycles_deterministically():
+    partitioner = RoundRobinPartitioner(3)
+    routes = [partitioner.route(row(i, "x"))[0] for i in range(7)]
+    assert routes == [0, 1, 2, 0, 1, 2, 0]
+
+
+# -- degenerate single consumer ----------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "partitioner",
+    [
+        RoundRobinPartitioner(1),
+        HashPartitioner(1, key="id"),
+        BroadcastPartitioner(1),
+    ],
+    ids=["round_robin", "hash", "broadcast"],
+)
+def test_single_consumer_always_routes_to_zero(partitioner):
+    for i in range(5):
+        assert partitioner.route(row(i, f"n{i}")) == [0]
+
+
+def test_partitioner_rejects_non_positive_consumers():
+    for cls in (RoundRobinPartitioner, BroadcastPartitioner):
+        with pytest.raises(ValueError):
+            cls(0)
+    with pytest.raises(ValueError):
+        HashPartitioner(0, key="id")
+    assert issubclass(HashPartitioner, Partitioner)
