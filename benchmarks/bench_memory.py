@@ -1,0 +1,186 @@
+"""Benchmark: memory pressure — RAM size x policy -> outcome.
+
+Sweeps per-node RAM from ample down to the largest single allocation
+and runs each size under both policies (dormant = the seed's hard
+failure, spill = the :mod:`repro.mem` LRU spill + backpressure
+policy), recording wall time, spill count and peak RSS.  Also checks
+the subsystem's two guarantees —
+
+* on a RAM size where the dormant run dies with
+  :class:`InsufficientResources`, the spill policy completes every
+  task with output identical to the clean run, and
+* pressured runs are deterministic: same config, same workload ->
+  bit-identical virtual time and spill counts —
+
+Uses plain pytest (no ``benchmark`` fixture) so CI can smoke it with
+nothing but pytest, or directly:
+
+    PYTHONPATH=src python benchmarks/bench_memory.py --quick
+"""
+
+import sys
+from dataclasses import replace
+
+from repro.config import MemoryConfig, default_config
+from repro.datasets import generate_fsqa, generate_maccrobat
+from repro.errors import InsufficientResources
+from repro.experiments.exp_memory import run_memory
+from repro.mem import format_size
+from repro.tasks import fresh_cluster
+from repro.tasks.dice import run_dice_script
+from repro.tasks.gotta import run_gotta_script
+
+QUICK_DOCS = 40
+QUICK_PARAGRAPHS = 1
+
+
+def _probe(run_fn):
+    """Clean run -> (elapsed, peak RSS, largest single allocation)."""
+    cluster = fresh_cluster()
+    run = run_fn(cluster)
+    peak = max(node.ram_peak for node in cluster._nodes.values())
+    largest = max(node.largest_alloc for node in cluster._nodes.values())
+    return run, peak, largest
+
+
+def _pressure_outcome(run_fn, ram, enabled):
+    """One ladder cell: (status, elapsed, spills, peak RSS)."""
+    config = replace(
+        default_config(),
+        memory=MemoryConfig(enabled=enabled, node_ram_bytes=ram),
+    )
+    cluster = fresh_cluster(config)
+    try:
+        run = run_fn(cluster)
+    except InsufficientResources:
+        return "died", None, None, None
+    peak = max(node.ram_peak for node in cluster._nodes.values())
+    return "ok", run.elapsed_s, cluster.memory.spill_count, peak
+
+
+def ram_ladder_table(run_fn, title):
+    """RAM size x policy table for one task (the benchmark artifact)."""
+    clean, peak, largest = _probe(run_fn)
+    sizes = [
+        ("ample", None),
+        ("peak", peak),
+        ("midpoint", (peak + largest) // 2),
+        ("floor", largest),
+    ]
+    lines = [
+        f"memory ladder: {title} (clean {clean.elapsed_s:.2f}s, "
+        f"peak {format_size(peak)}, largest alloc {format_size(largest)})",
+        f"{'ram/node':>10}  {'policy':<8} {'outcome':<8} "
+        f"{'wall (s)':>10} {'spills':>7} {'peak rss':>10}",
+    ]
+    cells = {}
+    for label, ram in sizes:
+        for policy, enabled in (("dormant", False), ("spill", True)):
+            status, elapsed, spills, rss = _pressure_outcome(run_fn, ram, enabled)
+            cells[(label, policy)] = status
+            shown = format_size(ram) if ram is not None else "ample"
+            if status == "ok":
+                lines.append(
+                    f"{shown:>10}  {policy:<8} {'ok':<8} "
+                    f"{elapsed:>10.2f} {spills:>7d} {format_size(rss):>10}"
+                )
+            else:
+                lines.append(
+                    f"{shown:>10}  {policy:<8} {'died':<8} "
+                    f"{'-':>10} {'-':>7} {'-':>10}"
+                )
+    return "\n".join(lines), cells
+
+
+def test_pressured_run_is_deterministic():
+    """Same memory config, same workload -> bit-identical timeline."""
+    paragraphs = generate_fsqa(num_paragraphs=QUICK_PARAGRAPHS, seed=17)
+    _, peak, largest = _probe(
+        lambda cl: run_gotta_script(cl, paragraphs, num_cpus=4)
+    )
+    ram = (peak + largest) // 2
+    outcomes = []
+    for _ in range(2):
+        outcomes.append(
+            _pressure_outcome(
+                lambda cl: run_gotta_script(cl, paragraphs, num_cpus=4),
+                ram,
+                enabled=True,
+            )
+        )
+    assert outcomes[0] == outcomes[1], "pressured timeline diverged"
+    assert outcomes[0][0] == "ok" and outcomes[0][2] > 0
+
+
+def test_ram_ladder_dice(results_dir):
+    """Dormant dies below peak; the spill policy completes everywhere."""
+    reports = generate_maccrobat(num_docs=QUICK_DOCS, seed=7)
+    table, cells = ram_ladder_table(
+        lambda cl: run_dice_script(cl, reports, num_cpus=4), "dice/script-4"
+    )
+    assert cells[("ample", "dormant")] == "ok"
+    assert cells[("midpoint", "dormant")] == "died"
+    for label in ("ample", "peak", "midpoint", "floor"):
+        assert cells[(label, "spill")] == "ok", f"spill policy died at {label}"
+    (results_dir / "memory_ladder.txt").write_text(table + "\n", encoding="utf-8")
+    print()
+    print(table)
+
+
+def test_memory_experiment_quick(results_dir):
+    """All four tasks: seed dies, policy completes with recorded spills.
+
+    ``run_memory`` raises if the dormant run survives the clamp, if the
+    pressured run records no spills, or if its output differs from the
+    clean run's — so passing is itself the acceptance check.
+    """
+    report = run_memory(
+        num_docs=QUICK_DOCS,
+        num_paragraphs=QUICK_PARAGRAPHS,
+        num_candidates=1500,
+        universe_size=4000,
+        num_tweets=40,
+    )
+    for task in ("dice", "gotta", "kge", "wef"):
+        overhead = [
+            r for r in report.rows if r.series == "overhead" and r.x == task
+        ]
+        assert overhead and overhead[0].measured >= 0.0
+    (results_dir / "memory.txt").write_text(report.to_text() + "\n", encoding="utf-8")
+    print()
+    print(report.to_text())
+
+
+def main(argv=None):
+    """CI smoke entry point: ``python benchmarks/bench_memory.py --quick``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced dataset scales"
+    )
+    args = parser.parse_args(argv)
+    docs = QUICK_DOCS if args.quick else 120
+    reports = generate_maccrobat(num_docs=docs, seed=7)
+    table, cells = ram_ladder_table(
+        lambda cl: run_dice_script(cl, reports, num_cpus=4),
+        f"dice/script-4 ({docs} file pairs)",
+    )
+    print(table)
+    if cells[("midpoint", "dormant")] != "died":
+        print("FAIL: dormant run survived the midpoint clamp", file=sys.stderr)
+        return 1
+    failed = [
+        label
+        for (label, policy), status in cells.items()
+        if policy == "spill" and status != "ok"
+    ]
+    if failed:
+        print(f"FAIL: spill policy died at: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print("\nmemory smoke OK: dormant dies under pressure, spill completes")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

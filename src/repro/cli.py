@@ -34,6 +34,20 @@ The ``sched`` subcommand prints the placement-policy catalogue;
 installed in both engines.  It composes with ``--trace`` (placement
 decisions appear as ``sched.place`` spans) and ``--faults`` (policies
 steer work around injected outages).
+
+Memory pressure (``repro.mem``)::
+
+    python -m repro mem                                  # spec grammar + defaults
+    python -m repro mem on,ram=2gib,spill=0.7            # inspect a policy
+    python -m repro fig13d --quick --mem on,ram=2gib
+    python -m repro memory --quick                       # spill-vs-die experiment
+
+The ``mem`` subcommand prints the policy a spec expands to; ``--mem
+SPEC`` runs the named experiments with that policy installed in every
+cluster they build (``on`` enables LRU spill-to-disk and admission
+backpressure; ``ram=SIZE`` clamps every node's RAM).  Composes with
+``--trace`` (spill/restore appear as ``mem`` spans), ``--faults``
+(``ooms=N`` schedules RAM clamps) and ``--scheduler``.
 """
 
 from __future__ import annotations
@@ -52,11 +66,13 @@ from repro.experiments.exp_scaling import (
     run_fig13c,
     run_fig13d,
 )
+from repro.experiments.exp_memory import run_memory
 from repro.experiments.exp_recovery import run_recovery
 from repro.experiments.exp_scheduling import run_scheduling
 from repro.experiments.exp_workers import run_fig14a, run_fig14b, run_fig14c
-from repro.errors import FaultSpecError
+from repro.errors import FaultSpecError, MemSpecError
 from repro.faults import FaultSchedule, faults_injected
+from repro.mem import describe_memory, memory_managed, parse_mem_spec
 from repro.obs import Tracer, format_breakdown, tracing, write_chrome_trace
 from repro.sched import policy_catalogue, scheduling, valid_policy
 
@@ -78,7 +94,23 @@ QUICK_EXPERIMENTS = {
     "scheduling": lambda: run_scheduling(
         num_candidates=1500, universe_size=4000, num_paragraphs=1
     ),
+    "memory": lambda: run_memory(
+        num_docs=40, num_paragraphs=1, num_candidates=1500,
+        universe_size=4000, num_tweets=40,
+    ),
 }
+
+#: Shown by the bare ``mem`` subcommand alongside the default policy.
+MEM_SPEC_HELP = """\
+spec grammar: comma-separated flags and key=value pairs
+  on | off         enable / disable spilling + backpressure (default: off)
+  ram=SIZE         clamp every node's RAM (e.g. 2gib, 512mib, 1.5gb)
+  spill=FRACTION   start spilling above this fraction of RAM (default 0.8)
+  admit=FRACTION   block admissions above this fraction (default 0.95)
+  write_bw=SIZE    spill write bandwidth per second (default 100mib)
+  read_bw=SIZE     restore read bandwidth per second (default 100mib)
+  base=SECONDS     fixed per-spill/restore latency (default 0.002)
+example: --mem on,ram=2gib,spill=0.7,admit=0.9"""
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -125,6 +157,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="placement policy installed in both engines for the run "
         "(list with the 'sched' subcommand: 'repro sched')",
     )
+    parser.add_argument(
+        "--mem",
+        metavar="SPEC",
+        default=None,
+        help="run with a memory-pressure policy installed; SPEC is "
+        "'on,ram=2gib,spill=0.7,...' (inspect with the 'mem' "
+        "subcommand: 'repro mem SPEC')",
+    )
     return parser
 
 
@@ -166,6 +206,24 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if names and names[0] == "mem":
+        if len(names) > 2:
+            print("repro: mem: usage: repro mem [SPEC]", file=sys.stderr)
+            return 2
+        spec = names[1] if len(names) == 2 else args.mem
+        if spec is None:
+            from repro.config import MemoryConfig
+
+            print(describe_memory(MemoryConfig()))
+            print()
+            print(MEM_SPEC_HELP)
+            return 0
+        try:
+            print(describe_memory(parse_mem_spec(spec)))
+        except MemSpecError as exc:
+            print(f"repro: mem: {exc}", file=sys.stderr)
+            return 2
+        return 0
     if names and names[0] == "faults":
         spec = names[1] if len(names) == 2 else args.faults
         if spec is None or len(names) > 2:
@@ -183,6 +241,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             schedule = FaultSchedule.from_spec(args.faults)
         except FaultSpecError as exc:
             print(f"repro: --faults: {exc}", file=sys.stderr)
+            return 2
+    mem_config = None
+    if args.mem is not None:
+        try:
+            mem_config = parse_mem_spec(args.mem)
+        except MemSpecError as exc:
+            print(f"repro: --mem: {exc}", file=sys.stderr)
             return 2
     trace_mode = bool(names) and names[0] == "trace"
     if trace_mode:
@@ -211,8 +276,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     sched_context = (
         scheduling(args.scheduler) if args.scheduler is not None else nullcontext()
     )
+    mem_context = (
+        memory_managed(mem_config) if mem_config is not None else nullcontext()
+    )
     if not trace_mode:
-        with fault_context as injector, sched_context:
+        with fault_context as injector, sched_context, mem_context:
             for name in names:
                 print(registry[name]().to_text())
                 print()
@@ -220,7 +288,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(_fault_summary(injector))
         return 0
     tracer = Tracer()
-    with fault_context as injector, tracing(tracer), sched_context:
+    with fault_context as injector, tracing(tracer), sched_context, mem_context:
         for name in names:
             print(registry[name]().to_text())
             print()

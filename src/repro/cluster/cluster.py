@@ -10,6 +10,7 @@ from repro.cluster.node import Node
 from repro.cluster.serialization import CodecSuite, make_codecs
 from repro.errors import UnknownNode
 from repro.faults.injector import current_injector
+from repro.mem import MemoryManager, current_memory_config
 from repro.obs.tracer import current_tracer
 from repro.sim import Environment
 
@@ -28,7 +29,12 @@ class Cluster:
     """
 
     def __init__(
-        self, env: Environment, config: ReproConfig, tracer=None, faults=None
+        self,
+        env: Environment,
+        config: ReproConfig,
+        tracer=None,
+        faults=None,
+        memory=None,
     ) -> None:
         self.env = env
         self.config = config
@@ -56,6 +62,18 @@ class Cluster:
             self._nodes[worker.name] = worker
         self.network = Network(env, topology.network)
         self.codecs: CodecSuite = make_codecs(config.serialization)
+        #: Memory-pressure layer (``repro.mem``), resolved like the
+        #: tracer: explicit argument, else the globally installed
+        #: policy, else the config's (dormant by default).  Always
+        #: constructed — a dormant manager is pure bookkeeping and the
+        #: single ``mem.active`` flag keeps call sites branch-cheap.
+        mem_config = memory
+        if mem_config is None:
+            mem_config = current_memory_config()
+        if mem_config is None:
+            mem_config = config.memory
+        self.memory = MemoryManager(self, mem_config)
+        self.faults.register_memory(self.memory)
 
     # -- topology ------------------------------------------------------------
 
@@ -109,7 +127,7 @@ class Cluster:
 
 
 def build_cluster(
-    env: Environment, config: ReproConfig = None, tracer=None, faults=None
+    env: Environment, config: ReproConfig = None, tracer=None, faults=None, memory=None
 ) -> Cluster:
     """Construct the paper's testbed topology on ``env``.
 
@@ -117,6 +135,10 @@ def build_cluster(
     ``tracer`` defaults to the globally installed tracer (usually the
     no-op null tracer — see :mod:`repro.obs`); ``faults`` defaults to
     the globally installed fault injector (usually dormant — see
-    :mod:`repro.faults`).
+    :mod:`repro.faults`); ``memory`` is a
+    :class:`repro.config.MemoryConfig` overriding the globally
+    installed memory policy (see :mod:`repro.mem`).
     """
-    return Cluster(env, config or default_config(), tracer=tracer, faults=faults)
+    return Cluster(
+        env, config or default_config(), tracer=tracer, faults=faults, memory=memory
+    )

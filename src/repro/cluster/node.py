@@ -19,10 +19,14 @@ class Node:
     Co-scheduled work on the same node genuinely queues, which is how
     the simulation reproduces contention effects.
 
-    RAM is tracked as a simple high-water counter — enough to model the
-    paper's observation that Ray's object store "required a lot of
-    memory", and to fail loudly if a task plan would not fit on the
-    testbed machine.
+    RAM is tracked as a high-water counter against a mutable ceiling
+    (``ram_limit``) — enough to model the paper's observation that
+    Ray's object store "required a lot of memory", and to fail loudly
+    if a task plan would not fit on the testbed machine.  The ceiling
+    starts at the machine's physical RAM; :mod:`repro.mem` may shrink
+    it (config override or an injected ``oom`` fault) and, when its
+    policy is enabled, turns would-be failures into spilling and
+    backpressure instead.
     """
 
     def __init__(self, env: Environment, name: str, machine: MachineConfig) -> None:
@@ -32,6 +36,12 @@ class Node:
         self.cpus = Resource(env, capacity=machine.num_cpus)
         self.ram_used = 0
         self.ram_peak = 0
+        #: Largest single allocation ever admitted — with ``ram_peak``,
+        #: the two numbers experiments need to pick a shrunken-RAM
+        #: configuration that is survivable only by spilling.
+        self.largest_alloc = 0
+        #: Current RAM ceiling in bytes (see class docstring).
+        self.ram_limit = machine.ram_bytes
         self.busy_seconds = 0.0
 
     @property
@@ -40,11 +50,11 @@ class Node:
 
     @property
     def ram_bytes(self) -> int:
-        return self.machine.ram_bytes
+        return self.ram_limit
 
     @property
     def ram_free(self) -> int:
-        return self.machine.ram_bytes - self.ram_used
+        return self.ram_limit - self.ram_used
 
     # -- CPU ---------------------------------------------------------------
 
@@ -89,6 +99,14 @@ class Node:
             )
         self.ram_used += nbytes
         self.ram_peak = max(self.ram_peak, self.ram_used)
+        if nbytes > self.largest_alloc:
+            self.largest_alloc = nbytes
+        tracer = self.env.tracer
+        if tracer.enabled:
+            tracer.metrics.gauge("mem.node_rss", node=self.name).set(self.ram_used)
+            tracer.metrics.gauge("mem.high_water", node=self.name).set(
+                self.ram_peak
+            )
 
     def free_ram(self, nbytes: int) -> None:
         """Release a prior allocation."""
@@ -100,6 +118,9 @@ class Node:
                 f"{self.ram_used} are allocated"
             )
         self.ram_used -= nbytes
+        tracer = self.env.tracer
+        if tracer.enabled:
+            tracer.metrics.gauge("mem.node_rss", node=self.name).set(self.ram_used)
 
     def __repr__(self) -> str:
         return (

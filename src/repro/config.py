@@ -242,6 +242,82 @@ class ModelConfig:
 
 
 @dataclass(frozen=True)
+class MemoryConfig:
+    """Per-node memory-pressure policy (``repro.mem``).
+
+    With the defaults (``enabled=False``, no RAM override) the manager
+    is completely dormant: every allocation takes the seed's direct
+    ``Node.allocate_ram`` path and timings stay bit-identical (pinned
+    by ``tests/mem/test_timing_pin.py``).  Enabling the policy turns
+    hard :class:`repro.errors.InsufficientResources` failures into LRU
+    spill-to-disk plus FIFO admission backpressure, modelled on Ray's
+    object-spilling and plasma-store admission control.
+
+    Watermarks are fractions of a node's RAM ceiling: above
+    ``spill_watermark`` an admission spills least-recently-used
+    replicas to disk until usage drops back under it; an allocation
+    that still cannot fit under ``admission_watermark`` blocks in a
+    FIFO queue until RAM is freed.  An object larger than the admission
+    watermark (but not larger than the node) may use the full ceiling —
+    otherwise the 1.59 GB GOTTA model could never be admitted on a
+    shrunken node.
+    """
+
+    #: Master switch for spilling + backpressure.  Off by default so
+    #: calibrated experiment timings stay exactly reproducible.
+    enabled: bool = False
+    #: Spill LRU replicas down toward this fraction of the RAM ceiling.
+    spill_watermark: float = 0.80
+    #: Block (rather than spill further) above this fraction.
+    admission_watermark: float = 0.95
+    #: Spill device bandwidth — the testbed's 100 GB HDD, matching
+    #: ``ModelConfig.disk_read_bytes_per_s``.
+    spill_write_bytes_per_s: float = 100 * MIB
+    spill_read_bytes_per_s: float = 100 * MIB
+    #: Fixed per-spill/restore cost (file create + seal).
+    spill_base_s: float = 2.0e-3
+    #: Override every node's RAM ceiling (bytes).  Applied even when
+    #: the policy is disabled — this is the knob that shrinks the
+    #: testbed so the seed code path visibly dies while the spilling
+    #: path completes (``benchmarks/bench_memory.py``).
+    node_ram_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.spill_watermark <= 1.0:
+            raise ValueError(
+                f"spill_watermark must be in (0, 1], got {self.spill_watermark}"
+            )
+        if not 0.0 < self.admission_watermark <= 1.0:
+            raise ValueError(
+                "admission_watermark must be in (0, 1], got "
+                f"{self.admission_watermark}"
+            )
+        if self.spill_watermark > self.admission_watermark:
+            raise ValueError(
+                f"spill_watermark ({self.spill_watermark}) must not exceed "
+                f"admission_watermark ({self.admission_watermark})"
+            )
+        if self.spill_write_bytes_per_s <= 0 or self.spill_read_bytes_per_s <= 0:
+            raise ValueError("spill bandwidths must be positive")
+        if self.node_ram_bytes is not None and self.node_ram_bytes <= 0:
+            raise ValueError(
+                f"node_ram_bytes must be positive, got {self.node_ram_bytes}"
+            )
+
+    def spill_write_time(self, nbytes: int) -> float:
+        """Virtual seconds to spill ``nbytes`` to disk."""
+        if nbytes < 0:
+            raise ValueError(f"negative spill size: {nbytes}")
+        return self.spill_base_s + nbytes / self.spill_write_bytes_per_s
+
+    def spill_read_time(self, nbytes: int) -> float:
+        """Virtual seconds to restore ``nbytes`` from disk."""
+        if nbytes < 0:
+            raise ValueError(f"negative restore size: {nbytes}")
+        return self.spill_base_s + nbytes / self.spill_read_bytes_per_s
+
+
+@dataclass(frozen=True)
 class ClusterTopologyConfig:
     """The paper's deployment: 1 coordinator + 4 worker machines."""
 
@@ -260,6 +336,10 @@ class ReproConfig:
     rayx: RayxConfig = field(default_factory=RayxConfig)
     workflow: WorkflowConfig = field(default_factory=WorkflowConfig)
     models: ModelConfig = field(default_factory=ModelConfig)
+    #: Memory-pressure policy (see :mod:`repro.mem`).  The default is
+    #: fully dormant; an explicitly installed policy
+    #: (``repro.mem.memory_managed``) takes precedence over this field.
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
     #: Placement-policy name consulted by both engines' schedulers (see
     #: :mod:`repro.sched`).  ``None`` falls back to the globally
     #: installed policy (``repro.sched.scheduling``), else the seed-

@@ -128,6 +128,14 @@ class ReconstructionError(FaultError):
     """An object lost all replicas and has no lineage to rebuild from."""
 
 
+class MemoryPressureError(ReproError):
+    """Base class for the memory-pressure subsystem (``repro.mem``)."""
+
+
+class MemSpecError(MemoryPressureError):
+    """A ``--mem`` policy spec string was malformed."""
+
+
 class SchedError(ReproError):
     """Base class for scheduling/placement errors."""
 

@@ -10,6 +10,7 @@ E3a-d       Fig 13a-d (scaling dataset size)            :func:`run_fig13a` ...
 E4a-c       Fig 14a-c (number of workers)               :func:`run_fig14a` ...
 E5          Recovery under injected faults (extension)  :func:`run_recovery`
 E6          Placement-policy comparison (extension)     :func:`run_scheduling`
+E7          Memory pressure: spill vs die (extension)   :func:`run_memory`
 ==========  ==========================================  ======================
 
 Each returns an :class:`repro.metrics.ExperimentReport` holding the
@@ -18,6 +19,7 @@ measured values side by side with the paper's, rendered by
 """
 
 from repro.experiments.exp_language import run_table1
+from repro.experiments.exp_memory import run_memory
 from repro.experiments.exp_modularity import run_fig12a, run_fig12b
 from repro.experiments.exp_recovery import run_recovery
 from repro.experiments.exp_scheduling import run_scheduling
@@ -42,6 +44,7 @@ __all__ = [
     "run_fig14c",
     "run_recovery",
     "run_scheduling",
+    "run_memory",
 ]
 
 ALL_EXPERIMENTS = {
@@ -57,4 +60,5 @@ ALL_EXPERIMENTS = {
     "fig14c": run_fig14c,
     "recovery": run_recovery,
     "scheduling": run_scheduling,
+    "memory": run_memory,
 }

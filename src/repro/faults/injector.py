@@ -61,6 +61,7 @@ class FaultInjector:
         self.active = bool(schedule)
         self._env: Optional[Any] = None
         self._stores: List[Any] = []
+        self._memories: List[Any] = []
         self._pending_tasks: List[FaultEvent] = []
         self._pending_operators: List[FaultEvent] = []
         #: (node, start, end) outage windows, fixed at construction.
@@ -88,12 +89,15 @@ class FaultInjector:
         """
         self._env = env
         self._stores = []
+        self._memories = []
         self._pending_tasks = list(self.schedule.of_kind("task"))
         self._pending_operators = list(self.schedule.of_kind("operator"))
         if not self.active:
             return
         timed = sorted(
-            self.schedule.of_kind("node") + self.schedule.of_kind("replica"),
+            self.schedule.of_kind("node")
+            + self.schedule.of_kind("replica")
+            + self.schedule.of_kind("oom"),
             key=lambda e: e.at_s,
         )
         if timed:
@@ -103,6 +107,11 @@ class FaultInjector:
         """Object stores register to receive replica-loss callbacks."""
         if store not in self._stores:
             self._stores.append(store)
+
+    def register_memory(self, memory: Any) -> None:
+        """Memory managers register to receive ``oom`` clamp callbacks."""
+        if memory not in self._memories:
+            self._memories.append(memory)
 
     def _apply_timed(self, env: Any, events: List[FaultEvent]):
         """Simulation process applying node/replica events on time."""
@@ -124,6 +133,21 @@ class FaultInjector:
                         start_s=event.at_s,
                         end_s=event.end_s,
                         replicas_lost=dropped,
+                    )
+            elif event.kind == "oom":
+                for memory in self._memories:
+                    yield from memory.clamp_matching(event.target, event.factor)
+                self.injected += 1
+                tracer = env.tracer
+                if tracer.enabled:
+                    tracer.metrics.counter("faults.injected", kind="oom").inc()
+                    tracer.record_complete(
+                        f"oom:{event.target}",
+                        category="faults.oom",
+                        node=event.target,
+                        start_s=event.at_s,
+                        end_s=env.now,
+                        factor=event.factor,
                     )
             else:  # replica
                 dropped = 0
@@ -237,6 +261,9 @@ class NullInjector:
         pass
 
     def register_store(self, store: Any) -> None:
+        pass
+
+    def register_memory(self, memory: Any) -> None:
         pass
 
     def take_task_fault(self, label: str, now: float) -> Optional[FaultEvent]:

@@ -35,6 +35,12 @@ Fault kinds
 ``replica``
     One replica of the matching stored object is dropped at ``at_s``
     (never the last copy of an object without lineage).
+``oom``
+    The matching node's RAM ceiling is divided by ``factor`` at
+    ``at_s``.  With the :mod:`repro.mem` policy enabled, resident
+    replicas are spilled to disk until usage fits under the new
+    ceiling; with it dormant, the next allocation that does not fit
+    fails hard (the seed behaviour on a suddenly smaller machine).
 """
 
 from __future__ import annotations
@@ -49,7 +55,7 @@ from repro.errors import FaultSpecError
 
 __all__ = ["FaultEvent", "FaultSchedule", "FAULT_KINDS"]
 
-FAULT_KINDS = ("task", "operator", "node", "link", "replica")
+FAULT_KINDS = ("task", "operator", "node", "link", "replica", "oom")
 
 
 @dataclass(frozen=True)
@@ -139,6 +145,8 @@ class FaultSchedule:
         nodes: int = 0,
         links: int = 0,
         replicas: int = 0,
+        ooms: int = 0,
+        oom_factor: float = 4.0,
         node_names: Iterable[str] = ("worker-0", "worker-1", "worker-2", "worker-3"),
         task_target: str = "*",
         operator_target: str = "*",
@@ -192,6 +200,15 @@ class FaultSchedule:
             )
         for _ in range(replicas):
             events.append(FaultEvent(stamp(), "replica", target=replica_target))
+        for index in range(ooms):
+            events.append(
+                FaultEvent(
+                    stamp(),
+                    "oom",
+                    target=names[index % len(names)],
+                    factor=oom_factor,
+                )
+            )
         return cls(events=tuple(events), seed=seed, note=note)
 
     @classmethod
@@ -200,7 +217,8 @@ class FaultSchedule:
 
         Keys: ``seed`` (required for key=value form), ``horizon``,
         ``tasks``, ``operators``/``ops``, ``nodes``, ``links``,
-        ``replicas``, ``outage``, ``link_factor``, and the target globs
+        ``replicas``, ``ooms``, ``outage``, ``link_factor``,
+        ``oom_factor``, and the target globs
         ``task_target``/``operator_target``/``replica_target``.
 
         >>> FaultSchedule.from_spec("seed=7,tasks=2,nodes=1").seed
@@ -225,11 +243,13 @@ class FaultSchedule:
             "nodes": "nodes",
             "links": "links",
             "replicas": "replicas",
+            "ooms": "ooms",
         }
         float_keys = {
             "horizon": "horizon_s",
             "outage": "outage_s",
             "link_factor": "link_factor",
+            "oom_factor": "oom_factor",
         }
         str_keys = {
             "task_target": "task_target",
@@ -297,6 +317,8 @@ class FaultSchedule:
                 detail = f"crash after {event.delay_s:.3f}s of progress"
             elif event.kind == "operator":
                 detail = "crash mid-batch, restore from checkpoint"
+            elif event.kind == "oom":
+                detail = f"clamp RAM ceiling to 1/{event.factor:g}"
             else:
                 detail = "drop one replica"
             lines.append(

@@ -1,0 +1,105 @@
+"""Memory pressure, made survivable: ``repro.mem``.
+
+The paper's GOTTA analysis (Section IV-E) blames the script paradigm's
+slowdown on Ray's shared object store, which "required a lot of memory
+and added execution time for each access".  The seed modelled RAM as a
+hard-fail high-water counter — a plan that did not fit raised
+:class:`repro.errors.InsufficientResources` — so memory pressure was
+the one paper phenomenon the simulation could not reproduce.  This
+package adds the missing layer:
+
+* :class:`MemoryManager` — per-node admission control with LRU
+  spill-to-disk for object-store replicas and FIFO blocking
+  backpressure for everything else (workflow channel buffers included);
+* :class:`repro.config.MemoryConfig` — watermarks, spill bandwidth and
+  a per-node RAM override, resolvable per cluster;
+* an ``oom`` fault kind (``repro.faults``) clamping a node's RAM at a
+  virtual timestamp.
+
+Selecting a policy follows the tracer/injector/scheduler pattern:
+
+>>> from repro.mem import memory_managed
+>>> with memory_managed("on,ram=2GiB"):
+...     run = run_gotta_script(fresh_cluster(), paragraphs)
+
+or per-config via ``ReproConfig(memory=MemoryConfig(...))``, or from
+the command line with ``python -m repro fig13d --mem on,ram=2GiB``
+(``python -m repro mem`` prints the spec grammar).
+
+With the default config the manager is dormant and every timing stays
+bit-identical to the seed — pinned by ``tests/mem/test_timing_pin.py``
+the same way ``repro.obs``/``repro.faults``/``repro.sched`` are.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Union
+
+from repro.config import MemoryConfig
+from repro.mem.manager import MemoryManager
+from repro.mem.spec import describe_memory, format_size, parse_mem_spec, parse_size
+
+__all__ = [
+    "MemoryConfig",
+    "MemoryManager",
+    "parse_mem_spec",
+    "parse_size",
+    "format_size",
+    "describe_memory",
+    "install_memory",
+    "uninstall_memory",
+    "current_memory_config",
+    "memory_managed",
+]
+
+#: The globally installed policy, if any (see :func:`install_memory`).
+_installed: Optional[MemoryConfig] = None
+
+
+def _coerce(config_or_spec: Union[MemoryConfig, str]) -> MemoryConfig:
+    if isinstance(config_or_spec, MemoryConfig):
+        return config_or_spec
+    return parse_mem_spec(config_or_spec)
+
+
+def install_memory(config_or_spec: Union[MemoryConfig, str]) -> MemoryConfig:
+    """Make a memory policy the default for clusters built afterwards.
+
+    Accepts a :class:`MemoryConfig` or a spec string (validated
+    eagerly, so a typo fails at install time rather than mid-run).
+    """
+    global _installed
+    config = _coerce(config_or_spec)
+    _installed = config
+    return config
+
+
+def uninstall_memory() -> None:
+    """Clear the globally installed policy (back to the dormant default)."""
+    global _installed
+    _installed = None
+
+
+def current_memory_config() -> Optional[MemoryConfig]:
+    """The globally installed memory policy, or None."""
+    return _installed
+
+
+@contextmanager
+def memory_managed(
+    config_or_spec: Union[MemoryConfig, str]
+) -> Iterator[MemoryConfig]:
+    """Install a memory policy for the duration of a ``with`` block.
+
+    >>> with memory_managed(MemoryConfig(enabled=True)) as policy:
+    ...     run = run_kge_script(fresh_cluster(), dataset)
+    """
+    global _installed
+    config = _coerce(config_or_spec)
+    previous = _installed
+    _installed = config
+    try:
+        yield config
+    finally:
+        _installed = previous

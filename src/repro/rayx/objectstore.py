@@ -22,6 +22,14 @@ Fault tolerance (``repro.faults``): the transfer source fails over to
 any surviving replica when the owner's copy is lost, and an object
 whose replicas are *all* lost is rebuilt from recorded task lineage by
 the runtime's reconstructor before the ``get`` proceeds.
+
+Memory pressure (``repro.mem``): when the cluster's memory policy is
+enabled, every replica reservation goes through the
+:class:`repro.mem.MemoryManager` — admissions may spill LRU replicas
+to disk or block behind a watermark instead of raising, and a ``get``
+of a spilled replica pays the disk read back before the mapping cost.
+With the policy dormant (the default) every call site takes the seed's
+direct ``Node.allocate_ram`` path.
 """
 
 from __future__ import annotations
@@ -41,14 +49,17 @@ _REBUILD = "__rebuild__"
 
 
 class _StoredObject:
-    __slots__ = ("value", "nbytes", "owner_node", "replicas", "label")
+    __slots__ = ("value", "nbytes", "owner_node", "replicas", "label", "ref_id")
 
-    def __init__(self, value: Any, nbytes: int, owner_node: str, label: str) -> None:
+    def __init__(
+        self, value: Any, nbytes: int, owner_node: str, label: str, ref_id: str
+    ) -> None:
         self.value = value
         self.nbytes = nbytes
         self.owner_node = owner_node
         self.replicas: Set[str] = {owner_node}
         self.label = label
+        self.ref_id = ref_id
 
 
 class ObjectStore:
@@ -72,7 +83,16 @@ class ObjectStore:
         # Telemetry used by tests and EXPERIMENTS.md narratives.
         self.put_count = 0
         self.get_count = 0
+        #: Cumulative bytes ever stored (monotonic, for throughput
+        #: narratives) versus bytes of replicas currently tracked —
+        #: ``bytes_live`` is decremented on overwrite and eviction, so
+        #: memory reports do not overstate residency.
         self.bytes_stored = 0
+        self.bytes_live = 0
+        #: In-flight fetches that found their object overwritten while
+        #: the transfer was on the wire; their replica is discarded
+        #: instead of being charged against the *old* entry.
+        self.stale_fetches = 0
         #: Inter-node replica fetches actually performed, and the
         #: virtual seconds they took — what the locality placement
         #: policy exists to reduce (see ``benchmarks/bench_scheduling``).
@@ -112,13 +132,30 @@ class ObjectStore:
             if previous is not None:
                 self._release_entry(previous)
             node = self.cluster.node(node_name)
-            node.allocate_ram(nbytes)
-            yield self.cluster.env.timeout(self.config.put_time(nbytes))
+            mem = self.cluster.memory
+            if mem.active:
+                yield from mem.allocate(node_name, nbytes, key=ref.ref_id)
+            else:
+                node.allocate_ram(nbytes)
+            try:
+                yield self.cluster.env.timeout(self.config.put_time(nbytes))
+            except BaseException:
+                # The copy was interrupted (fault kill) after the RAM
+                # was reserved but before any _StoredObject existed to
+                # own it — release here or the node leaks the
+                # reservation for the rest of the run (mirrors
+                # _fetch_replica's cleanup).
+                if mem.active:
+                    mem.release(node_name, ref.ref_id)
+                else:
+                    node.free_ram(nbytes)
+                raise
             self._objects[ref.ref_id] = _StoredObject(
-                value, nbytes, node_name, ref.label
+                value, nbytes, node_name, ref.label, ref.ref_id
             )
             self.put_count += 1
             self.bytes_stored += nbytes
+            self.bytes_live += nbytes
         finally:
             if span is not None:
                 tracer.end(span)
@@ -160,11 +197,29 @@ class ObjectStore:
             tracer.metrics.counter("objectstore.get.bytes").add(stored.nbytes)
             tracer.metrics.counter("objectstore.get.count").inc()
         try:
-            while node_name not in stored.replicas:
+            while True:
+                # Re-resolve after every wait: a re-``put`` may have
+                # replaced the entry while a rebuild or transfer was in
+                # flight, and accounting against the stale object would
+                # double-charge node RAM for the rest of the run.
+                stored = self._objects.get(ref.ref_id)
+                if stored is None:
+                    raise ObjectNotFound(
+                        f"{ref.ref_id} disappeared while being dereferenced"
+                    )
+                if node_name in stored.replicas:
+                    break
                 if not stored.replicas:
                     yield from self._rebuild(ref, span)
                     continue
                 yield from self._fetch_replica(ref, stored, node_name)
+            mem = self.cluster.memory
+            if mem.active:
+                # A spilled replica pays the disk read back (and may
+                # spill colder entries) before the mapping cost below.
+                yield from mem.ensure_resident(
+                    node_name, ref.ref_id, label=stored.label
+                )
             yield self.cluster.env.timeout(self.config.get_time(stored.nbytes))
             self.get_count += 1
             # A rebuild re-ran the producer; hand back the fresh value
@@ -202,8 +257,24 @@ class ObjectStore:
             yield self.cluster.env.process(
                 self.cluster.transfer(source, node_name, stored.nbytes)
             )
-            self.cluster.node(node_name).allocate_ram(stored.nbytes)
-            stored.replicas.add(node_name)
+            # The transfer yielded: a re-``put`` may have overwritten
+            # the entry (releasing its replicas) while the bytes were
+            # on the wire.  Charging the replica against the *old*
+            # _StoredObject would leak the reservation forever, so the
+            # stale copy is simply discarded — the getter's loop
+            # re-resolves and fetches the live entry.
+            if self._objects.get(ref.ref_id) is stored:
+                mem = self.cluster.memory
+                if mem.active:
+                    yield from mem.allocate(
+                        node_name, stored.nbytes, key=ref.ref_id
+                    )
+                else:
+                    self.cluster.node(node_name).allocate_ram(stored.nbytes)
+                stored.replicas.add(node_name)
+                self.bytes_live += stored.nbytes
+            else:
+                self.stale_fetches += 1
         except BaseException as exc:
             del self._inflight[key]
             event.fail(exc)
@@ -270,12 +341,22 @@ class ObjectStore:
         Charges the full ``put`` cost and re-reserves the RAM; the node
         becomes the object's new owner.
         """
-        stored = self._objects[ref.ref_id]
-        self.cluster.node(node_name).allocate_ram(stored.nbytes)
+        stored = self._objects.get(ref.ref_id)
+        if stored is None:
+            raise ObjectNotFound(
+                f"cannot restore {ref.label!r} ({ref.ref_id}): "
+                "it is not in the object store"
+            )
+        mem = self.cluster.memory
+        if mem.active:
+            yield from mem.allocate(node_name, stored.nbytes, key=ref.ref_id)
+        else:
+            self.cluster.node(node_name).allocate_ram(stored.nbytes)
         yield self.cluster.env.timeout(self.config.put_time(stored.nbytes))
         stored.value = value
         stored.owner_node = node_name
         stored.replicas.add(node_name)
+        self.bytes_live += stored.nbytes
 
     # -- fault hooks (called by repro.faults) -----------------------------------
 
@@ -295,7 +376,7 @@ class ObjectStore:
                 continue
             non_owners = sorted(stored.replicas - {stored.owner_node})
             victim = non_owners[0] if non_owners else stored.owner_node
-            self._evict(stored, victim)
+            self._evict(ref_id, stored, victim)
             return 1
         return 0
 
@@ -313,14 +394,21 @@ class ObjectStore:
                 continue
             if len(stored.replicas) == 1 and ref_id not in self.lineage:
                 continue
-            self._evict(stored, node_name)
+            self._evict(ref_id, stored, node_name)
             dropped += 1
         return dropped
 
-    def _evict(self, stored: _StoredObject, node_name: str) -> None:
+    def _evict(self, ref_id: str, stored: _StoredObject, node_name: str) -> None:
         stored.replicas.discard(node_name)
-        self.cluster.node(node_name).free_ram(stored.nbytes)
+        mem = self.cluster.memory
+        if mem.active:
+            # The replica may be RAM-resident or spilled to disk; the
+            # manager frees whichever representation exists.
+            mem.release(node_name, ref_id)
+        else:
+            self.cluster.node(node_name).free_ram(stored.nbytes)
         self.replicas_lost += 1
+        self.bytes_live -= stored.nbytes
         if stored.owner_node == node_name and stored.replicas:
             stored.owner_node = sorted(stored.replicas)[0]
 
@@ -342,8 +430,13 @@ class ObjectStore:
             raise ObjectNotFound(f"{ref.ref_id} is not in the object store") from None
 
     def _release_entry(self, stored: _StoredObject) -> None:
+        mem = self.cluster.memory
         for node_name in stored.replicas:
-            self.cluster.node(node_name).free_ram(stored.nbytes)
+            if mem.active:
+                mem.release(node_name, stored.ref_id)
+            else:
+                self.cluster.node(node_name).free_ram(stored.nbytes)
+            self.bytes_live -= stored.nbytes
         stored.replicas.clear()
 
     def free_all(self) -> None:

@@ -565,6 +565,7 @@ class WorkflowController:
     def _run_consumer(self, instance: _Instance) -> Generator:
         operator = instance.operator
         faults = self.env.faults
+        memory = self.cluster.memory
         for port_number in range(operator.num_input_ports):
             tuple_cost = operator.tuple_cost_s(port_number)
             port = instance.inbound[port_number]
@@ -578,6 +579,12 @@ class WorkflowController:
                 yield from self._consume_batch(
                     instance, port, port_number, message, tuple_cost
                 )
+                if memory.active:
+                    # The channel buffer's RAM reservation (made by the
+                    # producer's _flush) is held until the batch is
+                    # fully consumed — bounded channels genuinely pin
+                    # consumer-side memory under pressure.
+                    memory.free_anonymous(instance.node.name, message.nbytes)
                 if faults.active:
                     instance.epoch += 1
             flushed = list(instance.executor.on_finish(port_number))
@@ -790,6 +797,14 @@ class WorkflowController:
                     instance.node.name, destination.name, batch.nbytes
                 )
             )
+        memory = self.cluster.memory
+        if memory.active:
+            # Admission backpressure on the consumer's node: above the
+            # watermark this blocks (FIFO) until RAM frees, so channel
+            # buffers participate in memory pressure instead of
+            # growing unaccounted.  Released by _run_consumer once the
+            # batch is consumed.
+            yield from memory.allocate(destination.name, batch.nbytes)
         store = outbound.consumer_ports[index].store
         if tracer.enabled:
             link = f"{outbound.link.producer_id}->{outbound.link.consumer_id}"

@@ -26,7 +26,14 @@ def test_generate_counts_per_kind():
         seed=1, tasks=2, operators=3, nodes=1, links=2, replicas=1
     )
     counts = {kind: len(schedule.of_kind(kind)) for kind in FAULT_KINDS}
-    assert counts == {"task": 2, "operator": 3, "node": 1, "link": 2, "replica": 1}
+    assert counts == {
+        "task": 2,
+        "operator": 3,
+        "node": 1,
+        "link": 2,
+        "replica": 1,
+        "oom": 0,
+    }
 
 
 def test_events_sorted_by_time():
@@ -132,9 +139,9 @@ def test_empty_schedule_is_falsy():
 
 def test_describe_lists_every_event():
     schedule = FaultSchedule.generate(
-        seed=7, tasks=1, operators=1, nodes=1, links=1, replicas=1, note="demo"
+        seed=7, tasks=1, operators=1, nodes=1, links=1, replicas=1, ooms=1, note="demo"
     )
     text = schedule.describe()
-    assert "5 events" in text and "seed=7" in text and "note: demo" in text
+    assert "6 events" in text and "seed=7" in text and "note: demo" in text
     for kind in FAULT_KINDS:
         assert kind in text
