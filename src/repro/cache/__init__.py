@@ -1,0 +1,126 @@
+"""Lineage-keyed result caching: ``repro.cache``.
+
+The paper's four tasks (DICE, WEF, GOTTA, KGE) are re-run many times
+per experiment sweep — every scheduler/memory/fault configuration
+recomputes identical upstream stages (dataset parsing, embedding
+loads, model forward passes) from scratch.  This package adds the
+missing reuse layer:
+
+* :class:`ResultCache` — a fingerprint → metadata map with per-node
+  LRU eviction; both engines consult it before charging a producer's
+  virtual costs and replay the (free) real computation on a hit;
+* deterministic fingerprints (:mod:`repro.cache.fingerprint`) built
+  from function identity, argument :class:`~repro.rayx.ObjectRef`
+  lineage and the config ``epoch`` — a reconstructed object keeps its
+  fingerprint, so fault-driven re-execution still hits;
+* :class:`repro.config.CacheConfig` — capacity, lookup cost, epoch.
+
+Selecting a cache follows the tracer/injector/scheduler/mem pattern,
+with one twist: what is installed is a cache *instance*, which
+survives ``fresh_cluster()`` rebuilds — that persistence is the whole
+point of a cold-vs-warm sweep:
+
+>>> from repro.cache import cached
+>>> with cached("on,cap=2GiB") as cache:
+...     cold = run_kge_script(fresh_cluster(), dataset)
+...     warm = run_kge_script(fresh_cluster(), dataset)   # hits
+>>> cache.hit_rate > 0
+True
+
+or per-config via ``ReproConfig(cache=CacheConfig(enabled=True))``
+(a fresh per-cluster instance), or from the command line with
+``python -m repro fig13c --cache on`` (``python -m repro cache``
+prints the spec grammar).
+
+With the default config the cache is dormant and every timing stays
+bit-identical to the seed — pinned by ``tests/cache/test_timing_pin.py``
+the same way ``repro.obs``/``repro.faults``/``repro.sched``/
+``repro.mem`` are.  Enabled-but-cold runs are *also* bit-identical:
+misses charge nothing.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Union
+
+from repro.cache.cache import CacheEntry, ResultCache
+from repro.cache.fingerprint import (
+    combine,
+    fingerprint_function,
+    fingerprint_value,
+)
+from repro.cache.spec import describe_cache, parse_cache_spec
+from repro.config import CacheConfig
+
+__all__ = [
+    "CacheConfig",
+    "CacheEntry",
+    "ResultCache",
+    "combine",
+    "fingerprint_function",
+    "fingerprint_value",
+    "parse_cache_spec",
+    "describe_cache",
+    "install_cache",
+    "uninstall_cache",
+    "current_cache",
+    "cached",
+]
+
+#: The globally installed cache instance, if any (see :func:`install_cache`).
+_installed: Optional[ResultCache] = None
+
+
+def _coerce(cache_or_spec: Union[ResultCache, CacheConfig, str]) -> ResultCache:
+    if isinstance(cache_or_spec, ResultCache):
+        return cache_or_spec
+    if isinstance(cache_or_spec, CacheConfig):
+        return ResultCache(cache_or_spec)
+    return ResultCache(parse_cache_spec(cache_or_spec))
+
+
+def install_cache(
+    cache_or_spec: Union[ResultCache, CacheConfig, str]
+) -> ResultCache:
+    """Make a cache the default for clusters built afterwards.
+
+    Accepts a :class:`ResultCache` instance, a :class:`CacheConfig` or
+    a spec string (validated eagerly, so a typo fails at install time
+    rather than mid-run).  The same instance is shared by every
+    subsequent cluster — re-running a task on a fresh cluster hits.
+    """
+    global _installed
+    cache = _coerce(cache_or_spec)
+    _installed = cache
+    return cache
+
+
+def uninstall_cache() -> None:
+    """Clear the globally installed cache (back to the dormant default)."""
+    global _installed
+    _installed = None
+
+
+def current_cache() -> Optional[ResultCache]:
+    """The globally installed cache instance, or None."""
+    return _installed
+
+
+@contextmanager
+def cached(
+    cache_or_spec: Union[ResultCache, CacheConfig, str] = "on"
+) -> Iterator[ResultCache]:
+    """Install a result cache for the duration of a ``with`` block.
+
+    >>> with cached(CacheConfig(enabled=True)) as cache:
+    ...     run = run_kge_script(fresh_cluster(), dataset)
+    """
+    global _installed
+    cache = _coerce(cache_or_spec)
+    previous = _installed
+    _installed = cache
+    try:
+        yield cache
+    finally:
+        _installed = previous

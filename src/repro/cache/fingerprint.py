@@ -1,0 +1,162 @@
+"""Deterministic fingerprints for lineage-keyed caching.
+
+A fingerprint is a short hex digest identifying *what would be
+computed*: the producing function, the lineage of its arguments and
+the cache epoch.  Two submissions with equal fingerprints are
+guaranteed to produce equal results (the simulation's real Python
+computation is deterministic), so the cache can skip the virtual-time
+charges of re-execution.
+
+Functions are fingerprinted structurally (module, qualname, code
+bytes, defaults and closure cells) rather than by ``id()`` so that a
+re-created lambda or a reconstructed lineage entry maps to the same
+key — this is what makes fault-driven re-execution hit the cache.
+``hash()`` is never used: it is salted per interpreter run for
+strings, which would break cross-run determinism.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from typing import Any, Iterable
+
+__all__ = [
+    "combine",
+    "fingerprint_value",
+    "fingerprint_function",
+]
+
+_DIGEST_BYTES = 16
+
+
+def _digest(parts: Iterable[bytes]) -> str:
+    h = hashlib.blake2b(digest_size=_DIGEST_BYTES)
+    for part in parts:
+        h.update(part)
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def combine(*parts: Any) -> str:
+    """Hash any mix of strings/ints/floats/digests into one digest."""
+    return _digest(str(p).encode("utf-8", "backslashreplace") for p in parts)
+
+
+#: Recursion bound for structural fingerprinting — deep enough for any
+#: real operator/argument graph, shallow enough to survive cycles.
+_MAX_DEPTH = 12
+
+
+def fingerprint_value(value: Any, _depth: int = 0) -> str:
+    """Fingerprint an arbitrary argument or payload value.
+
+    Containers recurse (so a list holding a lambda keys by the
+    lambda's code, not its identity); plain data takes a pickle
+    round-trip (stable for the simulation's lists, dataclasses and
+    tables); unpicklable objects fall back to a structural digest of
+    their ``__dict__``.  ``repr`` is never trusted for objects — it
+    embeds memory addresses, which would silently break cross-run
+    determinism.
+    """
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return combine("atom", type(value).__name__, value)
+    if isinstance(value, type):
+        return combine("type", value.__module__, value.__qualname__)
+    if callable(value):
+        return fingerprint_function(value)
+    if _depth >= _MAX_DEPTH:
+        return combine("depth-limit", type(value).__qualname__)
+    if isinstance(value, (list, tuple)):
+        return combine(
+            "seq",
+            type(value).__name__,
+            *(fingerprint_value(item, _depth + 1) for item in value),
+        )
+    if isinstance(value, dict):
+        items = sorted(
+            (fingerprint_value(k, _depth + 1), fingerprint_value(v, _depth + 1))
+            for k, v in value.items()
+        )
+        return combine("map", *(part for pair in items for part in pair))
+    if isinstance(value, (set, frozenset)):
+        return combine(
+            "set", *sorted(fingerprint_value(item, _depth + 1) for item in value)
+        )
+    try:
+        payload = pickle.dumps(value, protocol=4)
+    except Exception:
+        state = getattr(value, "__dict__", None)
+        if state:
+            return combine(
+                "obj",
+                type(value).__module__,
+                type(value).__qualname__,
+                fingerprint_value(state, _depth + 1),
+            )
+        return combine("opaque", type(value).__module__, type(value).__qualname__)
+    return _digest([type(value).__qualname__.encode("utf-8"), payload])
+
+
+def fingerprint_function(fn: Any) -> str:
+    """Fingerprint a callable by structure, not identity.
+
+    Plain functions and lambdas hash their module, qualname, code
+    bytes, defaults and (recursively) closure cells.  Bound methods
+    include the fingerprint of ``__self__``.  Anything else (functools
+    partials, callable instances) falls back to
+    :func:`fingerprint_value` on its parts.
+    """
+    if hasattr(fn, "__func__") and hasattr(fn, "__self__"):
+        return combine(
+            "method",
+            fingerprint_function(fn.__func__),
+            fingerprint_value(fn.__self__),
+        )
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        # Callable object / partial: hash its type and attributes.
+        func = getattr(fn, "func", None)
+        if func is not None and callable(func):  # functools.partial-like
+            return combine(
+                "partial",
+                fingerprint_function(func),
+                fingerprint_value(getattr(fn, "args", ())),
+                fingerprint_value(sorted(getattr(fn, "keywords", {}).items())),
+            )
+        try:
+            payload = pickle.dumps(fn, protocol=4)
+        except Exception:
+            state = getattr(fn, "__dict__", None)
+            return combine(
+                "callable",
+                type(fn).__module__,
+                type(fn).__qualname__,
+                fingerprint_value(state) if state else "",
+            )
+        return _digest(
+            [b"callable", type(fn).__qualname__.encode("utf-8"), payload]
+        )
+    parts = [
+        b"function",
+        getattr(fn, "__module__", "?").encode("utf-8"),
+        getattr(fn, "__qualname__", "?").encode("utf-8"),
+        code.co_code,
+        repr(code.co_consts).encode("utf-8", "backslashreplace"),
+        repr(code.co_names).encode("utf-8"),
+    ]
+    defaults = getattr(fn, "__defaults__", None) or ()
+    for default in defaults:
+        parts.append(fingerprint_value(default).encode("ascii"))
+    closure = getattr(fn, "__closure__", None) or ()
+    for cell in closure:
+        try:
+            contents = cell.cell_contents
+        except ValueError:  # empty cell
+            parts.append(b"<empty-cell>")
+            continue
+        if callable(contents) and not isinstance(contents, type):
+            parts.append(fingerprint_function(contents).encode("ascii"))
+        else:
+            parts.append(fingerprint_value(contents).encode("ascii"))
+    return _digest(parts)

@@ -1,0 +1,106 @@
+"""Compact CLI specs for cache policies: ``--cache "on,cap=1GiB"``.
+
+A spec is a comma-separated list of flags and ``key=value`` pairs:
+
+=============  ===================================================
+``on``         enable lineage-keyed result caching
+``off``        keep the cache dormant (the seed path)
+``cap=SIZE``   per-node capacity for cached entries (``1GiB``)
+``lookup=S``   virtual seconds charged per cache *hit* (0.0001)
+``epoch=N``    generation counter; bump to invalidate everything
+=============  ===================================================
+
+Sizes use the same grammar as ``--mem`` (``KiB``/``MiB``/``GiB`` or
+plain bytes).  ``repro cache SPEC`` prints the policy a spec expands
+to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Dict
+
+from repro.cache.fingerprint import combine
+from repro.config import CacheConfig
+from repro.errors import CacheSpecError, MemSpecError
+from repro.mem.spec import format_size, parse_size
+
+__all__ = ["parse_cache_spec", "describe_cache"]
+
+
+def parse_cache_spec(spec: str) -> CacheConfig:
+    """Parse a ``--cache`` spec string into a :class:`CacheConfig`.
+
+    >>> parse_cache_spec("on,cap=1GiB").enabled
+    True
+    """
+    text = spec.strip()
+    if not text:
+        raise CacheSpecError("empty cache spec")
+    kwargs: Dict[str, Any] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            raise CacheSpecError(f"empty fragment in cache spec {spec!r}")
+        if "=" not in part:
+            flag = part.lower()
+            if flag == "on":
+                kwargs["enabled"] = True
+            elif flag == "off":
+                kwargs["enabled"] = False
+            else:
+                raise CacheSpecError(
+                    f"unknown cache spec flag {part!r} (want 'on', 'off' or "
+                    "key=value)"
+                )
+            continue
+        key, _, value = part.partition("=")
+        key = key.strip().lower()
+        value = value.strip()
+        try:
+            if key == "cap":
+                try:
+                    kwargs["capacity_bytes"] = parse_size(value)
+                except MemSpecError as exc:
+                    raise CacheSpecError(str(exc)) from None
+            elif key == "lookup":
+                kwargs["lookup_s"] = float(value)
+            elif key == "epoch":
+                kwargs["epoch"] = int(value)
+            else:
+                raise CacheSpecError(f"unknown cache spec key {key!r}")
+        except ValueError:
+            raise CacheSpecError(
+                f"bad value for cache spec key {key!r}: {value!r}"
+            ) from None
+    try:
+        return replace(CacheConfig(), **kwargs)
+    except ValueError as exc:
+        raise CacheSpecError(str(exc)) from None
+
+
+def describe_cache(config: CacheConfig) -> str:
+    """Aligned text description of a cache policy (the CLI's output)."""
+    lines = [
+        "cache policy: "
+        + (
+            "lineage-keyed result caching ON"
+            if config.enabled
+            else "dormant (seed path)"
+        ),
+        f"  per-node capacity  "
+        + (
+            format_size(config.capacity_bytes)
+            if config.capacity_bytes is not None
+            else "unbounded"
+        ),
+        f"  hit lookup cost    {config.lookup_s * 1e3:.3f}ms",
+        f"  epoch              {config.epoch}",
+        f"  key prefix         {combine('task', config.epoch)[:12]}…",
+    ]
+    if config.enabled:
+        lines.append(
+            "  (misses charge nothing: an enabled-but-cold run stays "
+            "bit-identical to the seed)"
+        )
+    return "\n".join(lines)

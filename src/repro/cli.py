@@ -48,6 +48,21 @@ cluster they build (``on`` enables LRU spill-to-disk and admission
 backpressure; ``ram=SIZE`` clamps every node's RAM).  Composes with
 ``--trace`` (spill/restore appear as ``mem`` spans), ``--faults``
 (``ooms=N`` schedules RAM clamps) and ``--scheduler``.
+
+Result caching (``repro.cache``)::
+
+    python -m repro cache                                # spec grammar + defaults
+    python -m repro cache on,cap=1gib                    # inspect a policy
+    python -m repro fig13d --quick --cache on
+    python -m repro caching --quick                      # cold-vs-warm experiment
+
+The ``cache`` subcommand prints the policy a spec expands to; ``--cache
+SPEC`` runs the named experiments with lineage-keyed result caching
+installed in every cluster they build — one cache shared across the
+run, so a repeated pipeline hits.  Composes with ``--trace`` (hits
+appear as ``cache`` spans), ``--faults`` (reconstruction replays hit
+the cache) and ``--scheduler`` (the locality policy gains cache
+affinity).
 """
 
 from __future__ import annotations
@@ -66,11 +81,13 @@ from repro.experiments.exp_scaling import (
     run_fig13c,
     run_fig13d,
 )
+from repro.experiments.exp_caching import run_caching
 from repro.experiments.exp_memory import run_memory
 from repro.experiments.exp_recovery import run_recovery
 from repro.experiments.exp_scheduling import run_scheduling
 from repro.experiments.exp_workers import run_fig14a, run_fig14b, run_fig14c
-from repro.errors import FaultSpecError, MemSpecError
+from repro.cache import ResultCache, cached, describe_cache, parse_cache_spec
+from repro.errors import CacheSpecError, FaultSpecError, MemSpecError
 from repro.faults import FaultSchedule, faults_injected
 from repro.mem import describe_memory, memory_managed, parse_mem_spec
 from repro.obs import Tracer, format_breakdown, tracing, write_chrome_trace
@@ -98,6 +115,10 @@ QUICK_EXPERIMENTS = {
         num_docs=40, num_paragraphs=1, num_candidates=1500,
         universe_size=4000, num_tweets=40,
     ),
+    "caching": lambda: run_caching(
+        num_docs=40, num_paragraphs=1, num_candidates=1500,
+        universe_size=4000, num_tweets=40,
+    ),
 }
 
 #: Shown by the bare ``mem`` subcommand alongside the default policy.
@@ -111,6 +132,22 @@ spec grammar: comma-separated flags and key=value pairs
   read_bw=SIZE     restore read bandwidth per second (default 100mib)
   base=SECONDS     fixed per-spill/restore latency (default 0.002)
 example: --mem on,ram=2gib,spill=0.7,admit=0.9"""
+
+#: Shown by the bare ``cache`` subcommand alongside the default policy.
+CACHE_SPEC_HELP = """\
+spec grammar: comma-separated flags and key=value pairs
+  on | off         enable / disable result caching (default: off)
+  cap=SIZE         per-node capacity, LRU-evicted (e.g. 1gib, 256mib)
+  lookup=SECONDS   virtual cost charged per cache hit (default 0.0001)
+  epoch=N          generation counter; bump to invalidate everything
+example: --cache on,cap=1gib,lookup=0.0001"""
+
+#: Appended to fault-spec parse errors (the full grammar lives in
+#: ``FaultSchedule.from_spec``'s docstring and ``docs/faults.md``).
+FAULT_SPEC_HINT = """\
+spec grammar: seed=N[,tasks=N,operators=N,nodes=N,links=N,replicas=N,\
+ooms=N,horizon=S,outage=S,...] or a path to a schedule JSON
+example: --faults seed=7,tasks=2,nodes=1 (inspect with 'repro faults SPEC')"""
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -165,6 +202,14 @@ def build_parser() -> argparse.ArgumentParser:
         "'on,ram=2gib,spill=0.7,...' (inspect with the 'mem' "
         "subcommand: 'repro mem SPEC')",
     )
+    parser.add_argument(
+        "--cache",
+        metavar="SPEC",
+        default=None,
+        help="run with lineage-keyed result caching installed; SPEC is "
+        "'on,cap=1gib,lookup=0.0001,...' (inspect with the 'cache' "
+        "subcommand: 'repro cache SPEC')",
+    )
     return parser
 
 
@@ -173,6 +218,14 @@ def _fault_summary(injector) -> str:
         f"faults: {injector.injected} injected, {injector.retries} recovery "
         f"actions, {injector.skipped} skipped (seed="
         f"{injector.schedule.seed})"
+    )
+
+
+def _cache_summary(cache: ResultCache) -> str:
+    return (
+        f"cache: {cache.hits} hits, {cache.misses} misses "
+        f"({cache.hit_rate:.0%} hit rate), {len(cache)} entries "
+        f"({cache.total_bytes} bytes), {cache.evictions} evicted"
     )
 
 
@@ -221,7 +274,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         try:
             print(describe_memory(parse_mem_spec(spec)))
         except MemSpecError as exc:
-            print(f"repro: mem: {exc}", file=sys.stderr)
+            print(f"repro: mem: {exc}\n{MEM_SPEC_HELP}", file=sys.stderr)
+            return 2
+        return 0
+    if names and names[0] == "cache":
+        if len(names) > 2:
+            print("repro: cache: usage: repro cache [SPEC]", file=sys.stderr)
+            return 2
+        spec = names[1] if len(names) == 2 else args.cache
+        if spec is None:
+            from repro.config import CacheConfig
+
+            print(describe_cache(CacheConfig()))
+            print()
+            print(CACHE_SPEC_HELP)
+            return 0
+        try:
+            print(describe_cache(parse_cache_spec(spec)))
+        except CacheSpecError as exc:
+            print(f"repro: cache: {exc}\n{CACHE_SPEC_HELP}", file=sys.stderr)
             return 2
         return 0
     if names and names[0] == "faults":
@@ -232,7 +303,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         try:
             print(FaultSchedule.from_spec(spec).describe())
         except FaultSpecError as exc:
-            print(f"repro: faults: {exc}", file=sys.stderr)
+            print(f"repro: faults: {exc}\n{FAULT_SPEC_HINT}", file=sys.stderr)
             return 2
         return 0
     schedule = None
@@ -240,14 +311,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         try:
             schedule = FaultSchedule.from_spec(args.faults)
         except FaultSpecError as exc:
-            print(f"repro: --faults: {exc}", file=sys.stderr)
+            print(f"repro: --faults: {exc}\n{FAULT_SPEC_HINT}", file=sys.stderr)
             return 2
     mem_config = None
     if args.mem is not None:
         try:
             mem_config = parse_mem_spec(args.mem)
         except MemSpecError as exc:
-            print(f"repro: --mem: {exc}", file=sys.stderr)
+            print(f"repro: --mem: {exc}\n{MEM_SPEC_HELP}", file=sys.stderr)
+            return 2
+    cache = None
+    if args.cache is not None:
+        try:
+            cache = ResultCache(parse_cache_spec(args.cache))
+        except CacheSpecError as exc:
+            print(f"repro: --cache: {exc}\n{CACHE_SPEC_HELP}", file=sys.stderr)
             return 2
     trace_mode = bool(names) and names[0] == "trace"
     if trace_mode:
@@ -279,22 +357,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     mem_context = (
         memory_managed(mem_config) if mem_config is not None else nullcontext()
     )
+    cache_context = cached(cache) if cache is not None else nullcontext()
     if not trace_mode:
-        with fault_context as injector, sched_context, mem_context:
+        with fault_context as injector, sched_context, mem_context, cache_context:
             for name in names:
                 print(registry[name]().to_text())
                 print()
         if injector is not None:
             print(_fault_summary(injector))
+        if cache is not None:
+            print(_cache_summary(cache))
         return 0
     tracer = Tracer()
-    with fault_context as injector, tracing(tracer), sched_context, mem_context:
+    with fault_context as injector, tracing(tracer), sched_context, \
+            mem_context, cache_context:
         for name in names:
             print(registry[name]().to_text())
             print()
     print(format_breakdown(tracer))
     if injector is not None:
         print(_fault_summary(injector))
+    if cache is not None:
+        print(_cache_summary(cache))
     if args.trace is not None:
         write_chrome_trace(tracer, args.trace)
         print(f"\nwrote Chrome trace: {args.trace}")

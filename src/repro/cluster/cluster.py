@@ -8,6 +8,7 @@ from repro.config import ClusterTopologyConfig, ReproConfig, default_config
 from repro.cluster.network import Network
 from repro.cluster.node import Node
 from repro.cluster.serialization import CodecSuite, make_codecs
+from repro.cache import ResultCache, current_cache
 from repro.errors import UnknownNode
 from repro.faults.injector import current_injector
 from repro.mem import MemoryManager, current_memory_config
@@ -35,6 +36,7 @@ class Cluster:
         tracer=None,
         faults=None,
         memory=None,
+        cache=None,
     ) -> None:
         self.env = env
         self.config = config
@@ -74,6 +76,17 @@ class Cluster:
             mem_config = config.memory
         self.memory = MemoryManager(self, mem_config)
         self.faults.register_memory(self.memory)
+        #: Result cache (``repro.cache``), resolved like the tracer:
+        #: explicit argument, else the globally installed *instance*
+        #: (shared across clusters — that persistence is what makes a
+        #: cold-vs-warm sweep possible), else a fresh per-cluster
+        #: instance from the config (dormant by default).
+        resolved_cache = cache
+        if resolved_cache is None:
+            resolved_cache = current_cache()
+        if resolved_cache is None:
+            resolved_cache = ResultCache(config.cache)
+        self.cache = resolved_cache
 
     # -- topology ------------------------------------------------------------
 
@@ -127,7 +140,12 @@ class Cluster:
 
 
 def build_cluster(
-    env: Environment, config: ReproConfig = None, tracer=None, faults=None, memory=None
+    env: Environment,
+    config: ReproConfig = None,
+    tracer=None,
+    faults=None,
+    memory=None,
+    cache=None,
 ) -> Cluster:
     """Construct the paper's testbed topology on ``env``.
 
@@ -137,8 +155,15 @@ def build_cluster(
     the globally installed fault injector (usually dormant — see
     :mod:`repro.faults`); ``memory`` is a
     :class:`repro.config.MemoryConfig` overriding the globally
-    installed memory policy (see :mod:`repro.mem`).
+    installed memory policy (see :mod:`repro.mem`); ``cache`` is a
+    :class:`repro.cache.ResultCache` instance overriding the globally
+    installed cache (see :mod:`repro.cache`).
     """
     return Cluster(
-        env, config or default_config(), tracer=tracer, faults=faults, memory=memory
+        env,
+        config or default_config(),
+        tracer=tracer,
+        faults=faults,
+        memory=memory,
+        cache=cache,
     )

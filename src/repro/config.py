@@ -318,6 +318,49 @@ class MemoryConfig:
 
 
 @dataclass(frozen=True)
+class CacheConfig:
+    """Lineage-keyed result caching (``repro.cache``).
+
+    With the default (``enabled=False``) the cache is completely
+    dormant: no fingerprints are consulted, no lookup costs are
+    charged, and timings stay bit-identical to the seed (pinned by
+    ``tests/cache/test_timing_pin.py``).  When enabled, every rayx
+    task submission and workflow operator batch is fingerprinted from
+    the function identity, the lineage of its ``ObjectRef`` arguments
+    and ``epoch``; a repeat execution returns the memoized result at
+    ``lookup_s`` virtual cost instead of re-running the producer.
+
+    The cache stores only fingerprint metadata — results are always
+    rebuilt by the (virtually free) real Python computation — so a hit
+    is structurally guaranteed to yield the same values as a miss.
+    """
+
+    #: Master switch.  Off by default so calibrated experiment timings
+    #: stay exactly reproducible.
+    enabled: bool = False
+    #: Per-node capacity for cached entries in bytes; ``None`` means
+    #: unbounded.  Exceeding it evicts least-recently-hit entries.
+    capacity_bytes: Optional[int] = None
+    #: Virtual cost of one cache lookup that hits (index probe +
+    #: fingerprint comparison).  Misses charge nothing, so an
+    #: enabled-but-cold run stays bit-identical to the seed.
+    lookup_s: float = 1.0e-4
+    #: Generation counter mixed into every fingerprint.  Bumping it
+    #: invalidates all previously cached entries at zero cost.
+    epoch: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes is not None and self.capacity_bytes <= 0:
+            raise ValueError(
+                f"capacity_bytes must be positive, got {self.capacity_bytes}"
+            )
+        if self.lookup_s < 0:
+            raise ValueError(f"lookup_s must be >= 0, got {self.lookup_s}")
+        if self.epoch < 0:
+            raise ValueError(f"epoch must be >= 0, got {self.epoch}")
+
+
+@dataclass(frozen=True)
 class ClusterTopologyConfig:
     """The paper's deployment: 1 coordinator + 4 worker machines."""
 
@@ -345,6 +388,10 @@ class ReproConfig:
     #: installed policy (``repro.sched.scheduling``), else the seed-
     #: identical ``round_robin`` default.
     scheduler: Optional[str] = None
+    #: Result-caching policy (see :mod:`repro.cache`).  The default is
+    #: fully dormant; an explicitly installed cache
+    #: (``repro.cache.cached``) takes precedence over this field.
+    cache: CacheConfig = field(default_factory=CacheConfig)
 
 
 DEFAULT_CONFIG = ReproConfig()

@@ -136,6 +136,14 @@ class MemSpecError(MemoryPressureError):
     """A ``--mem`` policy spec string was malformed."""
 
 
+class CacheError(ReproError):
+    """Base class for the result-caching subsystem (``repro.cache``)."""
+
+
+class CacheSpecError(CacheError):
+    """A ``--cache`` policy spec string was malformed."""
+
+
 class SchedError(ReproError):
     """Base class for scheduling/placement errors."""
 

@@ -11,6 +11,7 @@ E4a-c       Fig 14a-c (number of workers)               :func:`run_fig14a` ...
 E5          Recovery under injected faults (extension)  :func:`run_recovery`
 E6          Placement-policy comparison (extension)     :func:`run_scheduling`
 E7          Memory pressure: spill vs die (extension)   :func:`run_memory`
+E8          Result caching: cold vs warm (extension)    :func:`run_caching`
 ==========  ==========================================  ======================
 
 Each returns an :class:`repro.metrics.ExperimentReport` holding the
@@ -18,6 +19,7 @@ measured values side by side with the paper's, rendered by
 ``report.to_text()``.
 """
 
+from repro.experiments.exp_caching import run_caching
 from repro.experiments.exp_language import run_table1
 from repro.experiments.exp_memory import run_memory
 from repro.experiments.exp_modularity import run_fig12a, run_fig12b
@@ -45,6 +47,7 @@ __all__ = [
     "run_recovery",
     "run_scheduling",
     "run_memory",
+    "run_caching",
 ]
 
 ALL_EXPERIMENTS = {
@@ -61,4 +64,5 @@ ALL_EXPERIMENTS = {
     "recovery": run_recovery,
     "scheduling": run_scheduling,
     "memory": run_memory,
+    "caching": run_caching,
 }

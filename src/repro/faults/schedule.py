@@ -234,7 +234,16 @@ class FaultSchedule:
                     json.loads(candidate.read_text(encoding="utf-8"))
                 )
             except OSError as exc:
-                raise FaultSpecError(f"cannot read fault schedule {spec!r}: {exc}")
+                raise FaultSpecError(
+                    f"cannot read fault schedule {spec!r}: {exc}"
+                ) from None
+            except json.JSONDecodeError as exc:
+                # Without this, a truncated or hand-edited schedule file
+                # escaped as a raw json traceback instead of exit-code-2
+                # CLI diagnostics.
+                raise FaultSpecError(
+                    f"fault schedule {spec!r} is not valid JSON: {exc}"
+                ) from None
         int_keys = {
             "seed": "seed",
             "tasks": "tasks",

@@ -29,6 +29,11 @@ class ObjectRef:
         self.owner_node: Optional[str] = None
         #: Estimated payload size, set on fulfilment.
         self.nbytes: int = 0
+        #: Lineage fingerprint (``repro.cache``), set at submit/put time
+        #: when a cache is active.  Survives fault-driven
+        #: reconstruction — the rebuilt object is the same computation,
+        #: so lineage recovery still hits the cache.
+        self.fingerprint: Optional[str] = None
 
     @property
     def is_ready(self) -> bool:

@@ -83,6 +83,9 @@ class ObjectStore:
         # Telemetry used by tests and EXPERIMENTS.md narratives.
         self.put_count = 0
         self.get_count = 0
+        #: Results installed by the cache's free replay (``adopt``) —
+        #: stored and RAM-accounted like puts, but never charged.
+        self.adopted = 0
         #: Cumulative bytes ever stored (monotonic, for throughput
         #: narratives) versus bytes of replicas currently tracked —
         #: ``bytes_live`` is decremented on overwrite and eviction, so
@@ -168,6 +171,55 @@ class ObjectStore:
         """Store a task result (same cost model as :meth:`put`)."""
         result = yield from self.put(ref, value, node_name, parent=parent)
         return result
+
+    def adopt(
+        self, ref: ObjectRef, value: Any, node_name: str
+    ) -> Generator:
+        """Install a cache-hit result without the serialize+copy charge.
+
+        ``repro.cache``'s hit path replays the (virtually free) real
+        computation and lands the value here: the RAM reservation is
+        still made — cached results occupy the store and compose with
+        ``repro.mem`` spilling exactly like charged puts — but no
+        ``put_time`` elapses.  Fulfils ``ref`` like :meth:`put`.
+        """
+        nbytes = estimate_bytes(value)
+        previous = self._objects.get(ref.ref_id)
+        if previous is not None:
+            self._release_entry(previous)
+        mem = self.cluster.memory
+        if mem.active:
+            yield from mem.allocate(node_name, nbytes, key=ref.ref_id)
+        else:
+            self.cluster.node(node_name).allocate_ram(nbytes)
+        self._objects[ref.ref_id] = _StoredObject(
+            value, nbytes, node_name, ref.label, ref.ref_id
+        )
+        self.adopted += 1
+        self.bytes_stored += nbytes
+        self.bytes_live += nbytes
+        tracer = self.cluster.env.tracer
+        if tracer.enabled:
+            tracer.metrics.counter("objectstore.adopt.count").inc()
+            tracer.metrics.counter("objectstore.adopt.bytes").add(nbytes)
+        ref.fulfil(value, node_name, nbytes)
+        return ref
+
+    def peek(self, ref: ObjectRef) -> Generator:
+        """Dereference ``ref`` without charging any access cost.
+
+        Used by the cache's free replay: the argument was already read
+        (and charged) by the run that populated the cache, so the
+        replay only needs the Python value.  Waits for the producer
+        like :meth:`get` but touches no replicas, pays no transfer and
+        no mapping cost.  The value survives replica eviction — only
+        :meth:`free_all` forgets it.
+        """
+        value = yield ref.ready
+        stored = self._objects.get(ref.ref_id)
+        if stored is None:
+            raise ObjectNotFound(f"{ref.ref_id} fulfilled but not stored")
+        return stored.value
 
     def get(self, ref: ObjectRef, node_name: str, parent=None) -> Generator:
         """Simulation process dereferencing ``ref`` from ``node_name``.
@@ -276,10 +328,15 @@ class ObjectStore:
             else:
                 self.stale_fetches += 1
         except BaseException as exc:
-            del self._inflight[key]
+            # ``pop`` (not ``del``): a concurrent ``free_all`` may have
+            # cleared the in-flight table while the transfer generator
+            # was suspended; a bare ``KeyError`` here would mask the
+            # real failure mode (the getter's loop re-resolves and
+            # raises :class:`ObjectNotFound`).
+            self._inflight.pop(key, None)
             event.fail(exc)
             raise
-        del self._inflight[key]
+        self._inflight.pop(key, None)
         event.succeed()
         elapsed = self.cluster.env.now - started
         self.transfers += 1
@@ -329,17 +386,24 @@ class ObjectStore:
             yield from self.reconstructor(ref)
             self.reconstructions += 1
         except BaseException as exc:
-            del self._inflight[key]
+            # ``pop`` for the same reason as in ``_fetch_replica``: the
+            # table may have been cleared underneath the suspended
+            # rebuild generator.
+            self._inflight.pop(key, None)
             event.fail(exc)
             raise
-        del self._inflight[key]
+        self._inflight.pop(key, None)
         event.succeed()
 
-    def restore(self, ref: ObjectRef, value: Any, node_name: str) -> Generator:
+    def restore(
+        self, ref: ObjectRef, value: Any, node_name: str, charge: bool = True
+    ) -> Generator:
         """Re-store a rebuilt object on ``node_name`` (reconstruction).
 
         Charges the full ``put`` cost and re-reserves the RAM; the node
-        becomes the object's new owner.
+        becomes the object's new owner.  ``charge=False`` (the cache's
+        free reconstruction replay) keeps the RAM reservation but skips
+        the ``put_time``.
         """
         stored = self._objects.get(ref.ref_id)
         if stored is None:
@@ -352,7 +416,8 @@ class ObjectStore:
             yield from mem.allocate(node_name, stored.nbytes, key=ref.ref_id)
         else:
             self.cluster.node(node_name).allocate_ram(stored.nbytes)
-        yield self.cluster.env.timeout(self.config.put_time(stored.nbytes))
+        if charge:
+            yield self.cluster.env.timeout(self.config.put_time(stored.nbytes))
         stored.value = value
         stored.owner_node = node_name
         stored.replicas.add(node_name)

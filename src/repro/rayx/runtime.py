@@ -38,6 +38,7 @@ from __future__ import annotations
 import inspect
 from typing import Any, Callable, Generator, Iterable, List, Optional, Sequence
 
+from repro.cache.fingerprint import combine, fingerprint_function, fingerprint_value
 from repro.cluster import CONTROLLER, Cluster, Node
 from repro.config import ReproConfig
 from repro.errors import InjectedFault, RayxError
@@ -64,6 +65,37 @@ def _locality_refs(args: Sequence[Any]) -> tuple:
     return tuple(refs)
 
 
+def _arg_fingerprint(arg: Any) -> str:
+    """Lineage fingerprint of one task argument.
+
+    An ``ObjectRef`` contributes its own lineage fingerprint (set at
+    submit/put time), so identical computation chains key identically
+    across runs; a ref without one (e.g. an actor result) falls back to
+    its unique ``ref_id``, which can never produce a false hit.  Scans
+    one level into list/tuple arguments, mirroring
+    :func:`_locality_refs`.
+    """
+    if isinstance(arg, ObjectRef):
+        return arg.fingerprint or arg.ref_id
+    if isinstance(arg, (list, tuple)):
+        return combine(
+            "seq",
+            type(arg).__name__,
+            *(_arg_fingerprint(item) for item in arg),
+        )
+    return fingerprint_value(arg)
+
+
+def task_fingerprint(epoch: int, fn: Callable[..., Any], args: Sequence[Any]) -> str:
+    """Deterministic fingerprint of one task submission (``repro.cache``)."""
+    return combine(
+        "task",
+        epoch,
+        fingerprint_function(fn),
+        *(_arg_fingerprint(arg) for arg in args),
+    )
+
+
 class TaskContext:
     """Execution context handed to every task (and the driver).
 
@@ -83,6 +115,11 @@ class TaskContext:
         #: boundaries; only retryable task bodies set it (the driver,
         #: actors and reconstruction runs are exempt).
         self.fault_label: Optional[str] = None
+        #: Cache-hit replay mode (``repro.cache``): the body's real
+        #: Python work still runs (producing the same values a miss
+        #: would), but compute charges return immediately and
+        #: object-store accesses take the free ``peek``/``adopt`` path.
+        self.free = False
 
     @property
     def node_name(self) -> str:
@@ -95,6 +132,8 @@ class TaskContext:
         surfaces here, at the completion checkpoint — the earliest
         timed boundary where a real runtime would observe the loss.
         """
+        if self.free:
+            return
         tracer = self.runtime.env.tracer
         faults = self.runtime.env.faults
         start = self.runtime.env.now
@@ -122,6 +161,8 @@ class TaskContext:
         duration is FLOPs over single-core throughput regardless of how
         many cores the node has free.
         """
+        if self.free:
+            return
         config = self.runtime.config
         cores = config.rayx.torch_cores_per_task
         throughput = config.topology.machine.flops_per_core_per_s * cores
@@ -170,17 +211,52 @@ class TaskContext:
 
     def get(self, ref: ObjectRef) -> Generator:
         """Dereference an object ref from this task's node."""
+        if self.free:
+            value = yield from self.runtime.store.peek(ref)
+            return value
         value = yield from self.runtime.store.get(
             ref, self.node.name, parent=self.span
         )
         return value
 
     def put(self, value: Any, label: str = "object") -> Generator:
-        """Store ``value`` in the object store from this node."""
-        ref = ObjectRef(self.runtime.env, label)
-        yield from self.runtime.store.put(
-            ref, value, self.node.name, parent=self.span
-        )
+        """Store ``value`` in the object store from this node.
+
+        When a result cache is active the value is content-fingerprinted
+        and the serialize+copy charge is memoized: a repeat ``put`` of
+        identical content (e.g. the KGE model on a warm run) pays only
+        the cache lookup, like a content-addressed plasma store.  The
+        *live* value is always the one installed, so correctness never
+        depends on the fingerprint.
+        """
+        runtime = self.runtime
+        ref = ObjectRef(runtime.env, label)
+        cache = runtime.cluster.cache
+        if cache.active:
+            ref.fingerprint = combine(
+                "put", cache.config.epoch, fingerprint_value(value)
+            )
+        if self.free:
+            yield from runtime.store.adopt(ref, value, self.node.name)
+        elif (
+            ref.fingerprint is not None
+            and cache.lookup(ref.fingerprint, tracer=runtime.env.tracer)
+            is not None
+        ):
+            yield from runtime._charge_lookup(ref.label, self.node.name, self.span)
+            yield from runtime.store.adopt(ref, value, self.node.name)
+        else:
+            yield from runtime.store.put(
+                ref, value, self.node.name, parent=self.span
+            )
+        if ref.fingerprint is not None:
+            cache.insert(
+                ref.fingerprint,
+                ref.nbytes,
+                self.node.name,
+                kind="put",
+                tracer=runtime.env.tracer,
+            )
         return ref
 
 
@@ -228,9 +304,22 @@ class RayxRuntime:
         node before the body runs, as Ray does.
         """
         ref = ObjectRef(self.env, label or getattr(fn, "__name__", "task"))
+        cache = self.cluster.cache
+        cache_node = None
+        if cache.active:
+            # Fingerprint before placement so the scheduler can steer
+            # the task toward its cached result (locality policy only;
+            # the default policy ignores the hint and stays
+            # seed-identical).  Fingerprinting is pure Python — no
+            # virtual time passes.
+            ref.fingerprint = task_fingerprint(cache.config.epoch, fn, args)
+            cache_node = cache.peek_node(ref.fingerprint)
         node = self.scheduler.place(
             PlacementRequest(
-                kind="task", label=ref.label, refs=_locality_refs(args)
+                kind="task",
+                label=ref.label,
+                refs=_locality_refs(args),
+                cache_node=cache_node,
             )
         )
         self.tasks_submitted += 1
@@ -286,12 +375,41 @@ class RayxRuntime:
                     context = TaskContext(self, node)
                     context.span = span
                     context.fault_label = ref.label
+                    cache = self.cluster.cache
+                    if (
+                        cache.active
+                        and ref.fingerprint is not None
+                        and cache.lookup(ref.fingerprint, tracer=tracer)
+                        is not None
+                    ):
+                        # Cache hit: charge the lookup, then re-check
+                        # for injected faults that fell due inside the
+                        # lookup window — a hit must never mask a
+                        # scheduled failure of the producing task.
+                        yield from self._charge_lookup(
+                            ref.label, node.name, span
+                        )
+                        if faults.active:
+                            fault = faults.take_task_fault(
+                                ref.label, self.env.now
+                            )
+                            if fault is not None:
+                                if fault.delay_s > 0:
+                                    yield self.env.timeout(fault.delay_s)
+                                raise InjectedFault(
+                                    f"injected fault in task {ref.label!r}",
+                                    kind="task",
+                                )
+                        context.free = True
                     resolved: List[Any] = []
                     for arg in args:
                         if isinstance(arg, ObjectRef):
-                            value = yield from self.store.get(
-                                arg, node.name, parent=span
-                            )
+                            if context.free:
+                                value = yield from self.store.peek(arg)
+                            else:
+                                value = yield from self.store.get(
+                                    arg, node.name, parent=span
+                                )
                             resolved.append(value)
                         else:
                             resolved.append(arg)
@@ -338,9 +456,22 @@ class RayxRuntime:
                     continue
                 break
             try:
-                yield from self.store.store_result(
-                    ref, result, node.name, parent=span
-                )
+                if context.free:
+                    yield from self.store.adopt(ref, result, node.name)
+                else:
+                    yield from self.store.store_result(
+                        ref, result, node.name, parent=span
+                    )
+                if cache.active and ref.fingerprint is not None:
+                    # Memoize (or, after a hit, refresh node/size
+                    # metadata — refreshes do not count as inserts).
+                    cache.insert(
+                        ref.fingerprint,
+                        ref.nbytes,
+                        node.name,
+                        kind="task",
+                        tracer=tracer,
+                    )
             except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
                 if span is not None:
                     tracer.end(span, status="failed", error=type(exc).__name__)
@@ -378,6 +509,30 @@ class RayxRuntime:
             if span is not None:
                 tracer.end(span)
 
+    def _charge_lookup(
+        self, label: str, node_name: str, parent=None
+    ) -> Generator:
+        """Charge one cache-hit lookup on the virtual clock."""
+        cache = self.cluster.cache
+        cost = cache.lookup_s
+        tracer = self.tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.start(
+                f"cache.hit:{label}",
+                category="cache",
+                node=node_name,
+                parent=parent,
+                lookup_s=cost,
+            )
+            tracer.metrics.counter("cache.lookup.seconds").add(cost)
+        try:
+            if cost > 0:
+                yield self.env.timeout(cost)
+        finally:
+            if span is not None:
+                tracer.end(span)
+
     def _reconstruct_ref(self, ref: ObjectRef) -> Generator:
         """Rebuild a lost object by re-executing its producing task.
 
@@ -390,9 +545,20 @@ class RayxRuntime:
         slot there could deadlock a fully subscribed pool.
         """
         fn, args = self.store.lineage[ref.ref_id]
+        cache = self.cluster.cache
+        hit = (
+            cache.active
+            and ref.fingerprint is not None
+            and cache.lookup(ref.fingerprint, tracer=self.tracer) is not None
+        )
         node = self.scheduler.place(
             PlacementRequest(
-                kind="reconstruction", label=ref.label, refs=_locality_refs(args)
+                kind="reconstruction",
+                label=ref.label,
+                refs=_locality_refs(args),
+                cache_node=cache.peek_node(ref.fingerprint)
+                if ref.fingerprint is not None
+                else None,
             )
         )
         tracer = self.tracer
@@ -404,16 +570,30 @@ class RayxRuntime:
                 category="faults.recovery",
                 node=node.name,
                 parent=self._driver_span,
+                cache_hit=hit,
             )
             tracer.metrics.counter("faults.reconstructions").inc()
         try:
-            yield self.env.timeout(self.config.rayx.task_dispatch_s)
             context = TaskContext(self, node)
             context.span = span
+            if hit:
+                # The reconstructed object keeps its lineage
+                # fingerprint, so recovery replays the producer for
+                # free: one lookup charge, no dispatch, no argument
+                # dereference costs, no put charge in ``restore``.
+                context.free = True
+                yield from self._charge_lookup(ref.label, node.name, span)
+            else:
+                yield self.env.timeout(self.config.rayx.task_dispatch_s)
             resolved: List[Any] = []
             for arg in args:
                 if isinstance(arg, ObjectRef):
-                    value = yield from self.store.get(arg, node.name, parent=span)
+                    if hit:
+                        value = yield from self.store.peek(arg)
+                    else:
+                        value = yield from self.store.get(
+                            arg, node.name, parent=span
+                        )
                     resolved.append(value)
                 else:
                     resolved.append(arg)
@@ -422,7 +602,15 @@ class RayxRuntime:
                 result = yield from outcome
             else:
                 result = outcome
-            yield from self.store.restore(ref, result, node.name)
+            yield from self.store.restore(ref, result, node.name, charge=not hit)
+            if cache.active and ref.fingerprint is not None:
+                cache.insert(
+                    ref.fingerprint,
+                    ref.nbytes,
+                    node.name,
+                    kind="task",
+                    tracer=tracer,
+                )
         finally:
             self.scheduler.release(node.name)
             if span is not None:

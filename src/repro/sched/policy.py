@@ -94,6 +94,7 @@ class PlacementRequest:
         "operator_id",
         "worker_index",
         "num_workers",
+        "cache_node",
         "index",
     )
 
@@ -106,6 +107,7 @@ class PlacementRequest:
         operator_id: str = "",
         worker_index: int = 0,
         num_workers: int = 1,
+        cache_node: Optional[str] = None,
     ) -> None:
         if kind not in ("task", "actor", "retry", "reconstruction", "operator"):
             raise ValueError(f"unknown placement kind: {kind!r}")
@@ -118,6 +120,12 @@ class PlacementRequest:
         self.operator_id = operator_id
         self.worker_index = worker_index
         self.num_workers = num_workers
+        #: Node holding this submission's cached result, if a
+        #: ``repro.cache`` lookup would hit (affinity hint — running
+        #: there re-adopts the value with zero transfers).  Only the
+        #: locality policy consults it; the default policy stays
+        #: seed-identical.
+        self.cache_node = cache_node
         #: Monotonic placement position, filled in by the scheduler.
         self.index = 0
 
@@ -255,6 +263,17 @@ class LocalityPolicy(PlacementPolicy):
                 if sched.accounts[best.name].outstanding < best.num_cpus:
                     self._planned[target.ref_id] = best.name
                     return best
+        if request.cache_node is not None:
+            # Cache affinity: the result already lives on this node, so
+            # a hit there re-adopts it without any cross-node movement.
+            # Weaker than argument locality (checked above) because a
+            # miss still has to fetch the arguments.
+            for node in healthy:
+                if (
+                    node.name == request.cache_node
+                    and sched.accounts[node.name].outstanding < node.num_cpus
+                ):
+                    return node
         node = _min_outstanding(healthy, sched)
         if target is not None:
             self._planned[target.ref_id] = node.name

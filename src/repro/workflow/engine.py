@@ -25,6 +25,7 @@ from __future__ import annotations
 import copy
 from typing import Any, Dict, Generator, List, Optional, Sequence
 
+from repro.cache.fingerprint import combine, fingerprint_value
 from repro.cluster import CONTROLLER, Cluster, Codec, Node, estimate_bytes
 from repro.cluster.serialization import record_codec
 from repro.config import ReproConfig
@@ -47,13 +48,20 @@ __all__ = ["WorkflowResult", "WorkflowController", "run_workflow"]
 
 
 class _Batch:
-    """A serialized bundle of tuples in flight on a channel."""
+    """A serialized bundle of tuples in flight on a channel.
 
-    __slots__ = ("tuples", "nbytes")
+    ``source`` names the producing instance (``operator_id#worker``) so
+    the consumer's cache keys can roll one prefix per upstream stream —
+    each producer's sequence is deterministic even when fan-in arrival
+    order is not.
+    """
 
-    def __init__(self, tuples: Sequence[Tuple]) -> None:
+    __slots__ = ("tuples", "nbytes", "source")
+
+    def __init__(self, tuples: Sequence[Tuple], source: str = "") -> None:
         self.tuples = list(tuples)
         self.nbytes = estimate_bytes([t.values for t in self.tuples])
+        self.source = source
 
 
 class _Eos:
@@ -63,6 +71,21 @@ class _Eos:
 
 
 _EOS = _Eos()
+
+
+def _operator_fingerprint(operator: LogicalOperator) -> str:
+    """Structural fingerprint of a logical operator (``repro.cache``).
+
+    Keyed by class plus attribute values (predicates and UDFs hash by
+    code, not identity), so rebuilding the same workflow for a repeat
+    run maps onto the same cache entries.
+    """
+    parts: List[Any] = ["wfop", type(operator).__module__, type(operator).__qualname__]
+    state = vars(operator)
+    for key in sorted(state):
+        parts.append(key)
+        parts.append(fingerprint_value(state[key]))
+    return combine(*parts)
 
 
 class _InboundPort:
@@ -170,6 +193,13 @@ class _Instance:
         self.epoch = 0
         #: Restarts this instance performed (injected operator faults).
         self.restarts = 0
+        #: ``repro.cache``: this instance's lineage chain root (None
+        #: while the cache is dormant) and the rolling prefix key per
+        #: input stream — each consumed batch folds its content hash
+        #: into the stream's key, so a key identifies the *entire
+        #: history* up to that batch (executor state included).
+        self.cache_chain: Optional[str] = None
+        self.cache_keys: Dict[str, str] = {}
 
     @property
     def operator_id(self) -> str:
@@ -302,18 +332,28 @@ class WorkflowController:
         wf_config = self.config.workflow
         order = self.workflow.topological_order()
         # 1. instances + progress registration
+        cache = self.cluster.cache
         for operator in order:
             self.progress.register(operator.operator_id, operator.num_workers)
+            op_fp = _operator_fingerprint(operator) if cache.active else None
             instances = []
             for index in range(operator.num_workers):
-                instances.append(
-                    _Instance(
-                        operator,
-                        index,
-                        self._place(operator, index),
-                        operator.create_executor(index),
-                    )
+                instance = _Instance(
+                    operator,
+                    index,
+                    self._place(operator, index),
+                    operator.create_executor(index),
                 )
+                if op_fp is not None:
+                    instance.cache_chain = combine(
+                        "wf",
+                        cache.config.epoch,
+                        self.workflow.name or "",
+                        op_fp,
+                        index,
+                        operator.num_workers,
+                    )
+                instances.append(instance)
             self._instances[operator.operator_id] = instances
         # 2. channels per link
         for link in self.workflow.links:
@@ -520,13 +560,17 @@ class WorkflowController:
             self._instance_spans.append(span)
         try:
             instance.executor.open()
-            yield from self._settle_charges(instance)
+            yield from self._settle_charges(
+                instance, cache_key=self._phase_key(instance, "open")
+            )
             if isinstance(instance.executor, SourceExecutor):
                 yield from self._run_source(instance)
             else:
                 yield from self._run_consumer(instance)
             instance.executor.close()
-            yield from self._settle_charges(instance)
+            yield from self._settle_charges(
+                instance, cache_key=self._phase_key(instance, "close")
+            )
             yield from self._finish_outbound(instance)
         except OperatorError:
             if span is not None:
@@ -555,10 +599,14 @@ class WorkflowController:
             buffer.append(row)
             if len(buffer) >= batch_size:
                 yield from self._pause_point()
-                yield from self._settle_charges(instance)
+                yield from self._settle_charges(
+                    instance, cache_key=self._roll_key(instance, "src", buffer)
+                )
                 yield from self._emit(instance, buffer)
                 buffer = []
-        yield from self._settle_charges(instance)
+        yield from self._settle_charges(
+            instance, cache_key=self._roll_key(instance, "src", buffer)
+        )
         if buffer:
             yield from self._emit(instance, buffer)
 
@@ -588,7 +636,10 @@ class WorkflowController:
                 if faults.active:
                     instance.epoch += 1
             flushed = list(instance.executor.on_finish(port_number))
-            yield from self._settle_charges(instance)
+            yield from self._settle_charges(
+                instance,
+                cache_key=self._phase_key(instance, f"finish{port_number}"),
+            )
             if flushed:
                 yield from self._emit(instance, flushed)
 
@@ -613,36 +664,62 @@ class WorkflowController:
         operator = instance.operator
         faults = self.env.faults
         wf_config = self.config.workflow
+        cache = self.cluster.cache
+        # The batch's cache key folds its content hash into a rolling
+        # prefix kept per (port, producer instance), so the key encodes
+        # the executor's entire input history from that upstream stream
+        # — each producer's sequence is deterministic even when fan-in
+        # arrival *order* is not.  Looked up exactly ONCE per epoch —
+        # fault replays of this batch re-enter the loop below without
+        # touching the cache again, so hit/miss/insert statistics stay
+        # identical whether or not an operator fault fired mid-batch.
+        batch_key = self._roll_key(
+            instance, f"p{port_number}:{message.source}", message.tuples
+        )
+        hit = (
+            batch_key is not None
+            and cache.lookup(batch_key, tracer=self.tracer) is not None
+        )
         snapshot = None
         while True:
-            # Decode + handling on the consumer's node (re-charged on
-            # replay: the restarted executor re-reads the batch).
-            decode_s = port.codec.decode_time(message.nbytes, len(message.tuples))
-            tracer = self.tracer
-            span = None
-            if tracer.enabled:
-                record_codec(
-                    tracer,
-                    port.codec,
-                    "decode",
-                    message.nbytes,
-                    len(message.tuples),
-                    decode_s,
+            if hit:
+                # Cached epoch: one lookup charge replaces decode +
+                # batch handling; the tuples are still processed (for
+                # real, below) so outputs stay bit-identical.
+                yield from self._charge_hit(
+                    instance, f"{operator.operator_id}:p{port_number}"
                 )
-                span = tracer.start(
-                    f"decode:{port.codec.name}",
-                    category="serialization",
-                    node=instance.node.name,
-                    nbytes=message.nbytes,
+            else:
+                # Decode + handling on the consumer's node (re-charged
+                # on replay: the restarted executor re-reads the batch).
+                decode_s = port.codec.decode_time(
+                    message.nbytes, len(message.tuples)
                 )
-            try:
-                yield from self._instance_compute(
-                    instance,
-                    decode_s + wf_config.batch_handling_s,
-                )
-            finally:
-                if span is not None:
-                    tracer.end(span)
+                tracer = self.tracer
+                span = None
+                if tracer.enabled:
+                    record_codec(
+                        tracer,
+                        port.codec,
+                        "decode",
+                        message.nbytes,
+                        len(message.tuples),
+                        decode_s,
+                    )
+                    span = tracer.start(
+                        f"decode:{port.codec.name}",
+                        category="serialization",
+                        node=instance.node.name,
+                        nbytes=message.nbytes,
+                    )
+                try:
+                    yield from self._instance_compute(
+                        instance,
+                        decode_s + wf_config.batch_handling_s,
+                    )
+                finally:
+                    if span is not None:
+                        tracer.end(span)
             if faults.active and snapshot is None:
                 # Checkpoint at the epoch boundary: executor state
                 # before any tuple of this batch mutates it.
@@ -665,7 +742,21 @@ class WorkflowController:
                 self.progress.record_input(
                     operator.operator_id, len(message.tuples), now=self.env.now
                 )
-                yield from self._charge(instance, seconds, flops)
+                if hit:
+                    # Per-tuple work was memoized; the accumulated
+                    # charges are dropped (the real Python processing
+                    # above already produced the outputs for free).
+                    pass
+                else:
+                    yield from self._charge(instance, seconds, flops)
+                    if batch_key is not None:
+                        cache.insert(
+                            batch_key,
+                            message.nbytes,
+                            instance.node.name,
+                            kind="batch",
+                            tracer=self.tracer,
+                        )
                 if outputs:
                     yield from self._emit(instance, outputs)
                 return
@@ -741,9 +832,79 @@ class WorkflowController:
             duration = flops / (machine.flops_per_core_per_s * effective)
             yield from self._instance_compute(instance, duration, cores=cores)
 
-    def _settle_charges(self, instance: _Instance) -> Generator:
+    def _settle_charges(
+        self, instance: _Instance, cache_key: Optional[str] = None
+    ) -> Generator:
         seconds, flops = instance.executor.pending.take()
+        if cache_key is not None and (seconds > 0 or flops > 0):
+            # Memoizable settle point (open / per-source-batch /
+            # on_finish / close).  The key encodes the instance's full
+            # input history, so a hit is only possible when a previous
+            # run reached this exact state — and then paid these exact
+            # charges.
+            cache = self.cluster.cache
+            if cache.lookup(cache_key, tracer=self.tracer) is not None:
+                yield from self._charge_hit(instance, instance.operator_id)
+                return
+            yield from self._charge(instance, seconds, flops)
+            cache.insert(
+                cache_key,
+                0,
+                instance.node.name,
+                kind="operator",
+                tracer=self.tracer,
+            )
+            return
         yield from self._charge(instance, seconds, flops)
+
+    # -- result caching (repro.cache) ---------------------------------------------
+
+    def _roll_key(
+        self, instance: _Instance, stream: str, rows: Sequence[Tuple]
+    ) -> Optional[str]:
+        """Fold a batch's content into the stream's rolling prefix key."""
+        if instance.cache_chain is None:
+            return None
+        content = fingerprint_value([t.values for t in rows])
+        previous = instance.cache_keys.get(stream, "")
+        key = combine(instance.cache_chain, stream, previous, content)
+        instance.cache_keys[stream] = key
+        return key
+
+    def _phase_key(self, instance: _Instance, tag: str) -> Optional[str]:
+        """Key for a lifecycle settle (open/on_finish/close).
+
+        Mixes in every stream's current rolling key, so the phase only
+        hits when the instance consumed exactly the same history as the
+        cached run.
+        """
+        if instance.cache_chain is None:
+            return None
+        parts: List[Any] = [instance.cache_chain, tag]
+        for stream in sorted(instance.cache_keys):
+            parts.append(stream)
+            parts.append(instance.cache_keys[stream])
+        return combine(*parts)
+
+    def _charge_hit(self, instance: _Instance, label: str) -> Generator:
+        """Charge one cache-hit lookup against the instance's node."""
+        cost = self.cluster.cache.lookup_s
+        tracer = self.tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.start(
+                f"cache.hit:{label}",
+                category="cache",
+                node=instance.node.name,
+                lookup_s=cost,
+            )
+            tracer.metrics.counter("cache.lookup.seconds").add(cost)
+        try:
+            if cost > 0:
+                yield from self._instance_compute(instance, cost)
+        finally:
+            if span is not None:
+                tracer.end(span)
 
     # -- emission --------------------------------------------------------------------
 
@@ -759,44 +920,68 @@ class WorkflowController:
         rows = outbound.take_buffer(index)
         if not rows:
             return
-        batch = _Batch(rows)
+        batch = _Batch(
+            rows, source=f"{instance.operator_id}#{instance.worker_index}"
+        )
         outbound.observe_batch(batch)
-        # Encode + handling on the producer's node.
-        encode_s = outbound.codec.encode_time(batch.nbytes, len(batch.tuples))
         tracer = self.tracer
-        span = None
+        link = f"{outbound.link.producer_id}->{outbound.link.consumer_id}"
         if tracer.enabled:
-            link = f"{outbound.link.producer_id}->{outbound.link.consumer_id}"
-            record_codec(
-                tracer, outbound.codec, "encode", batch.nbytes, len(batch.tuples),
-                encode_s,
-            )
             tracer.metrics.counter("workflow.batches", link=link).inc()
             tracer.metrics.counter("workflow.tuples", link=link).add(
                 len(batch.tuples)
             )
             tracer.metrics.counter("workflow.bytes", link=link).add(batch.nbytes)
-            span = tracer.start(
-                f"encode:{outbound.codec.name}",
-                category="serialization",
-                node=instance.node.name,
-                nbytes=batch.nbytes,
-            )
-        try:
-            yield from self._instance_compute(
-                instance,
-                encode_s + self.config.workflow.batch_handling_s,
-            )
-        finally:
-            if span is not None:
-                tracer.end(span)
         destination = outbound.consumer_nodes[index]
-        if destination.name != instance.node.name:
-            yield self.env.process(
-                self.cluster.transfer(
-                    instance.node.name, destination.name, batch.nbytes
+        # Channel memo: the rolling key encodes everything this channel
+        # has carried so far, so a hit means a previous run already
+        # encoded and shipped this exact batch sequence — the consumer
+        # can read it from the cached result instead (Texera's operator
+        # result cache).  The batch itself still flows: admission
+        # backpressure and the consumer queue see it either way.
+        cache = self.cluster.cache
+        flush_key = self._roll_key(
+            instance, f"flush:{outbound.link.consumer_id}:{index}", rows
+        )
+        if flush_key is not None and cache.lookup(flush_key, tracer=tracer) is not None:
+            yield from self._charge_hit(instance, link)
+        else:
+            # Encode + handling on the producer's node.
+            encode_s = outbound.codec.encode_time(batch.nbytes, len(batch.tuples))
+            span = None
+            if tracer.enabled:
+                record_codec(
+                    tracer, outbound.codec, "encode", batch.nbytes,
+                    len(batch.tuples), encode_s,
                 )
-            )
+                span = tracer.start(
+                    f"encode:{outbound.codec.name}",
+                    category="serialization",
+                    node=instance.node.name,
+                    nbytes=batch.nbytes,
+                )
+            try:
+                yield from self._instance_compute(
+                    instance,
+                    encode_s + self.config.workflow.batch_handling_s,
+                )
+            finally:
+                if span is not None:
+                    tracer.end(span)
+            if destination.name != instance.node.name:
+                yield self.env.process(
+                    self.cluster.transfer(
+                        instance.node.name, destination.name, batch.nbytes
+                    )
+                )
+            if flush_key is not None:
+                cache.insert(
+                    flush_key,
+                    batch.nbytes,
+                    instance.node.name,
+                    kind="channel",
+                    tracer=tracer,
+                )
         memory = self.cluster.memory
         if memory.active:
             # Admission backpressure on the consumer's node: above the
@@ -807,7 +992,6 @@ class WorkflowController:
             yield from memory.allocate(destination.name, batch.nbytes)
         store = outbound.consumer_ports[index].store
         if tracer.enabled:
-            link = f"{outbound.link.producer_id}->{outbound.link.consumer_id}"
             tracer.metrics.histogram("workflow.queue_depth", link=link).record(
                 len(store)
             )

@@ -1,0 +1,177 @@
+"""Cache semantics inside the engines: hits, faults, affinity.
+
+The subtle invariants that unit tests on :class:`ResultCache` cannot
+see — hit tasks must still produce *real* values (the free replay),
+injected faults must still fire on hit submissions, lineage
+reconstruction must hit the cache, and the locality policy must steer
+warm tasks back to the node holding their result.
+"""
+
+from repro.cache import ResultCache, cached
+from repro.cluster import build_cluster
+from repro.faults import FaultEvent, FaultSchedule, faults_injected
+from repro.sched import PlacementRequest, Scheduler
+from repro.sched.policy import LocalityPolicy
+from repro.sim import Environment
+from repro.rayx import run_script
+
+
+def fresh_cluster():
+    return build_cluster(Environment())
+
+
+def square(ctx, x):
+    yield from ctx.compute(0.4)
+    return x * x
+
+
+def driver(rt):
+    refs = [rt.submit(square, i, label=f"square-{i}") for i in range(5)]
+    values = yield from rt.get_all(refs)
+    return values
+
+
+def run_once():
+    cluster = fresh_cluster()
+    values = run_script(cluster, driver, num_cpus=4)
+    return cluster, values
+
+
+# -- hit semantics -------------------------------------------------------------
+
+
+def test_warm_run_returns_real_values_via_adoption():
+    from repro.obs import Tracer, tracing
+
+    cache = ResultCache("on")
+    with cached(cache):
+        _, cold_values = run_once()
+        with tracing(Tracer()) as tracer:
+            _, warm_values = run_once()
+    assert warm_values == cold_values == [0, 1, 4, 9, 16]
+    assert cache.hits == 5
+    # Hits bypass put-time but the store holds real adopted objects —
+    # the values above came out of it.
+    assert tracer.metrics.value("objectstore.adopt.count") == 5
+    assert tracer.metrics.total("cache.hit") == 5
+
+
+def test_warm_run_is_faster_and_cold_matches_dormant():
+    base_cluster, _ = run_once()
+    cache = ResultCache("on")
+    with cached(cache):
+        cold_cluster, _ = run_once()
+        warm_cluster, _ = run_once()
+    assert cold_cluster.env.now == base_cluster.env.now
+    assert warm_cluster.env.now < cold_cluster.env.now
+
+
+def test_distinct_arguments_do_not_collide():
+    def driver_b(rt):
+        refs = [rt.submit(square, i, label=f"square-{i}") for i in range(5, 10)]
+        values = yield from rt.get_all(refs)
+        return values
+
+    cache = ResultCache("on")
+    with cached(cache):
+        run_once()
+        cluster = fresh_cluster()
+        values = run_script(cluster, driver_b, num_cpus=4)
+    assert values == [25, 36, 49, 64, 81]
+    assert cache.hits == 0  # different args -> different lineage keys
+
+
+def test_epoch_bump_invalidates_everything():
+    with cached(ResultCache("on,epoch=0")):
+        _, cold = run_once()
+    cache = ResultCache("on,epoch=1")
+    with cached(cache):
+        _, values = run_once()
+    assert values == cold
+    assert cache.hits == 0
+
+
+# -- fault interplay -----------------------------------------------------------
+
+
+def test_hits_do_not_mask_injected_task_faults():
+    """A warm submission that would hit still takes its injected crash
+    (and the retry), exactly like a cold one."""
+    cache = ResultCache("on")
+    with cached(cache):
+        run_once()  # warm the cache
+        schedule = FaultSchedule(
+            events=(FaultEvent(0.0, "task", target="square-*"),)
+        )
+        with faults_injected(schedule) as injector:
+            cluster = fresh_cluster()
+            values = run_script(cluster, driver, num_cpus=4)
+    assert values == [0, 1, 4, 9, 16]
+    assert injector.injected == 1
+    assert injector.retries == 1
+
+
+def test_lineage_reconstruction_hits_the_cache():
+    """Losing every replica forces a rebuild; the reconstructed ref
+    keeps its fingerprint, so the rebuild replays at lookup cost.
+
+    That holds even on the *first* enabled run — the rebuild hits
+    entries inserted moments earlier in the same run — so under a
+    replica fault an enabled cache legitimately beats dormant from
+    run one.  (Fault-free cold runs stay bit-identical to the seed;
+    ``test_timing_pin`` pins that.)
+    """
+
+    def late_get_driver(rt):
+        refs = [rt.submit(square, i, label=f"square-{i}") for i in range(5)]
+        yield from rt.wait(refs, num_returns=5)
+        yield rt.env.timeout(1.0)  # loss window: the replica fault lands here
+        values = yield from rt.get_all(refs)
+        return values
+
+    schedule = FaultSchedule(
+        events=(FaultEvent(3.0, "replica", target="square-*"),)
+    )
+
+    def run_faulted():
+        with faults_injected(schedule) as injector:
+            cluster = fresh_cluster()
+            values = run_script(cluster, late_get_driver, num_cpus=4)
+        return cluster.env.now, values, injector
+
+    dormant_elapsed, dormant_values, dormant_injector = run_faulted()
+    cache = ResultCache("on")
+    with cached(cache):
+        first_elapsed, first_values, _ = run_faulted()
+        warm_elapsed, warm_values, warm_injector = run_faulted()
+    assert dormant_values == first_values == warm_values
+    assert first_elapsed < dormant_elapsed  # recovery replayed, not re-run
+    assert warm_elapsed < first_elapsed  # and warm skips the compute too
+    assert dormant_injector.injected == warm_injector.injected >= 1
+    assert cache.hits > len(dormant_values)  # submissions *and* rebuilds hit
+
+
+# -- scheduler affinity --------------------------------------------------------
+
+
+def test_locality_policy_honours_cache_node_hint():
+    cluster = fresh_cluster()
+    sched = Scheduler(cluster)
+    policy = LocalityPolicy()
+    request = PlacementRequest(kind="task", label="t", cache_node="worker-1")
+    assert policy.choose(request, sched).name == "worker-1"
+    # Without the hint the same request goes to the least-loaded node.
+    bare = PlacementRequest(kind="task", label="t")
+    assert policy.choose(bare, sched).name == "worker-0"
+
+
+def test_round_robin_ignores_cache_node_hint():
+    """The default policy must stay seed-identical, hint or not."""
+    from repro.sched.policy import RoundRobinPolicy
+
+    cluster = fresh_cluster()
+    sched = Scheduler(cluster)
+    policy = RoundRobinPolicy()
+    hinted = PlacementRequest(kind="task", label="t", cache_node="worker-1")
+    bare = PlacementRequest(kind="task", label="t")
+    assert policy.choose(hinted, sched).name == policy.choose(bare, sched).name

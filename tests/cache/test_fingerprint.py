@@ -1,0 +1,130 @@
+"""Fingerprints must be structural, deterministic and address-free.
+
+The cache's whole correctness story rests on one property: two
+submissions fingerprint equal **iff** they would compute the same
+thing.  That means re-created lambdas (fresh ``id()``, same code) must
+collide, closures over different values must not, and nothing may leak
+``repr`` memory addresses or per-interpreter ``hash()`` salt into a
+key.
+"""
+
+import functools
+
+from repro.cache.fingerprint import combine, fingerprint_function, fingerprint_value
+
+
+def test_combine_is_deterministic_and_order_sensitive():
+    assert combine("a", 1, 2.5) == combine("a", 1, 2.5)
+    assert combine("a", "b") != combine("b", "a")
+    assert combine("ab") != combine("a", "b")  # parts are delimited
+
+
+def test_atoms_distinguish_type_and_value():
+    assert fingerprint_value(1) != fingerprint_value(1.0)
+    assert fingerprint_value(True) != fingerprint_value(1)
+    assert fingerprint_value("1") != fingerprint_value(1)
+    assert fingerprint_value(None) == fingerprint_value(None)
+
+
+def test_recreated_lambda_fingerprints_equal():
+    def make():
+        return lambda x: x * 2
+
+    assert make() is not make()
+    assert fingerprint_function(make()) == fingerprint_function(make())
+
+
+def test_closure_values_differentiate():
+    def make(n):
+        return lambda x: x * n
+
+    assert fingerprint_function(make(2)) == fingerprint_function(make(2))
+    assert fingerprint_function(make(2)) != fingerprint_function(make(3))
+
+
+def test_containers_recurse_into_callables():
+    def make(n):
+        return [1, {"fn": lambda x: x + n}]
+
+    assert fingerprint_value(make(1)) == fingerprint_value(make(1))
+    assert fingerprint_value(make(1)) != fingerprint_value(make(2))
+
+
+def test_dict_fingerprint_is_insertion_order_insensitive():
+    assert fingerprint_value({"a": 1, "b": 2}) == fingerprint_value(
+        {"b": 2, "a": 1}
+    )
+
+
+def test_set_fingerprint_is_order_insensitive():
+    assert fingerprint_value({3, 1, 2}) == fingerprint_value({2, 3, 1})
+
+
+def test_sequence_type_matters_but_not_identity():
+    assert fingerprint_value([1, 2]) != fingerprint_value((1, 2))
+    assert fingerprint_value([1, 2]) == fingerprint_value([1, 2])
+
+
+def test_partial_fingerprints_by_parts():
+    def f(a, b):
+        return a + b
+
+    assert fingerprint_function(functools.partial(f, 1)) == fingerprint_function(
+        functools.partial(f, 1)
+    )
+    assert fingerprint_function(functools.partial(f, 1)) != fingerprint_function(
+        functools.partial(f, 2)
+    )
+
+
+def test_bound_methods_include_instance_state():
+    class Counter:
+        def __init__(self, n):
+            self.n = n
+
+        def bump(self):
+            return self.n + 1
+
+    assert fingerprint_function(Counter(1).bump) == fingerprint_function(
+        Counter(1).bump
+    )
+    assert fingerprint_function(Counter(1).bump) != fingerprint_function(
+        Counter(2).bump
+    )
+
+
+class _Unpicklable:
+    def __init__(self, n):
+        self.n = n
+        self.fn = lambda: n  # defeats pickle
+
+    def __reduce__(self):
+        raise TypeError("nope")
+
+
+def test_unpicklable_objects_fingerprint_structurally():
+    """No ``repr`` fallback: two equal-state instances at different
+    addresses must collide, different state must not."""
+    a, b = _Unpicklable(1), _Unpicklable(1)
+    assert fingerprint_value(a) == fingerprint_value(b)
+    assert fingerprint_value(a) != fingerprint_value(_Unpicklable(2))
+
+
+def test_fingerprint_never_embeds_memory_addresses():
+    value = _Unpicklable(7)
+    fp = fingerprint_value(value)
+    assert hex(id(value))[2:] not in fp
+    assert fp == fingerprint_value(value)
+
+
+def test_cyclic_structures_terminate():
+    loop = []
+    loop.append(loop)
+    assert fingerprint_value(loop) == fingerprint_value(loop)
+
+
+def test_deep_nesting_hits_depth_limit_not_recursion_error():
+    deep = [1]
+    for _ in range(50):
+        deep = [deep]
+    assert fingerprint_value(deep) == fingerprint_value(deep)

@@ -1,0 +1,51 @@
+"""The cache must be invisible until it hits.
+
+Three timing guarantees, in escalating order:
+
+* **dormant** (the default config): every task timing bit-identical to
+  the pre-``repro.cache`` seed — same constants ``repro.obs``,
+  ``repro.faults``, ``repro.sched`` and ``repro.mem`` pin;
+* **enabled but cold**: still bit-identical — misses charge nothing,
+  and fingerprinting happens in free real Python;
+* **warm**: strictly faster on every task, under both engines, with
+  outputs identical to the seed run.
+"""
+
+from repro.cache import ResultCache, cached
+from tests.obs.test_timing_regression import SEED_TIMINGS, _run_all
+
+
+def test_dormant_cache_timings_bit_identical_to_seed():
+    assert _run_all() == SEED_TIMINGS
+
+
+def test_enabled_cold_cache_timings_bit_identical_to_seed():
+    """An installed-but-empty cache only ever misses — and misses are
+    bookkeeping, not virtual time.
+
+    Each task gets its *own* fresh cache: a cache shared across tasks
+    legitimately hits (GOTTA's 1- and 4-CPU runs put the same model),
+    which is reuse, not drift.
+    """
+    caches = []
+
+    def fresh():
+        cache = ResultCache("on")
+        caches.append(cache)
+        return cached(cache)
+
+    timings = _run_all(each=fresh)
+    assert timings == SEED_TIMINGS
+    assert all(cache.hits == 0 for cache in caches)
+    assert sum(cache.misses for cache in caches) > 0  # really consulted
+
+
+def test_warm_cache_strictly_faster_everywhere():
+    cache = ResultCache("on")
+    with cached(cache):
+        cold = _run_all()
+        warm = _run_all()
+    for key, warm_elapsed in warm.items():
+        assert warm_elapsed < cold[key], f"{key} did not speed up warm"
+    assert cold["gotta/script-1"] == SEED_TIMINGS["gotta/script-1"]
+    assert cache.hits > 0

@@ -1,0 +1,115 @@
+"""Every bad spec exits 2 with the relevant grammar on stderr.
+
+One matrix over the four installable subsystems (``--faults``,
+``--scheduler``, ``--mem``, ``--cache``) and their inspection
+subcommands: a typo'd spec must never produce a traceback or a bare
+one-line error — the user gets exit code 2 plus the spec grammar (or
+the policy catalogue) so the fix is on screen.
+"""
+
+import pytest
+
+from repro.cli import (
+    CACHE_SPEC_HELP,
+    FAULT_SPEC_HINT,
+    MEM_SPEC_HELP,
+    main,
+)
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+# -- option errors ------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "option, spec, hint",
+    [
+        ("--mem", "banana", MEM_SPEC_HELP),
+        ("--mem", "ram=lots", MEM_SPEC_HELP),
+        ("--cache", "banana", CACHE_SPEC_HELP),
+        ("--cache", "cap=lots", CACHE_SPEC_HELP),
+        ("--faults", "seed=banana", FAULT_SPEC_HINT),
+        ("--faults", "bogus=1", FAULT_SPEC_HINT),
+    ],
+)
+def test_bad_option_spec_exits_2_with_grammar(capsys, option, spec, hint):
+    code, out, err = run_cli(capsys, option, spec, "fig13d", "--quick")
+    assert code == 2
+    assert option in err
+    assert hint in err
+    assert "Traceback" not in err
+
+
+def test_unknown_scheduler_exits_2_with_catalogue(capsys):
+    code, out, err = run_cli(capsys, "--scheduler", "banana", "fig13d")
+    assert code == 2
+    assert "banana" in err
+    # the catalogue names the valid policies so the fix is on screen
+    assert "round_robin" in err and "locality" in err
+
+
+# -- subcommand errors --------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "subcommand, spec, hint",
+    [
+        ("mem", "banana", MEM_SPEC_HELP),
+        ("cache", "banana", CACHE_SPEC_HELP),
+        ("faults", "seed=banana", FAULT_SPEC_HINT),
+    ],
+)
+def test_bad_subcommand_spec_exits_2_with_grammar(capsys, subcommand, spec, hint):
+    code, out, err = run_cli(capsys, subcommand, spec)
+    assert code == 2
+    assert f"repro: {subcommand}:" in err
+    assert hint in err
+
+
+def test_faults_json_file_with_bad_json_exits_2(tmp_path, capsys):
+    """A fault schedule file holding invalid JSON is a spec error, not
+    a traceback (regression: json.JSONDecodeError used to escape)."""
+    path = tmp_path / "schedule.json"
+    path.write_text("{not json", encoding="utf-8")
+    code, out, err = run_cli(capsys, "faults", str(path))
+    assert code == 2
+    assert "not valid JSON" in err
+    assert FAULT_SPEC_HINT in err
+
+
+def test_faults_missing_file_exits_2(tmp_path, capsys):
+    code, out, err = run_cli(capsys, "--faults", str(tmp_path / "nope.json"), "fig13d")
+    assert code == 2
+    assert FAULT_SPEC_HINT in err
+
+
+# -- healthy paths stay healthy ----------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "argv, expect",
+    [
+        (("mem",), "dormant"),
+        (("cache",), "dormant"),
+        (("cache", "on,cap=1gib"), "ON"),
+        (("sched",), "round_robin"),
+        (("faults", "seed=7,tasks=1"), "seed"),
+    ],
+)
+def test_good_subcommand_specs_exit_0(capsys, argv, expect):
+    code, out, err = run_cli(capsys, *argv)
+    assert code == 0
+    assert expect in out
+    assert err == ""
+
+
+def test_unknown_experiment_exits_2_with_ids(capsys):
+    code, out, err = run_cli(capsys, "bogus-experiment")
+    assert code == 2
+    assert "bogus-experiment" in err
+    assert "caching" in err  # the catalogue lists valid ids

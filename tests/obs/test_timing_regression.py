@@ -42,23 +42,40 @@ SEED_TIMINGS = {
 }
 
 
-def _run_all():
+def _run_all(each=None):
+    """Every pinned task's virtual elapsed time, by key.
+
+    ``each``, if given, is a zero-argument callable returning a context
+    manager entered around every individual task run — subsystem pin
+    suites use it to give each task a fresh isolated installation
+    (e.g. ``tests/cache`` runs each task under its own empty cache,
+    since a *shared* cache legitimately hits across tasks).
+    """
+    from contextlib import nullcontext
+
+    if each is None:
+        each = nullcontext
     paras1 = generate_fsqa(1)
     paras4 = generate_fsqa(4)
     reports = generate_maccrobat(4)
     kge = make_kge_dataset(300, universe_size=1000)
     tweets = generate_wildfire_tweets(40)
-    return {
-        "gotta/script-1": run_gotta_script(fresh_cluster(), paras1).elapsed_s,
-        "gotta/workflow-1": run_gotta_workflow(fresh_cluster(), paras1).elapsed_s,
-        "gotta/script-4": run_gotta_script(fresh_cluster(), paras4).elapsed_s,
-        "dice/script-4": run_dice_script(fresh_cluster(), reports).elapsed_s,
-        "dice/workflow-4": run_dice_workflow(fresh_cluster(), reports).elapsed_s,
-        "kge/script": run_kge_script(fresh_cluster(), kge).elapsed_s,
-        "kge/workflow": run_kge_workflow(fresh_cluster(), kge).elapsed_s,
-        "wef/script": run_wef_script(fresh_cluster(), tweets).elapsed_s,
-        "wef/workflow": run_wef_workflow(fresh_cluster(), tweets).elapsed_s,
+    runners = {
+        "gotta/script-1": lambda: run_gotta_script(fresh_cluster(), paras1),
+        "gotta/workflow-1": lambda: run_gotta_workflow(fresh_cluster(), paras1),
+        "gotta/script-4": lambda: run_gotta_script(fresh_cluster(), paras4),
+        "dice/script-4": lambda: run_dice_script(fresh_cluster(), reports),
+        "dice/workflow-4": lambda: run_dice_workflow(fresh_cluster(), reports),
+        "kge/script": lambda: run_kge_script(fresh_cluster(), kge),
+        "kge/workflow": lambda: run_kge_workflow(fresh_cluster(), kge),
+        "wef/script": lambda: run_wef_script(fresh_cluster(), tweets),
+        "wef/workflow": lambda: run_wef_workflow(fresh_cluster(), tweets),
     }
+    timings = {}
+    for key, run in runners.items():
+        with each():
+            timings[key] = run().elapsed_s
+    return timings
 
 
 def test_null_tracer_timings_bit_identical_to_seed():
