@@ -1,0 +1,193 @@
+"""Benchmark: job-service throughput and queueing latency under load.
+
+Floods the :class:`repro.jobs.JobService` with a short, violent
+Poisson burst — arrivals far above the cluster's drain rate, so the
+queue backs up past 1000 concurrently queued jobs — then lets it
+drain, and records:
+
+* sustained throughput, both virtual (completed jobs per virtual
+  second) and wall-clock (jobs processed per real second of control-
+  plane work — the service overhead an analyst pays per job);
+* p50/p99 queueing latency (submission to admission, virtual time);
+* peak queue depth, which must reach the >=1000 acceptance bar.
+
+Results go to ``BENCH_jobs.json`` at the repository root, the first of
+ROADMAP's tracked ``BENCH_*.json`` series.  The schema is stable on
+purpose — ``benchmark`` / ``schema`` / ``config`` / ``results`` — so
+later kernel benchmarks can reuse it and dashboards can diff runs.
+
+Also checks the subsystem's determinism contract (same config, same
+summary, bit for bit) and the drain invariant (every submitted job
+reaches a terminal state).
+
+Uses plain pytest so CI can smoke it with nothing but pytest, or
+directly:
+
+    PYTHONPATH=src python benchmarks/bench_jobs.py --quick
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.config import GIB, JobsConfig
+from repro.jobs import JobService
+
+#: Repository root: where BENCH_jobs.json lands (tracked by git).
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Schema version of BENCH_jobs.json; bump on incompatible changes.
+BENCH_SCHEMA = 1
+
+#: The flood: ~1450 arrivals in a 12s window against a cluster that
+#: drains ~16 jobs/s (32 worker vCPUs / 2 vCPUs per ~1s job), so the
+#: backlog must climb past the 1000-job acceptance bar before draining.
+FLOOD = JobsConfig(
+    enabled=True,
+    seed=42,
+    rate_per_s=120.0,
+    horizon_s=12.0,
+    tenants=8,
+    cpus=2,
+    ram_bytes=1 * GIB,
+    duration_s=1.0,
+)
+
+#: Reduced scale for CI smoke (--quick): same shape, ~300 jobs.
+FLOOD_QUICK = JobsConfig(
+    enabled=True,
+    seed=42,
+    rate_per_s=60.0,
+    horizon_s=5.0,
+    tenants=4,
+    cpus=2,
+    ram_bytes=1 * GIB,
+    duration_s=0.5,
+)
+
+
+def run_flood(config: JobsConfig):
+    """One full traffic run; returns (summary, wall_seconds)."""
+    service = JobService(config)
+    started = time.perf_counter()
+    summary = service.simulate()
+    wall_s = time.perf_counter() - started
+    assert service.queue.drained, "jobs left in a non-terminal state"
+    return summary, wall_s
+
+
+def bench_document(config: JobsConfig, summary, wall_s: float) -> dict:
+    """The stable BENCH_jobs.json document."""
+    return {
+        "benchmark": "jobs",
+        "schema": BENCH_SCHEMA,
+        "config": {
+            "seed": config.seed,
+            "rate_per_s": config.rate_per_s,
+            "horizon_s": config.horizon_s,
+            "tenants": config.tenants,
+            "policy": config.policy,
+            "placement": config.placement,
+            "cpus": config.cpus,
+            "ram_bytes": config.ram_bytes,
+            "duration_s": config.duration_s,
+        },
+        "results": {
+            "jobs": summary["jobs"],
+            "completed": summary["counts"]["completed"],
+            "virtual_jobs_per_s": summary["virtual_jobs_per_s"],
+            "wall_jobs_per_s": (
+                summary["jobs"] / wall_s if wall_s > 0 else None
+            ),
+            "p50_queue_s": summary["p50_queue_s"],
+            "p99_queue_s": summary["p99_queue_s"],
+            "peak_queue_depth": summary["peak_queue_depth"],
+            "virtual_makespan_s": summary["virtual_makespan_s"],
+            "wall_s": wall_s,
+        },
+    }
+
+
+def bench_table(doc: dict) -> str:
+    results = doc["results"]
+    return "\n".join(
+        [
+            "job service under flood (virtual seconds unless noted)",
+            f"  jobs               {results['jobs']} submitted, "
+            f"{results['completed']} completed",
+            f"  peak queue depth   {results['peak_queue_depth']}",
+            f"  throughput         {results['virtual_jobs_per_s']:.1f} jobs/s "
+            f"virtual, {results['wall_jobs_per_s']:.0f} jobs/s wall",
+            f"  queue latency      p50 {results['p50_queue_s']:.3f}s, "
+            f"p99 {results['p99_queue_s']:.3f}s",
+            f"  makespan           {results['virtual_makespan_s']:.2f}s virtual, "
+            f"{results['wall_s']:.2f}s wall",
+        ]
+    )
+
+
+# -- pytest entry points -----------------------------------------------------
+
+
+def test_flood_sustains_1000_queued_jobs_and_drains(results_dir):
+    """The acceptance bar: >=1000 concurrently queued jobs, full drain,
+    and the recorded BENCH_jobs.json at the repository root."""
+    summary, wall_s = run_flood(FLOOD)
+    assert summary["peak_queue_depth"] >= 1000, (
+        f"peak queue depth only {summary['peak_queue_depth']}"
+    )
+    assert summary["counts"]["completed"] == summary["jobs"]
+    assert summary["p99_queue_s"] >= summary["p50_queue_s"] > 0.0
+    doc = bench_document(FLOOD, summary, wall_s)
+    (REPO_ROOT / "BENCH_jobs.json").write_text(
+        json.dumps(doc, indent=2) + "\n", encoding="utf-8"
+    )
+    (results_dir / "jobs_flood.txt").write_text(
+        bench_table(doc) + "\n", encoding="utf-8"
+    )
+    print()
+    print(bench_table(doc))
+
+
+def test_flood_is_deterministic():
+    """Same config, same summary — bit for bit (wall time aside)."""
+    first, _ = run_flood(FLOOD_QUICK)
+    second, _ = run_flood(FLOOD_QUICK)
+    assert first == second
+
+
+def main(argv=None):
+    """CI smoke entry point: ``python benchmarks/bench_jobs.py --quick``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced flood; skips writing BENCH_jobs.json",
+    )
+    args = parser.parse_args(argv)
+    config = FLOOD_QUICK if args.quick else FLOOD
+    summary, wall_s = run_flood(config)
+    doc = bench_document(config, summary, wall_s)
+    print(bench_table(doc))
+    if summary["counts"]["completed"] != summary["jobs"]:
+        print("FAIL: not every job completed", file=sys.stderr)
+        return 1
+    if not args.quick:
+        if summary["peak_queue_depth"] < 1000:
+            print(
+                f"FAIL: peak queue depth {summary['peak_queue_depth']} < 1000",
+                file=sys.stderr,
+            )
+            return 1
+        (REPO_ROOT / "BENCH_jobs.json").write_text(
+            json.dumps(doc, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"\nwrote {REPO_ROOT / 'BENCH_jobs.json'}")
+    print("jobs smoke OK: queue drained, every job terminal")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,6 +63,25 @@ run, so a repeated pipeline hits.  Composes with ``--trace`` (hits
 appear as ``cache`` spans), ``--faults`` (reconstruction replays hit
 the cache) and ``--scheduler`` (the locality policy gains cache
 affinity).
+
+Multi-tenant job service (``repro.jobs``)::
+
+    python -m repro jobs                                 # spec grammar + defaults
+    python -m repro jobs on,rate=50,tenants=8            # run a traffic simulation
+    python -m repro fig13d --quick --jobs on             # experiments as jobs
+    python -m repro fairshare --quick                    # fifo-vs-drf experiment
+
+The ``jobs`` subcommand prints the configuration a spec expands to
+and, when the spec says ``on``, drives the seeded open-loop traffic
+generator through the :class:`repro.jobs.JobService` and prints the
+outcome (jobs/sec, queue-latency percentiles, per-tenant shares).
+``--jobs SPEC`` runs the named experiments as jobs submitted through a
+service instead of direct calls; it composes with every other flag.
+
+Subcommand dispatch is table-driven: each inspection subcommand is one
+:class:`Subcommand` row in ``SUBCOMMANDS`` sharing a single usage and
+exit-2 spec-error formatter, so new subsystems slot in without another
+hand-rolled branch.
 """
 
 from __future__ import annotations
@@ -70,7 +89,8 @@ from __future__ import annotations
 import argparse
 import sys
 from contextlib import nullcontext
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
 
 from repro.experiments import ALL_EXPERIMENTS
 from repro.experiments.exp_language import run_table1
@@ -82,13 +102,21 @@ from repro.experiments.exp_scaling import (
     run_fig13d,
 )
 from repro.experiments.exp_caching import run_caching
+from repro.experiments.exp_fairshare import run_fairshare
 from repro.experiments.exp_memory import run_memory
 from repro.experiments.exp_recovery import run_recovery
 from repro.experiments.exp_scheduling import run_scheduling
 from repro.experiments.exp_workers import run_fig14a, run_fig14b, run_fig14c
 from repro.cache import ResultCache, cached, describe_cache, parse_cache_spec
-from repro.errors import CacheSpecError, FaultSpecError, MemSpecError
+from repro.config import JobsConfig
+from repro.errors import (
+    CacheSpecError,
+    FaultSpecError,
+    JobsSpecError,
+    MemSpecError,
+)
 from repro.faults import FaultSchedule, faults_injected
+from repro.jobs import describe_jobs, parse_jobs_spec
 from repro.mem import describe_memory, memory_managed, parse_mem_spec
 from repro.obs import Tracer, format_breakdown, tracing, write_chrome_trace
 from repro.sched import policy_catalogue, scheduling, valid_policy
@@ -119,6 +147,9 @@ QUICK_EXPERIMENTS = {
         num_docs=40, num_paragraphs=1, num_candidates=1500,
         universe_size=4000, num_tweets=40,
     ),
+    "fairshare": lambda: run_fairshare(
+        horizon_s=12.0, heavy_rate=14.0, light_rate=2.0
+    ),
 }
 
 #: Shown by the bare ``mem`` subcommand alongside the default policy.
@@ -148,6 +179,32 @@ FAULT_SPEC_HINT = """\
 spec grammar: seed=N[,tasks=N,operators=N,nodes=N,links=N,replicas=N,\
 ooms=N,horizon=S,outage=S,...] or a path to a schedule JSON
 example: --faults seed=7,tasks=2,nodes=1 (inspect with 'repro faults SPEC')"""
+
+#: Shown by the bare ``jobs`` subcommand alongside the default config.
+JOBS_SPEC_HELP = """\
+spec grammar: comma-separated flags and key=value pairs
+  on | off          run / don't run the traffic generator (default: off)
+  seed=N            traffic-generator seed (default 0)
+  rate=JOBS_PER_S   mean Poisson arrival rate (default 10)
+  horizon=SECONDS   arrival-generation horizon (default 60)
+  tenants=N         tenant population (default 4)
+  burst=F           burst amplitude: in-window rate x(1+F) (default 0)
+  burst_period=S    burst window period (default 300)
+  burst_duty=F      burst duty cycle, fraction of period (default 0.1)
+  diurnal=F         diurnal sine amplitude in [0,1] (default 0)
+  period=S          diurnal period (default 86400)
+  policy=NAME       admission ordering: fifo or drf (default drf)
+  placement=NAME    node placement policy, see 'repro sched' (default drf)
+  quota_running=N   per-tenant cap on concurrently running jobs
+  quota_cpus=N      per-tenant cap on concurrently held vCPUs
+  quota_ram=SIZE    per-tenant cap on concurrently held RAM
+  max_queue=N       queue capacity; beyond it submissions are rejected
+  cpus=N            per-job vCPU demand (default 1)
+  ram=SIZE          per-job RAM demand (default 1gib)
+  duration=SECONDS  mean profile-body duration (default 1.0)
+  body=NAME         job body, see repro.jobs.bodies (default profile)
+  admit=FRACTION    RAM backpressure watermark (default: memory policy's)
+example: --jobs on,rate=50,tenants=8,policy=drf,quota_running=4"""
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -210,6 +267,14 @@ def build_parser() -> argparse.ArgumentParser:
         "'on,cap=1gib,lookup=0.0001,...' (inspect with the 'cache' "
         "subcommand: 'repro cache SPEC')",
     )
+    parser.add_argument(
+        "--jobs",
+        metavar="SPEC",
+        default=None,
+        help="run the named experiments as jobs submitted through the "
+        "multi-tenant job service; SPEC is 'on,rate=50,policy=drf,...' "
+        "(inspect with the 'jobs' subcommand: 'repro jobs SPEC')",
+    )
     return parser
 
 
@@ -237,6 +302,215 @@ def _unknown_experiments_message(unknown: List[str], registry) -> str:
     return "\n".join(lines)
 
 
+# -- subcommand registry -------------------------------------------------------
+
+def _spec_error(context: str, exc: Exception, help_text: str) -> str:
+    """The one exit-2 formatter: who failed, why, and the grammar."""
+    return f"repro: {context}: {exc}\n{help_text}"
+
+
+def _handle_sched(spec: Optional[str]) -> int:
+    print(policy_catalogue())
+    return 0
+
+
+def _handle_mem(spec: Optional[str]) -> int:
+    if spec is None:
+        from repro.config import MemoryConfig
+
+        print(describe_memory(MemoryConfig()))
+        print()
+        print(MEM_SPEC_HELP)
+        return 0
+    print(describe_memory(parse_mem_spec(spec)))
+    return 0
+
+
+def _handle_cache(spec: Optional[str]) -> int:
+    if spec is None:
+        from repro.config import CacheConfig
+
+        print(describe_cache(CacheConfig()))
+        print()
+        print(CACHE_SPEC_HELP)
+        return 0
+    print(describe_cache(parse_cache_spec(spec)))
+    return 0
+
+
+def _handle_faults(spec: Optional[str]) -> int:
+    print(FaultSchedule.from_spec(spec).describe())
+    return 0
+
+
+def _handle_jobs(spec: Optional[str]) -> int:
+    if spec is None:
+        print(describe_jobs(JobsConfig()))
+        print()
+        print(JOBS_SPEC_HELP)
+        return 0
+    config = parse_jobs_spec(spec)
+    print(describe_jobs(config))
+    if config.enabled:
+        from repro.jobs import JobService
+
+        service = JobService(config)
+        summary = service.simulate()
+        print()
+        print(_jobs_summary(summary))
+        if not service.queue.drained:
+            print("repro: jobs: queue did not drain", file=sys.stderr)
+            return 1
+    return 0
+
+
+@dataclass(frozen=True)
+class Subcommand:
+    """One row of the dispatch table: an inspection subcommand."""
+
+    name: str
+    #: Usage line printed on arity errors (``repro: {name}: usage: {usage}``).
+    usage: str
+    #: ``"none"`` (no spec), ``"optional"`` or ``"required"``.
+    arity: str
+    #: ``args`` attribute consulted when no positional spec is given
+    #: (so ``repro faults --faults SPEC`` and friends keep working).
+    option: Optional[str]
+    handler: Callable[[Optional[str]], int]
+    #: Spec-error classes the handler may raise.
+    errors: Tuple[type, ...]
+    #: Grammar appended to spec errors by the shared formatter.
+    help_text: str
+
+
+SUBCOMMANDS = {
+    sub.name: sub
+    for sub in (
+        Subcommand(
+            "sched", "repro sched", "none", None, _handle_sched, (), ""
+        ),
+        Subcommand(
+            "mem", "repro mem [SPEC]", "optional", "mem",
+            _handle_mem, (MemSpecError,), MEM_SPEC_HELP,
+        ),
+        Subcommand(
+            "cache", "repro cache [SPEC]", "optional", "cache",
+            _handle_cache, (CacheSpecError,), CACHE_SPEC_HELP,
+        ),
+        Subcommand(
+            "faults", "repro faults SPEC", "required", "faults",
+            _handle_faults, (FaultSpecError,), FAULT_SPEC_HINT,
+        ),
+        Subcommand(
+            "jobs", "repro jobs [SPEC]", "optional", "jobs",
+            _handle_jobs, (JobsSpecError,), JOBS_SPEC_HELP,
+        ),
+    )
+}
+
+
+def _dispatch_subcommand(names: List[str], args) -> Optional[int]:
+    """Run ``names`` as a subcommand, or None when it is not one."""
+    if not names or names[0] not in SUBCOMMANDS:
+        return None
+    sub = SUBCOMMANDS[names[0]]
+    if len(names) > (1 if sub.arity == "none" else 2):
+        print(f"repro: {sub.name}: usage: {sub.usage}", file=sys.stderr)
+        return 2
+    spec = names[1] if len(names) == 2 else (
+        getattr(args, sub.option) if sub.option else None
+    )
+    if spec is None and sub.arity == "required":
+        print(f"repro: {sub.name}: usage: {sub.usage}", file=sys.stderr)
+        return 2
+    try:
+        return sub.handler(spec)
+    except sub.errors as exc:
+        print(_spec_error(sub.name, exc, sub.help_text), file=sys.stderr)
+        return 2
+
+
+#: ``--flag SPEC`` options sharing the exit-2 formatter: each row is
+#: (args attribute, parser, error classes, grammar).
+SPEC_OPTIONS = (
+    ("faults", FaultSchedule.from_spec, (FaultSpecError,), FAULT_SPEC_HINT),
+    ("mem", parse_mem_spec, (MemSpecError,), MEM_SPEC_HELP),
+    (
+        "cache",
+        lambda spec: ResultCache(parse_cache_spec(spec)),
+        (CacheSpecError,),
+        CACHE_SPEC_HELP,
+    ),
+    ("jobs", parse_jobs_spec, (JobsSpecError,), JOBS_SPEC_HELP),
+)
+
+
+def _jobs_summary(summary) -> str:
+    """Compact text rendering of :meth:`repro.jobs.JobService.summary`."""
+    counts = summary["counts"]
+
+    def seconds(value) -> str:
+        return "n/a" if value is None else f"{value:.3f}s"
+
+    lines = [
+        f"traffic: {summary['jobs']} jobs submitted, "
+        f"{summary['rejected']} rejected at capacity",
+        f"  terminal         {counts['completed']} completed, "
+        f"{counts['failed']} failed, {counts['cancelled']} cancelled",
+        f"  throughput       {summary['virtual_jobs_per_s']:.2f} jobs/s "
+        f"over {summary['virtual_makespan_s']:.2f}s (virtual)",
+        f"  queue latency    p50 {seconds(summary['p50_queue_s'])}, "
+        f"p99 {seconds(summary['p99_queue_s'])}",
+        f"  peak queue depth {summary['peak_queue_depth']}",
+    ]
+    for tenant, stats in summary["tenants"].items():
+        lines.append(
+            f"  {tenant:<16} {stats['completed']}/{stats['submitted']} "
+            f"completed, p99 queue {seconds(stats['p99_queue_s'])}"
+        )
+    return "\n".join(lines)
+
+
+def _run_experiments(names: List[str], registry, jobs_config) -> int:
+    """Run experiments directly, or as jobs when ``--jobs`` enables them."""
+    if jobs_config is None or not jobs_config.enabled:
+        for name in names:
+            print(registry[name]().to_text())
+            print()
+        return 0
+    from repro.jobs import JobResult, JobService, JobSpec
+
+    service = JobService(jobs_config)
+    for name in names:
+        fn = registry[name]
+        job = service.run_job(
+            JobSpec(
+                tenant="cli",
+                body="profile",
+                cpus=jobs_config.cpus,
+                ram_bytes=jobs_config.ram_bytes,
+                duration_s=jobs_config.duration_s,
+            ),
+            body_fn=lambda spec, fn=fn: JobResult(duration_s=0.0, value=fn()),
+        )
+        if job.state != "completed":
+            print(
+                f"repro: --jobs: job {job.job_id} ({name}) "
+                f"{job.state}: {job.error}",
+                file=sys.stderr,
+            )
+            return 1
+        print(job.result.value.to_text())
+        print()
+    counts = service.counts()
+    print(
+        f"jobs: {counts['completed']} of {len(service.queue)} completed "
+        f"through the job service (policy={jobs_config.policy}, "
+        f"placement={jobs_config.placement})"
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -246,12 +520,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(name)
         return 0
     names = list(args.experiments)
-    if names and names[0] == "sched":
-        if len(names) > 1:
-            print("repro: sched: usage: repro sched", file=sys.stderr)
-            return 2
-        print(policy_catalogue())
-        return 0
+    code = _dispatch_subcommand(names, args)
+    if code is not None:
+        return code
     if args.scheduler is not None and not valid_policy(args.scheduler):
         print(
             f"repro: --scheduler: unknown policy {args.scheduler!r}\n"
@@ -259,74 +530,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
         return 2
-    if names and names[0] == "mem":
-        if len(names) > 2:
-            print("repro: mem: usage: repro mem [SPEC]", file=sys.stderr)
-            return 2
-        spec = names[1] if len(names) == 2 else args.mem
-        if spec is None:
-            from repro.config import MemoryConfig
-
-            print(describe_memory(MemoryConfig()))
-            print()
-            print(MEM_SPEC_HELP)
-            return 0
+    parsed = {}
+    for attr, parse, errors, help_text in SPEC_OPTIONS:
+        raw = getattr(args, attr)
+        if raw is None:
+            continue
         try:
-            print(describe_memory(parse_mem_spec(spec)))
-        except MemSpecError as exc:
-            print(f"repro: mem: {exc}\n{MEM_SPEC_HELP}", file=sys.stderr)
+            parsed[attr] = parse(raw)
+        except errors as exc:
+            print(_spec_error(f"--{attr}", exc, help_text), file=sys.stderr)
             return 2
-        return 0
-    if names and names[0] == "cache":
-        if len(names) > 2:
-            print("repro: cache: usage: repro cache [SPEC]", file=sys.stderr)
-            return 2
-        spec = names[1] if len(names) == 2 else args.cache
-        if spec is None:
-            from repro.config import CacheConfig
-
-            print(describe_cache(CacheConfig()))
-            print()
-            print(CACHE_SPEC_HELP)
-            return 0
-        try:
-            print(describe_cache(parse_cache_spec(spec)))
-        except CacheSpecError as exc:
-            print(f"repro: cache: {exc}\n{CACHE_SPEC_HELP}", file=sys.stderr)
-            return 2
-        return 0
-    if names and names[0] == "faults":
-        spec = names[1] if len(names) == 2 else args.faults
-        if spec is None or len(names) > 2:
-            print("repro: faults: usage: repro faults SPEC", file=sys.stderr)
-            return 2
-        try:
-            print(FaultSchedule.from_spec(spec).describe())
-        except FaultSpecError as exc:
-            print(f"repro: faults: {exc}\n{FAULT_SPEC_HINT}", file=sys.stderr)
-            return 2
-        return 0
-    schedule = None
-    if args.faults is not None:
-        try:
-            schedule = FaultSchedule.from_spec(args.faults)
-        except FaultSpecError as exc:
-            print(f"repro: --faults: {exc}\n{FAULT_SPEC_HINT}", file=sys.stderr)
-            return 2
-    mem_config = None
-    if args.mem is not None:
-        try:
-            mem_config = parse_mem_spec(args.mem)
-        except MemSpecError as exc:
-            print(f"repro: --mem: {exc}\n{MEM_SPEC_HELP}", file=sys.stderr)
-            return 2
-    cache = None
-    if args.cache is not None:
-        try:
-            cache = ResultCache(parse_cache_spec(args.cache))
-        except CacheSpecError as exc:
-            print(f"repro: --cache: {exc}\n{CACHE_SPEC_HELP}", file=sys.stderr)
-            return 2
+    schedule = parsed.get("faults")
+    mem_config = parsed.get("mem")
+    cache = parsed.get("cache")
+    jobs_config = parsed.get("jobs")
     trace_mode = bool(names) and names[0] == "trace"
     if trace_mode:
         names = names[1:]
@@ -360,20 +577,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     cache_context = cached(cache) if cache is not None else nullcontext()
     if not trace_mode:
         with fault_context as injector, sched_context, mem_context, cache_context:
-            for name in names:
-                print(registry[name]().to_text())
-                print()
+            code = _run_experiments(names, registry, jobs_config)
         if injector is not None:
             print(_fault_summary(injector))
         if cache is not None:
             print(_cache_summary(cache))
-        return 0
+        return code
     tracer = Tracer()
     with fault_context as injector, tracing(tracer), sched_context, \
             mem_context, cache_context:
-        for name in names:
-            print(registry[name]().to_text())
-            print()
+        code = _run_experiments(names, registry, jobs_config)
     print(format_breakdown(tracer))
     if injector is not None:
         print(_fault_summary(injector))

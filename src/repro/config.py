@@ -361,6 +361,114 @@ class CacheConfig:
 
 
 @dataclass(frozen=True)
+class JobsConfig:
+    """Multi-tenant job service + traffic generator (``repro.jobs``).
+
+    With the default (``enabled=False``) the subsystem is completely
+    dormant: nothing in the engines consults it, and a single job
+    submitted by one tenant executes its body exactly like a direct
+    engine run — bit-identical outputs and virtual timings (pinned by
+    ``tests/jobs/test_timing_pin.py``).  Enabling it (CLI ``--jobs`` /
+    ``repro jobs SPEC``) drives a seeded open-loop traffic generator
+    through the :class:`repro.jobs.JobService` control plane.
+
+    Traffic shape: arrivals are a non-homogeneous Poisson process with
+    instantaneous rate ``rate_per_s`` modulated by a diurnal sine
+    (amplitude ``diurnal`` over ``diurnal_period_s``) and periodic
+    burst windows (the first ``burst_duty`` fraction of every
+    ``burst_period_s`` multiplies the rate by ``1 + burst``).
+    """
+
+    #: Master switch consulted by the CLI; the service itself runs
+    #: whenever it is constructed explicitly.
+    enabled: bool = False
+    #: Seed for the open-loop traffic generator.
+    seed: int = 0
+    #: Mean arrival rate in jobs per virtual second.
+    rate_per_s: float = 10.0
+    #: Arrival-generation horizon in virtual seconds.
+    horizon_s: float = 60.0
+    #: Tenant population; generated jobs draw tenants uniformly.
+    tenants: int = 4
+    #: Burst amplitude: inside a burst window the rate is ``x (1+burst)``.
+    burst: float = 0.0
+    #: Burst window period and duty cycle (fraction of the period).
+    burst_period_s: float = 300.0
+    burst_duty: float = 0.1
+    #: Diurnal amplitude in [0, 1]: rate ``x (1 + diurnal*sin(2pi t/T))``.
+    diurnal: float = 0.0
+    diurnal_period_s: float = 86400.0
+    #: Admission ordering across tenants: ``fifo`` or ``drf``
+    #: (weighted hierarchical dominant-resource fairness).
+    policy: str = "drf"
+    #: Placement policy (``repro.sched``) used to land admitted jobs on
+    #: cluster nodes; ``drf`` picks the node with the lowest dominant
+    #: resource share after placement.
+    placement: str = "drf"
+    #: Per-tenant quotas; ``None`` means unlimited.
+    quota_running: Optional[int] = None
+    quota_cpus: Optional[int] = None
+    quota_ram_bytes: Optional[int] = None
+    #: Queue capacity; submissions beyond it are rejected (open-loop
+    #: traffic counts them as ``jobs.rejected``).  ``None`` = unbounded.
+    max_queue: Optional[int] = None
+    #: Default per-job resource demand and profile duration.
+    cpus: int = 1
+    ram_bytes: int = 1 * GIB
+    duration_s: float = 1.0
+    #: Default job body (see :mod:`repro.jobs.bodies`).
+    body: str = "profile"
+    #: Admission backpressure watermark as a fraction of each node's
+    #: RAM ceiling; ``None`` reuses the resolved
+    #: :class:`MemoryConfig.admission_watermark` (``repro.mem``).
+    admission_watermark: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise ValueError(f"seed must be >= 0, got {self.seed}")
+        if self.rate_per_s <= 0:
+            raise ValueError(f"rate_per_s must be positive, got {self.rate_per_s}")
+        if self.horizon_s <= 0:
+            raise ValueError(f"horizon_s must be positive, got {self.horizon_s}")
+        if self.tenants < 1:
+            raise ValueError(f"tenants must be >= 1, got {self.tenants}")
+        if self.burst < 0:
+            raise ValueError(f"burst must be >= 0, got {self.burst}")
+        if self.burst_period_s <= 0 or not 0.0 < self.burst_duty <= 1.0:
+            raise ValueError(
+                f"burst window needs period > 0 and duty in (0, 1], got "
+                f"period={self.burst_period_s}, duty={self.burst_duty}"
+            )
+        if not 0.0 <= self.diurnal <= 1.0:
+            raise ValueError(f"diurnal must be in [0, 1], got {self.diurnal}")
+        if self.diurnal_period_s <= 0:
+            raise ValueError(
+                f"diurnal_period_s must be positive, got {self.diurnal_period_s}"
+            )
+        if self.policy not in ("fifo", "drf"):
+            raise ValueError(
+                f"policy must be 'fifo' or 'drf', got {self.policy!r}"
+            )
+        for name in ("quota_running", "quota_cpus", "quota_ram_bytes", "max_queue"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        if self.cpus < 1:
+            raise ValueError(f"cpus must be >= 1, got {self.cpus}")
+        if self.ram_bytes < 0:
+            raise ValueError(f"ram_bytes must be >= 0, got {self.ram_bytes}")
+        if self.duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {self.duration_s}")
+        if self.admission_watermark is not None and not (
+            0.0 < self.admission_watermark <= 1.0
+        ):
+            raise ValueError(
+                "admission_watermark must be in (0, 1], got "
+                f"{self.admission_watermark}"
+            )
+
+
+@dataclass(frozen=True)
 class ClusterTopologyConfig:
     """The paper's deployment: 1 coordinator + 4 worker machines."""
 
@@ -392,6 +500,10 @@ class ReproConfig:
     #: fully dormant; an explicitly installed cache
     #: (``repro.cache.cached``) takes precedence over this field.
     cache: CacheConfig = field(default_factory=CacheConfig)
+    #: Multi-tenant job-service policy (see :mod:`repro.jobs`).  The
+    #: default is fully dormant; an explicitly installed config
+    #: (``repro.jobs.jobs_enabled``) takes precedence over this field.
+    jobs: JobsConfig = field(default_factory=JobsConfig)
 
 
 DEFAULT_CONFIG = ReproConfig()

@@ -152,6 +152,34 @@ class UnknownPolicy(SchedError):
     """A placement-policy name that is not in the registry."""
 
 
+class JobsError(ReproError):
+    """Base class for the multi-tenant job service (``repro.jobs``)."""
+
+
+class JobsSpecError(JobsError):
+    """A ``--jobs`` spec string was malformed."""
+
+
+class UnknownJob(JobsError):
+    """A job id was referenced that the queue has never seen."""
+
+
+class UnknownJobBody(JobsError):
+    """A job named a body that is not in the registry."""
+
+
+class InvalidJobTransition(JobsError):
+    """A job state transition outside the state machine was attempted."""
+
+
+class JobQueueFull(JobsError):
+    """A submission was rejected because the queue is at capacity."""
+
+
+class JobBodyError(JobsError):
+    """A job body raised; the job moves to the ``failed`` state."""
+
+
 class MLError(ReproError):
     """Base class for model/tokenizer/training errors."""
 

@@ -12,6 +12,7 @@ E5          Recovery under injected faults (extension)  :func:`run_recovery`
 E6          Placement-policy comparison (extension)     :func:`run_scheduling`
 E7          Memory pressure: spill vs die (extension)   :func:`run_memory`
 E8          Result caching: cold vs warm (extension)    :func:`run_caching`
+E9          Fair-share admission: FIFO vs DRF (ext.)    :func:`run_fairshare`
 ==========  ==========================================  ======================
 
 Each returns an :class:`repro.metrics.ExperimentReport` holding the
@@ -20,6 +21,7 @@ measured values side by side with the paper's, rendered by
 """
 
 from repro.experiments.exp_caching import run_caching
+from repro.experiments.exp_fairshare import run_fairshare
 from repro.experiments.exp_language import run_table1
 from repro.experiments.exp_memory import run_memory
 from repro.experiments.exp_modularity import run_fig12a, run_fig12b
@@ -48,6 +50,7 @@ __all__ = [
     "run_scheduling",
     "run_memory",
     "run_caching",
+    "run_fairshare",
 ]
 
 ALL_EXPERIMENTS = {
@@ -65,4 +68,5 @@ ALL_EXPERIMENTS = {
     "scheduling": run_scheduling,
     "memory": run_memory,
     "caching": run_caching,
+    "fairshare": run_fairshare,
 }

@@ -1,0 +1,157 @@
+"""Multi-tenant job service: ``repro.jobs``.
+
+The paper compares the script and workflow paradigms one run at a
+time, but the systems it studies are *services*: Texera hosts many
+users' workflows on one shared deployment, and production script
+clusters (Ray, Snakemake farms) queue many tenants' pipelines onto
+shared machines.  ROADMAP names this the "millions of users" unlock.
+This package is that control plane, built from the layers beneath it:
+
+* :class:`JobSpec` / :class:`Job` — the submission model and its state
+  machine (``queued -> admitted -> running -> completed | failed |
+  cancelled``), JSON round-trippable;
+* :class:`JobQueue` — the persistent queue: submission-ordered,
+  optionally bounded, snapshot/resume through plain JSON files;
+* :class:`FairShare` — per-tenant quotas plus admission ordering
+  (``fifo`` or weighted hierarchical dominant-resource fairness);
+* :class:`TrafficGenerator` — a seeded open-loop arrival stream
+  (Poisson, diurnal sine, periodic bursts);
+* :class:`JobService` — the dispatcher tying them together: fair-share
+  ordering, quota checks, RAM backpressure at the :mod:`repro.mem`
+  admission watermark, placement through :mod:`repro.sched` (the
+  ``drf`` policy by default), ``jobs.*`` telemetry via
+  :mod:`repro.obs`.
+
+Enabling the service follows the pattern of every other layer:
+
+>>> from repro.jobs import jobs_enabled
+>>> with jobs_enabled("on,rate=50,tenants=8,policy=drf") as config:
+...     summary = JobService(config).simulate()
+
+or from the command line with ``python -m repro jobs SPEC`` /
+``--jobs SPEC`` (``python -m repro jobs`` prints the grammar).
+
+Dormant by default: nothing in the engines consults this package, and
+a single job submitted by one tenant runs its body on a fresh cluster
+exactly as a direct engine run would — bit-identical outputs and
+virtual timings, pinned by ``tests/jobs/test_timing_pin.py``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Union
+
+from repro.config import JobsConfig
+from repro.jobs.bodies import (
+    JobResult,
+    body_catalogue,
+    register_body,
+    resolve_body,
+)
+from repro.jobs.fairshare import FairShare, TenantAccount, tenant_levels
+from repro.jobs.model import (
+    ADMITTED,
+    CANCELLED,
+    COMPLETED,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    STATES,
+    TERMINAL_STATES,
+    Job,
+    JobSpec,
+)
+from repro.jobs.queue import JobQueue
+from repro.jobs.service import JobService, percentile
+from repro.jobs.spec import (
+    describe_jobs,
+    jobs_config_from_json,
+    jobs_config_to_json,
+    parse_jobs_spec,
+)
+from repro.jobs.traffic import Arrival, TrafficGenerator, merge_arrivals
+
+__all__ = [
+    "JobsConfig",
+    "JobSpec",
+    "Job",
+    "JobQueue",
+    "JobService",
+    "JobResult",
+    "FairShare",
+    "TenantAccount",
+    "tenant_levels",
+    "TrafficGenerator",
+    "Arrival",
+    "merge_arrivals",
+    "register_body",
+    "resolve_body",
+    "body_catalogue",
+    "parse_jobs_spec",
+    "describe_jobs",
+    "jobs_config_to_json",
+    "jobs_config_from_json",
+    "percentile",
+    "QUEUED",
+    "ADMITTED",
+    "RUNNING",
+    "COMPLETED",
+    "FAILED",
+    "CANCELLED",
+    "STATES",
+    "TERMINAL_STATES",
+    "install_jobs",
+    "uninstall_jobs",
+    "current_jobs_config",
+    "jobs_enabled",
+]
+
+#: The globally installed config, if any (see :func:`install_jobs`).
+_installed: Optional[JobsConfig] = None
+
+
+def _coerce(config_or_spec: Union[JobsConfig, str]) -> JobsConfig:
+    if isinstance(config_or_spec, JobsConfig):
+        return config_or_spec
+    return parse_jobs_spec(config_or_spec)
+
+
+def install_jobs(config_or_spec: Union[JobsConfig, str]) -> JobsConfig:
+    """Make a jobs config the session default.
+
+    Accepts a :class:`JobsConfig` or a spec string (validated eagerly,
+    so a typo fails at install time rather than mid-run).
+    """
+    global _installed
+    config = _coerce(config_or_spec)
+    _installed = config
+    return config
+
+
+def uninstall_jobs() -> None:
+    """Clear the globally installed config (back to the dormant default)."""
+    global _installed
+    _installed = None
+
+
+def current_jobs_config() -> Optional[JobsConfig]:
+    """The globally installed jobs config, or None."""
+    return _installed
+
+
+@contextmanager
+def jobs_enabled(config_or_spec: Union[JobsConfig, str]) -> Iterator[JobsConfig]:
+    """Install a jobs config for the duration of a ``with`` block.
+
+    >>> with jobs_enabled("on,rate=50") as config:
+    ...     summary = JobService(config).simulate()
+    """
+    global _installed
+    config = _coerce(config_or_spec)
+    previous = _installed
+    _installed = config
+    try:
+        yield config
+    finally:
+        _installed = previous

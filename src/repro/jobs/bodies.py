@@ -1,0 +1,166 @@
+"""Job bodies: what a job actually runs.
+
+A *body* is a callable ``body(spec) -> JobResult`` registered under a
+name; jobs reference bodies by name so queue snapshots stay plain JSON
+(a resumed queue re-resolves names through this registry).
+
+Two synthetic bodies ship built in:
+
+* ``profile`` — occupies the spec's resources for ``duration_s``
+  without computing anything; the workhorse of traffic simulations
+  and benchmarks.
+* ``fail`` — raises :class:`repro.errors.JobBodyError`; exercises the
+  ``failed`` leg of the state machine.
+
+Every paper task registers too (``gotta/script``, ``dice/workflow``,
+...), at the exact dataset scales pinned by
+``tests/obs/test_timing_regression.py`` — so a job running
+``dice/script`` measures the same virtual elapsed time as the seed's
+direct run, which is what the dormant-invariant test asserts.  Task
+bodies execute on their *own* fresh cluster (a job is a whole pipeline
+run, like one Texera workflow execution or one notebook submission);
+the measured ``elapsed_s`` then becomes the job's occupancy duration
+on the shared service cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import JobBodyError, UnknownJobBody
+from repro.jobs.model import JobSpec
+
+__all__ = [
+    "JobResult",
+    "register_body",
+    "resolve_body",
+    "body_catalogue",
+]
+
+
+@dataclass
+class JobResult:
+    """What a body hands back to the service.
+
+    ``duration_s`` is the virtual time the job occupies its node on
+    the *service* cluster; ``run`` carries a :class:`repro.tasks.base.TaskRun`
+    for task bodies; ``value`` is an arbitrary payload for ad-hoc
+    bodies.
+    """
+
+    duration_s: float
+    run: Any = None
+    value: Any = None
+
+
+#: name -> body callable.  Insertion order is catalogue order.
+_BODIES: Dict[str, Callable[[JobSpec], JobResult]] = {}
+
+
+def register_body(
+    name: str, fn: Optional[Callable[[JobSpec], JobResult]] = None
+):
+    """Register ``fn`` as the body named ``name`` (also a decorator).
+
+    >>> @register_body("noop")
+    ... def noop(spec):
+    ...     return JobResult(duration_s=spec.duration_s)
+    """
+    def install(fn: Callable[[JobSpec], JobResult]):
+        _BODIES[name] = fn
+        return fn
+
+    if fn is not None:
+        return install(fn)
+    return install
+
+
+def resolve_body(name: str) -> Callable[[JobSpec], JobResult]:
+    """Look a body up by name; raises :class:`UnknownJobBody`."""
+    try:
+        return _BODIES[name]
+    except KeyError:
+        raise UnknownJobBody(
+            f"no job body named {name!r}; have {sorted(_BODIES)}"
+        ) from None
+
+
+def body_catalogue() -> List[str]:
+    """Registered body names, synthetic bodies first."""
+    return list(_BODIES)
+
+
+# -- built-in synthetic bodies --------------------------------------------
+
+
+@register_body("profile")
+def _profile(spec: JobSpec) -> JobResult:
+    """Occupy the spec's resources for its duration; compute nothing."""
+    return JobResult(duration_s=spec.duration_s)
+
+
+@register_body("fail")
+def _fail(spec: JobSpec) -> JobResult:
+    """Deterministically fail (state-machine and telemetry exercise)."""
+    raise JobBodyError(f"body 'fail' failed deliberately (tenant {spec.tenant})")
+
+
+# -- paper-task bodies ------------------------------------------------------
+
+#: The pinned dataset scales of ``tests/obs/test_timing_regression.py``;
+#: running a task body at these scales reproduces SEED_TIMINGS exactly.
+_TASK_BODIES = {
+    "gotta/script": ("gotta", "script", 1),
+    "gotta/workflow": ("gotta", "workflow", 1),
+    "dice/script": ("dice", "script", 4),
+    "dice/workflow": ("dice", "workflow", 4),
+    "kge/script": ("kge", "script", None),
+    "kge/workflow": ("kge", "workflow", None),
+    "wef/script": ("wef", "script", None),
+    "wef/workflow": ("wef", "workflow", None),
+}
+
+
+def _task_dataset(task: str, scale):
+    # Imports are local so that importing repro.jobs never drags the
+    # whole task/dataset stack in for profile-only traffic runs.
+    if task == "gotta":
+        from repro.datasets.fsqa import generate_fsqa
+
+        return generate_fsqa(scale)
+    if task == "dice":
+        from repro.datasets.maccrobat import generate_maccrobat
+
+        return generate_maccrobat(scale)
+    if task == "kge":
+        from repro.tasks.kge.common import make_kge_dataset
+
+        return make_kge_dataset(300, universe_size=1000)
+    from repro.datasets.wildfire import generate_wildfire_tweets
+
+    return generate_wildfire_tweets(40)
+
+
+def _task_runner(task: str, paradigm: str):
+    import importlib
+
+    module = importlib.import_module(f"repro.tasks.{task}.{paradigm}")
+    return getattr(module, f"run_{task}_{paradigm}")
+
+
+def _make_task_body(task: str, paradigm: str, scale):
+    def body(spec: JobSpec) -> JobResult:
+        from repro.tasks.base import fresh_cluster
+
+        run = _task_runner(task, paradigm)(
+            fresh_cluster(), _task_dataset(task, scale)
+        )
+        return JobResult(duration_s=run.elapsed_s, run=run)
+
+    body.__name__ = f"body_{task}_{paradigm}"
+    return body
+
+
+for _name, (_task, _paradigm, _scale) in _TASK_BODIES.items():
+    register_body(_name, _make_task_body(_task, _paradigm, _scale))

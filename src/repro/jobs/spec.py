@@ -1,0 +1,199 @@
+"""Compact CLI specs for the job service: ``--jobs "on,rate=50,policy=drf"``.
+
+A spec is a comma-separated list of flags and ``key=value`` pairs,
+the same grammar family as ``--mem`` and ``--cache``:
+
+==================  ====================================================
+``on``              run the traffic generator through the service
+``off``             keep the subsystem dormant (the default)
+``seed=N``          traffic-generator seed (0)
+``rate=F``          mean arrival rate, jobs per virtual second (10)
+``horizon=F``       arrival-generation horizon, virtual seconds (60)
+``tenants=N``       tenant population, drawn uniformly (4)
+``burst=F``         burst amplitude; in-window rate is ``x (1+burst)``
+``burst_period=F``  burst window period, seconds (300)
+``burst_duty=F``    burst duty cycle, fraction of the period (0.1)
+``diurnal=F``       diurnal sine amplitude in [0, 1] (0)
+``period=F``        diurnal period, seconds (86400)
+``policy=P``        admission ordering: ``fifo`` or ``drf`` (drf)
+``placement=P``     node placement policy (``repro.sched``; drf)
+``quota_running=N`` per-tenant cap on concurrently running jobs
+``quota_cpus=N``    per-tenant cap on concurrently held vCPUs
+``quota_ram=SIZE``  per-tenant cap on concurrently held RAM
+``max_queue=N``     queue capacity; beyond it submissions are rejected
+``cpus=N``          per-job vCPU demand (1)
+``ram=SIZE``        per-job RAM demand (``1GiB``)
+``duration=F``      mean profile-body duration, seconds (1.0)
+``body=NAME``       job body (``profile``; see ``repro.jobs.bodies``)
+``admit=F``         admission backpressure watermark override
+==================  ====================================================
+
+Sizes accept the binary suffixes of ``--mem`` (``2GiB``, ``512MiB``).
+``repro jobs SPEC`` prints the configuration a spec expands to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, replace
+from typing import Any, Dict
+
+from repro.config import JobsConfig
+from repro.errors import JobsSpecError, MemSpecError
+from repro.mem.spec import format_size, parse_size
+from repro.sched import valid_policy
+
+__all__ = [
+    "parse_jobs_spec",
+    "describe_jobs",
+    "jobs_config_to_json",
+    "jobs_config_from_json",
+]
+
+
+def _parse_jobs_size(text: str) -> int:
+    """``parse_size`` with the error rebranded for the ``--jobs`` matrix."""
+    try:
+        return parse_size(text)
+    except MemSpecError as exc:
+        raise JobsSpecError(str(exc)) from None
+
+
+def parse_jobs_spec(spec: str) -> JobsConfig:
+    """Parse a ``--jobs`` spec string into a :class:`JobsConfig`.
+
+    >>> parse_jobs_spec("on,rate=50,tenants=8").rate_per_s
+    50.0
+    """
+    text = spec.strip()
+    if not text:
+        raise JobsSpecError("empty jobs spec")
+    kwargs: Dict[str, Any] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            raise JobsSpecError(f"empty fragment in jobs spec {spec!r}")
+        if "=" not in part:
+            flag = part.lower()
+            if flag == "on":
+                kwargs["enabled"] = True
+            elif flag == "off":
+                kwargs["enabled"] = False
+            else:
+                raise JobsSpecError(
+                    f"unknown jobs spec flag {part!r} (want 'on', 'off' or "
+                    "key=value)"
+                )
+            continue
+        key, _, value = part.partition("=")
+        key = key.strip().lower()
+        value = value.strip()
+        try:
+            if key == "seed":
+                kwargs["seed"] = int(value)
+            elif key == "rate":
+                kwargs["rate_per_s"] = float(value)
+            elif key == "horizon":
+                kwargs["horizon_s"] = float(value)
+            elif key == "tenants":
+                kwargs["tenants"] = int(value)
+            elif key == "burst":
+                kwargs["burst"] = float(value)
+            elif key == "burst_period":
+                kwargs["burst_period_s"] = float(value)
+            elif key == "burst_duty":
+                kwargs["burst_duty"] = float(value)
+            elif key == "diurnal":
+                kwargs["diurnal"] = float(value)
+            elif key == "period":
+                kwargs["diurnal_period_s"] = float(value)
+            elif key == "policy":
+                kwargs["policy"] = value
+            elif key == "placement":
+                if not valid_policy(value):
+                    raise JobsSpecError(
+                        f"unknown placement policy {value!r} "
+                        "(see 'repro sched' for the catalogue)"
+                    )
+                kwargs["placement"] = value
+            elif key == "quota_running":
+                kwargs["quota_running"] = int(value)
+            elif key == "quota_cpus":
+                kwargs["quota_cpus"] = int(value)
+            elif key == "quota_ram":
+                kwargs["quota_ram_bytes"] = _parse_jobs_size(value)
+            elif key == "max_queue":
+                kwargs["max_queue"] = int(value)
+            elif key == "cpus":
+                kwargs["cpus"] = int(value)
+            elif key == "ram":
+                kwargs["ram_bytes"] = _parse_jobs_size(value)
+            elif key == "duration":
+                kwargs["duration_s"] = float(value)
+            elif key == "body":
+                kwargs["body"] = value
+            elif key == "admit":
+                kwargs["admission_watermark"] = float(value)
+            else:
+                raise JobsSpecError(f"unknown jobs spec key {key!r}")
+        except ValueError:
+            raise JobsSpecError(
+                f"bad value for jobs spec key {key!r}: {value!r}"
+            ) from None
+    try:
+        return replace(JobsConfig(), **kwargs)
+    except ValueError as exc:
+        raise JobsSpecError(str(exc)) from None
+
+
+def jobs_config_to_json(config: JobsConfig) -> Dict[str, Any]:
+    """Plain-JSON dump of a config (service snapshots)."""
+    return asdict(config)
+
+
+def jobs_config_from_json(doc: Dict[str, Any]) -> JobsConfig:
+    """Inverse of :func:`jobs_config_to_json` (validates on construction)."""
+    return JobsConfig(**doc)
+
+
+def _fmt_quota(value, size: bool = False) -> str:
+    if value is None:
+        return "unlimited"
+    return format_size(value) if size else str(value)
+
+
+def describe_jobs(config: JobsConfig) -> str:
+    """Aligned text description of a jobs config (the CLI's output)."""
+    shape = []
+    if config.burst > 0.0:
+        shape.append(
+            f"bursts x{1 + config.burst:g} for {config.burst_duty:.0%} of "
+            f"every {config.burst_period_s:g}s"
+        )
+    if config.diurnal > 0.0:
+        shape.append(
+            f"diurnal +/-{config.diurnal:.0%} over {config.diurnal_period_s:g}s"
+        )
+    lines = [
+        "job service: "
+        + ("traffic generator ON" if config.enabled else "dormant (seed path)"),
+        f"  arrivals           Poisson {config.rate_per_s:g}/s for "
+        f"{config.horizon_s:g}s (seed {config.seed})",
+        f"  shape              {'; '.join(shape) if shape else 'flat'}",
+        f"  tenants            {config.tenants}",
+        f"  admission          {config.policy} ordering, "
+        f"placement={config.placement}",
+        f"  quotas/tenant      running={_fmt_quota(config.quota_running)}, "
+        f"cpus={_fmt_quota(config.quota_cpus)}, "
+        f"ram={_fmt_quota(config.quota_ram_bytes, size=True)}",
+        f"  queue capacity     {_fmt_quota(config.max_queue)}",
+        f"  job demand         {config.cpus} vCPU, "
+        f"{format_size(config.ram_bytes) if config.ram_bytes else '0B'}, "
+        f"body={config.body} (~{config.duration_s:g}s)",
+        f"  admit watermark    "
+        + (
+            f"{config.admission_watermark:.0%} of node RAM"
+            if config.admission_watermark is not None
+            else "from memory policy (repro.mem)"
+        ),
+    ]
+    return "\n".join(lines)

@@ -8,7 +8,7 @@ actor placement, and the workflow engine's operator-instance layout.
 
 * :class:`PlacementPolicy` — the strategy interface, with a catalogue
   of implementations (``round_robin``, ``least_loaded``, ``locality``,
-  ``packed``, ``spread``; see :mod:`repro.sched.policy`);
+  ``packed``, ``spread``, ``drf``; see :mod:`repro.sched.policy`);
 * :class:`Scheduler` — one per engine session; owns per-node load
   accounts, filters candidates through the fault injector's outage
   windows, and emits every decision to the observability layer.
@@ -38,6 +38,7 @@ from typing import Iterator, Optional
 from repro.sched.policy import (
     DEFAULT_POLICY,
     POLICIES,
+    DrfPolicy,
     LeastLoadedPolicy,
     LocalityPolicy,
     PackedPolicy,
@@ -59,6 +60,7 @@ __all__ = [
     "LocalityPolicy",
     "PackedPolicy",
     "SpreadPolicy",
+    "DrfPolicy",
     "NodeAccount",
     "Scheduler",
     "POLICIES",

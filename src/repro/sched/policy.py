@@ -36,6 +36,13 @@ The catalogue:
 ``spread``
     Placement-group ``SPREAD``: balance *cumulative* placements across
     healthy nodes — a fault-aware round-robin.
+``drf``
+    Dominant-resource-fairness placement for resource-shaped requests
+    (the job service's ``job`` kind): land the request on the healthy
+    node whose *dominant* resource share — the larger of vCPU and RAM
+    utilization — would be lowest after placement.  A resources-aware
+    ``least_loaded`` that keeps heterogeneous demands (CPU-heavy vs
+    RAM-heavy jobs) from piling onto one node.
 """
 
 from __future__ import annotations
@@ -57,6 +64,7 @@ __all__ = [
     "LocalityPolicy",
     "PackedPolicy",
     "SpreadPolicy",
+    "DrfPolicy",
     "POLICIES",
     "DEFAULT_POLICY",
     "make_policy",
@@ -68,7 +76,9 @@ __all__ = [
 #: Placement kinds that advance the shared round-robin counter — the
 #: seed incremented one counter per task submission, actor creation and
 #: operator-instance layout; retries and reconstructions did not.
-COUNTED_KINDS = ("task", "actor", "operator")
+#: ``job`` placements (the ``repro.jobs`` control plane) run on their
+#: own scheduler session and count like fresh submissions.
+COUNTED_KINDS = ("task", "actor", "operator", "job")
 
 
 def round_robin_index(index: int, num_workers: int) -> int:
@@ -95,6 +105,9 @@ class PlacementRequest:
         "worker_index",
         "num_workers",
         "cache_node",
+        "tenant",
+        "cpus",
+        "ram_bytes",
         "index",
     )
 
@@ -108,8 +121,18 @@ class PlacementRequest:
         worker_index: int = 0,
         num_workers: int = 1,
         cache_node: Optional[str] = None,
+        tenant: str = "",
+        cpus: int = 1,
+        ram_bytes: int = 0,
     ) -> None:
-        if kind not in ("task", "actor", "retry", "reconstruction", "operator"):
+        if kind not in (
+            "task",
+            "actor",
+            "retry",
+            "reconstruction",
+            "operator",
+            "job",
+        ):
             raise ValueError(f"unknown placement kind: {kind!r}")
         self.kind = kind
         self.label = label
@@ -126,6 +149,13 @@ class PlacementRequest:
         #: locality policy consults it; the default policy stays
         #: seed-identical.
         self.cache_node = cache_node
+        #: Submitting tenant (``repro.jobs``) — fairness bookkeeping
+        #: only; no built-in policy keys placement on it directly.
+        self.tenant = tenant
+        #: Resource demand of the placement (``job`` kind); the DRF
+        #: policy turns these into post-placement dominant shares.
+        self.cpus = cpus
+        self.ram_bytes = ram_bytes
         #: Monotonic placement position, filled in by the scheduler.
         self.index = 0
 
@@ -320,6 +350,45 @@ class SpreadPolicy(PlacementPolicy):
         )
 
 
+class DrfPolicy(PlacementPolicy):
+    """Dominant-resource-fairness placement (resource-aware balance).
+
+    For a request demanding ``cpus`` vCPUs and ``ram_bytes`` RAM, each
+    healthy node's *dominant share after placement* is the larger of
+    its vCPU and RAM utilization once the demand lands there; the node
+    with the lowest dominant share wins.  Demands the job service fills
+    in make this the placement half of DRF — admission *ordering*
+    across tenants is the fair-share half (``repro.jobs.FairShare``).
+
+    Requests without a RAM demand degrade to CPU-utilization balance,
+    so the policy is safe for plain engine placements too.
+    """
+
+    name = "drf"
+    description = (
+        "lowest dominant resource share (vCPU vs RAM) after placement (jobs)"
+    )
+
+    def choose(self, request: PlacementRequest, sched: "Scheduler") -> "Node":
+        def dominant_share_after(node: "Node") -> float:
+            cpu_share = (node.cpus.in_use + request.cpus) / node.num_cpus
+            ram_share = (
+                (node.ram_used + request.ram_bytes) / node.ram_limit
+                if node.ram_limit > 0
+                else 0.0
+            )
+            return max(cpu_share, ram_share)
+
+        return min(
+            sched.healthy_workers(),
+            key=lambda node: (
+                dominant_share_after(node),
+                sched.accounts[node.name].outstanding,
+                sched.worker_position(node.name),
+            ),
+        )
+
+
 #: Name -> class, in the order the ``repro sched`` listing prints.
 POLICIES: Dict[str, Type[PlacementPolicy]] = {
     policy.name: policy
@@ -329,6 +398,7 @@ POLICIES: Dict[str, Type[PlacementPolicy]] = {
         LocalityPolicy,
         PackedPolicy,
         SpreadPolicy,
+        DrfPolicy,
     )
 }
 

@@ -1,10 +1,10 @@
 """Every bad spec exits 2 with the relevant grammar on stderr.
 
-One matrix over the four installable subsystems (``--faults``,
-``--scheduler``, ``--mem``, ``--cache``) and their inspection
-subcommands: a typo'd spec must never produce a traceback or a bare
-one-line error — the user gets exit code 2 plus the spec grammar (or
-the policy catalogue) so the fix is on screen.
+One matrix over the five installable subsystems (``--faults``,
+``--scheduler``, ``--mem``, ``--cache``, ``--jobs``) and their
+inspection subcommands: a typo'd spec must never produce a traceback
+or a bare one-line error — the user gets exit code 2 plus the spec
+grammar (or the policy catalogue) so the fix is on screen.
 """
 
 import pytest
@@ -12,6 +12,7 @@ import pytest
 from repro.cli import (
     CACHE_SPEC_HELP,
     FAULT_SPEC_HINT,
+    JOBS_SPEC_HELP,
     MEM_SPEC_HELP,
     main,
 )
@@ -35,6 +36,10 @@ def run_cli(capsys, *argv):
         ("--cache", "cap=lots", CACHE_SPEC_HELP),
         ("--faults", "seed=banana", FAULT_SPEC_HINT),
         ("--faults", "bogus=1", FAULT_SPEC_HINT),
+        ("--jobs", "banana", JOBS_SPEC_HELP),
+        ("--jobs", "rate=lots", JOBS_SPEC_HELP),
+        ("--jobs", "quota_ram=lots", JOBS_SPEC_HELP),
+        ("--jobs", "placement=banana", JOBS_SPEC_HELP),
     ],
 )
 def test_bad_option_spec_exits_2_with_grammar(capsys, option, spec, hint):
@@ -62,6 +67,8 @@ def test_unknown_scheduler_exits_2_with_catalogue(capsys):
         ("mem", "banana", MEM_SPEC_HELP),
         ("cache", "banana", CACHE_SPEC_HELP),
         ("faults", "seed=banana", FAULT_SPEC_HINT),
+        ("jobs", "banana", JOBS_SPEC_HELP),
+        ("jobs", "policy=sjf", JOBS_SPEC_HELP),
     ],
 )
 def test_bad_subcommand_spec_exits_2_with_grammar(capsys, subcommand, spec, hint):
@@ -99,6 +106,8 @@ def test_faults_missing_file_exits_2(tmp_path, capsys):
         (("cache", "on,cap=1gib"), "ON"),
         (("sched",), "round_robin"),
         (("faults", "seed=7,tasks=1"), "seed"),
+        (("jobs",), "dormant"),
+        (("jobs", "off,rate=50"), "dormant"),
     ],
 )
 def test_good_subcommand_specs_exit_0(capsys, argv, expect):

@@ -1,0 +1,98 @@
+"""Traffic generator: determinism, rate shape, thinning correctness."""
+
+from dataclasses import replace
+
+from repro.config import JobsConfig
+from repro.jobs import Arrival, JobSpec, TrafficGenerator, merge_arrivals
+
+BASE = JobsConfig(seed=7, rate_per_s=20.0, horizon_s=10.0, tenants=3)
+
+
+def test_same_seed_same_arrivals():
+    assert TrafficGenerator(BASE).arrivals() == TrafficGenerator(BASE).arrivals()
+
+
+def test_different_seed_different_arrivals():
+    other = replace(BASE, seed=8)
+    assert TrafficGenerator(BASE).arrivals() != TrafficGenerator(other).arrivals()
+
+
+def test_arrivals_ordered_within_horizon_with_sane_count():
+    arrivals = TrafficGenerator(BASE).arrivals()
+    times = [a.time_s for a in arrivals]
+    assert times == sorted(times)
+    assert all(0.0 < t < BASE.horizon_s for t in times)
+    # ~200 expected; Poisson noise stays well inside a factor of two.
+    assert 100 < len(arrivals) < 400
+
+
+def test_specs_draw_from_the_config():
+    arrivals = TrafficGenerator(BASE).arrivals()
+    tenants = {a.spec.tenant for a in arrivals}
+    assert tenants <= {f"tenant-{i}" for i in range(BASE.tenants)}
+    assert len(tenants) > 1  # really spread over the population
+    assert all(a.spec.duration_s > 0.0 for a in arrivals)
+    assert all(a.spec.cpus == BASE.cpus for a in arrivals)
+    assert all(a.spec.body == BASE.body for a in arrivals)
+
+
+# -- rate shape ---------------------------------------------------------------
+
+
+def test_flat_config_rate_is_constant():
+    gen = TrafficGenerator(BASE)
+    assert gen.rate_at(0.0) == gen.rate_at(5.0) == BASE.rate_per_s
+    assert gen.peak_rate == BASE.rate_per_s
+
+
+def test_burst_window_multiplies_the_rate():
+    config = replace(
+        BASE, burst=2.0, burst_period_s=100.0, burst_duty=0.1
+    )
+    gen = TrafficGenerator(config)
+    assert gen.in_burst(5.0) and not gen.in_burst(50.0)
+    assert gen.in_burst(105.0)  # windows repeat every period
+    assert gen.rate_at(5.0) == 60.0
+    assert gen.rate_at(50.0) == 20.0
+
+
+def test_diurnal_sine_modulates_the_rate():
+    config = replace(BASE, diurnal=0.5, diurnal_period_s=100.0)
+    gen = TrafficGenerator(config)
+    assert gen.rate_at(25.0) == 30.0  # sine peak: x1.5
+    assert abs(gen.rate_at(75.0) - 10.0) < 1e-9  # trough: x0.5
+    assert gen.rate_at(0.0) == 20.0
+
+
+def test_peak_rate_bounds_the_instantaneous_rate():
+    config = replace(
+        BASE, burst=1.5, burst_period_s=60.0, burst_duty=0.2,
+        diurnal=0.8, diurnal_period_s=40.0,
+    )
+    gen = TrafficGenerator(config)
+    for t in range(0, 120):
+        assert gen.rate_at(float(t)) <= gen.peak_rate + 1e-9
+
+
+def test_bursty_config_still_deterministic_and_denser():
+    config = replace(BASE, burst=3.0, burst_period_s=5.0, burst_duty=0.5)
+    first = TrafficGenerator(config).arrivals()
+    assert first == TrafficGenerator(config).arrivals()
+    assert len(first) > len(TrafficGenerator(BASE).arrivals())
+
+
+# -- merging ------------------------------------------------------------------
+
+
+def test_merge_orders_by_time():
+    a = [Arrival(1.0, JobSpec(tenant="a")), Arrival(3.0, JobSpec(tenant="a"))]
+    b = [Arrival(2.0, JobSpec(tenant="b"))]
+    merged = merge_arrivals(a, b)
+    assert [arrival.spec.tenant for arrival in merged] == ["a", "b", "a"]
+
+
+def test_merge_ties_break_by_stream_position():
+    a = [Arrival(1.0, JobSpec(tenant="a"))]
+    b = [Arrival(1.0, JobSpec(tenant="b"))]
+    assert [x.spec.tenant for x in merge_arrivals(a, b)] == ["a", "b"]
+    assert [x.spec.tenant for x in merge_arrivals(b, a)] == ["b", "a"]

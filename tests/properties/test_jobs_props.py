@@ -1,0 +1,109 @@
+"""Properties of the job service: multiplexing changes *when*, never *what*.
+
+Two contracts, sampled over admission policy, placement policy, quota
+configuration, engine paradigm and injected fault schedules:
+
+* **dormant invariant**: a task run submitted as a job produces output
+  rows and a virtual elapsed time identical to running the task
+  directly — under any quota/fair-share config and any fault schedule
+  (the body executes on its own fresh cluster either way);
+* **conservation**: open-loop traffic always drains to terminal
+  states, and jobs are conserved — every submission ends completed,
+  failed or cancelled, with rejections only ever caused by an explicit
+  queue bound.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import JobsConfig
+from repro.datasets.maccrobat import generate_maccrobat
+from repro.faults import FaultSchedule, faults_injected
+from repro.jobs import JobService, JobSpec
+from repro.tasks.base import fresh_cluster
+from repro.tasks.dice.script import run_dice_script
+from repro.tasks.dice.workflow import run_dice_workflow
+
+configs = st.builds(
+    JobsConfig,
+    policy=st.sampled_from(["fifo", "drf"]),
+    placement=st.sampled_from(["round_robin", "least_loaded", "drf"]),
+    quota_running=st.one_of(st.none(), st.integers(1, 3)),
+    quota_cpus=st.one_of(st.none(), st.just(8)),
+)
+
+schedules = st.one_of(
+    st.none(),  # a clean run is a degenerate schedule
+    st.builds(
+        FaultSchedule.generate,
+        seed=st.integers(0, 2**16),
+        horizon_s=st.just(8.0),
+        tasks=st.integers(0, 2),
+        operators=st.integers(0, 2),
+        nodes=st.integers(0, 1),
+        replicas=st.integers(0, 1),
+    ),
+)
+
+RUNNERS = {
+    "dice/script": run_dice_script,
+    "dice/workflow": run_dice_workflow,
+}
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    config=configs,
+    body=st.sampled_from(sorted(RUNNERS)),
+    schedule=schedules,
+)
+def test_job_outputs_equal_direct_task_run(config, body, schedule):
+    def both():
+        direct = RUNNERS[body](fresh_cluster(), generate_maccrobat(4))
+        job = JobService(config).run_job(JobSpec(body=body))
+        return direct, job
+
+    if schedule is not None:
+        with faults_injected(schedule):
+            direct, job = both()
+    else:
+        direct, job = both()
+    assert job.state == "completed", job.error
+    assert job.result.run.output.rows == direct.output.rows
+    assert job.result.run.elapsed_s == direct.elapsed_s
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    config=st.builds(
+        JobsConfig,
+        enabled=st.just(True),
+        seed=st.integers(0, 2**16),
+        rate_per_s=st.floats(5.0, 40.0),
+        horizon_s=st.just(4.0),
+        tenants=st.integers(1, 6),
+        cpus=st.integers(1, 8),
+        duration_s=st.floats(0.1, 1.0),
+        burst=st.floats(0.0, 2.0),
+        burst_period_s=st.just(2.0),
+        diurnal=st.floats(0.0, 1.0),
+        diurnal_period_s=st.just(8.0),
+        policy=st.sampled_from(["fifo", "drf"]),
+        placement=st.sampled_from(["round_robin", "least_loaded", "drf"]),
+        quota_running=st.one_of(st.none(), st.integers(1, 4)),
+        max_queue=st.one_of(st.none(), st.integers(10, 50)),
+    )
+)
+def test_traffic_always_drains_and_conserves_jobs(config):
+    service = JobService(config)
+    summary = service.simulate()
+    counts = summary["counts"]
+    assert service.queue.drained
+    assert counts["queued"] == counts["admitted"] == counts["running"] == 0
+    terminal = counts["completed"] + counts["failed"] + counts["cancelled"]
+    assert terminal == summary["jobs"]
+    assert counts["failed"] == 0  # profile bodies never fail
+    if config.max_queue is None:
+        assert summary["rejected"] == 0
+    per_tenant = sum(s["submitted"] for s in summary["tenants"].values())
+    assert per_tenant == summary["jobs"]

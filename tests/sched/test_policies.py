@@ -65,6 +65,7 @@ def test_registry_and_default():
         "locality",
         "packed",
         "spread",
+        "drf",
     }
     for name in POLICIES:
         assert valid_policy(name)
@@ -250,3 +251,45 @@ def test_spread_skips_down_nodes():
     sched = make_scheduler("spread", down={"worker-1"})
     chosen = [sched.place(PlacementRequest(kind="task")).name for _ in range(3)]
     assert chosen == ["worker-0", "worker-2", "worker-3"]
+
+
+# -- drf ---------------------------------------------------------------------
+
+
+def test_drf_without_resource_pressure_is_position_stable():
+    # Idle cluster, zero RAM demand: every node's dominant share ties,
+    # so outstanding then worker position decide — worker-0 first.
+    sched = make_scheduler("drf")
+    first = sched.place(PlacementRequest(kind="job", cpus=1))
+    second = sched.place(PlacementRequest(kind="job", cpus=1))
+    assert first.name == "worker-0"
+    # worker-0 now has 1 outstanding, so the tie moves to worker-1.
+    assert second.name == "worker-1"
+
+
+def test_drf_avoids_the_ram_loaded_node():
+    sched = make_scheduler("drf")
+    half = sched.workers[0].ram_limit // 2
+    sched.workers[0].allocate_ram(half)  # worker-0: RAM share 0.5
+    node = sched.place(
+        PlacementRequest(kind="job", cpus=1, ram_bytes=1)
+    )
+    assert node.name == "worker-1"
+
+
+def test_drf_dominant_share_weighs_cpu_against_ram():
+    # worker-0 is RAM-heavy (0.5 RAM share); worker-1..3 get CPU load
+    # heavier than that, so the RAM-loaded node becomes the minimum
+    # again: DRF compares the *larger* of the two shares per node.
+    sched = make_scheduler("drf")
+    sched.workers[0].allocate_ram(sched.workers[0].ram_limit // 2)
+    for worker in sched.workers[1:]:
+        worker.env.process(worker.compute(1.0, cores=6))
+    sched.cluster.env.run(until=0.5)  # mid-compute: 6/8 vCPUs in use
+    node = sched.place(PlacementRequest(kind="job", cpus=1, ram_bytes=1))
+    assert node.name == "worker-0"
+
+
+def test_drf_skips_down_nodes():
+    sched = make_scheduler("drf", down={"worker-0"})
+    assert sched.place(PlacementRequest(kind="job")).name == "worker-1"
