@@ -20,6 +20,7 @@ from __future__ import annotations
 import hashlib
 import pickle
 from typing import Any, Iterable
+from weakref import WeakKeyDictionary
 
 __all__ = [
     "combine",
@@ -98,6 +99,27 @@ def fingerprint_value(value: Any, _depth: int = 0) -> str:
     return _digest([type(value).__qualname__.encode("utf-8"), payload])
 
 
+#: Memoised immutable byte parts per code object.  ``repr(co_consts)``
+#: dominates fingerprinting cost on submit-heavy runs; code objects are
+#: immutable, so the derived bytes never go stale.  Keyed weakly so
+#: short-lived lambdas don't accumulate.  Function-level attributes
+#: (``__module__``/``__qualname__``/defaults/closures) are *not* cached
+#: here — they are mutable and hashed fresh on every call.
+_CODE_PARTS: "WeakKeyDictionary[Any, tuple]" = WeakKeyDictionary()
+
+
+def _code_parts(code: Any) -> tuple:
+    parts = _CODE_PARTS.get(code)
+    if parts is None:
+        parts = (
+            code.co_code,
+            repr(code.co_consts).encode("utf-8", "backslashreplace"),
+            repr(code.co_names).encode("utf-8"),
+        )
+        _CODE_PARTS[code] = parts
+    return parts
+
+
 def fingerprint_function(fn: Any) -> str:
     """Fingerprint a callable by structure, not identity.
 
@@ -141,9 +163,7 @@ def fingerprint_function(fn: Any) -> str:
         b"function",
         getattr(fn, "__module__", "?").encode("utf-8"),
         getattr(fn, "__qualname__", "?").encode("utf-8"),
-        code.co_code,
-        repr(code.co_consts).encode("utf-8", "backslashreplace"),
-        repr(code.co_names).encode("utf-8"),
+        *_code_parts(code),
     ]
     defaults = getattr(fn, "__defaults__", None) or ()
     for default in defaults:

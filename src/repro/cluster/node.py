@@ -74,7 +74,15 @@ class Node:
             raise InsufficientResources(
                 f"node {self.name!r} has {self.num_cpus} vCPUs, requested {cores}"
             )
-        yield self.cpus.request(cores)
+        request = self.cpus.request(cores)
+        try:
+            yield request
+        except BaseException:
+            # The waiting process was killed (fault injection, abort,
+            # interpreter teardown): withdraw the request so it neither
+            # blocks the vCPU FIFO nor — if already granted — leaks cores.
+            request.cancel()
+            raise
         try:
             yield self.env.timeout(duration_s)
             self.busy_seconds += duration_s * cores

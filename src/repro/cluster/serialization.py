@@ -37,6 +37,13 @@ class Sized:
         raise NotImplementedError
 
 
+#: Exact-type dispatch for the scalar cases — the bulk of calls on the
+#: per-row engine paths.  Exact types cannot be :class:`Sized`
+#: subclasses, so the shortcut returns the same sizes as the
+#: isinstance chain below (which still handles subclasses).
+_SCALAR_SIZES = {type(None): 4, bool: 4, int: 8, float: 8}
+
+
 def estimate_bytes(obj: Any) -> int:
     """Estimate the serialized size of ``obj`` in bytes.
 
@@ -44,6 +51,17 @@ def estimate_bytes(obj: Any) -> int:
     the object's shape and content lengths, never on interpreter
     internals, so simulated timings are stable across Python versions.
     """
+    cls = type(obj)
+    size = _SCALAR_SIZES.get(cls)
+    if size is not None:
+        return size
+    if cls is tuple or cls is list:
+        total = _OBJECT_OVERHEAD
+        for item in obj:
+            total += _ENTRY_OVERHEAD + estimate_bytes(item)
+        return total
+    if cls is str:
+        return _OBJECT_OVERHEAD + len(obj)
     if obj is None:
         return 4
     if isinstance(obj, Sized):

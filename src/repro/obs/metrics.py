@@ -122,6 +122,8 @@ class Histogram:
 class MetricsRegistry:
     """Get-or-create store of instruments, deterministic iteration order."""
 
+    __slots__ = ("_instruments",)
+
     def __init__(self) -> None:
         self._instruments: Dict[Tuple[str, str, LabelKey], Any] = {}
 
@@ -137,7 +139,9 @@ class MetricsRegistry:
         return self._get_or_create("histogram", Histogram, name, labels)
 
     def _get_or_create(self, kind: str, cls: type, name: str, labels: Dict) -> Any:
-        key = (kind, name, _label_key(labels))
+        # Unlabelled metrics (the majority of traced-path calls) skip
+        # the sort/stringify canonicalisation entirely.
+        key = (kind, name, _label_key(labels) if labels else ())
         instrument = self._instruments.get(key)
         if instrument is None:
             instrument = cls(name, key[2])

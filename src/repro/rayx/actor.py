@@ -106,7 +106,15 @@ class ActorHandle:
     def _loop(self) -> Generator:
         tracer = self.runtime.tracer
         while True:
-            message = yield self._mailbox.get()
+            get = self._mailbox.get()
+            try:
+                message = yield get
+            except BaseException:
+                # Actor killed while blocked on its mailbox: withdraw
+                # the get so a granted-but-undelivered message returns
+                # to the queue head instead of vanishing with us.
+                get.cancel()
+                raise
             if isinstance(message, _Kill):
                 # The actor's placement slot frees only when it dies.
                 self.runtime.scheduler.release(self.node.name)

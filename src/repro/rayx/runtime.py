@@ -352,7 +352,15 @@ class RayxRuntime:
                     if attempt:
                         span.attrs["attempt"] = attempt
                     tracer.metrics.counter("rayx.tasks").inc()
-                yield self.slots.request()
+                slot_request = self.slots.request()
+                try:
+                    yield slot_request
+                except BaseException:
+                    # Task process killed while queued for (or just
+                    # granted) a CPU slot: withdraw so the slot FIFO
+                    # neither blocks nor leaks capacity.
+                    slot_request.cancel()
+                    raise
                 if span is not None:
                     # Time spent queued for a num_cpus slot, visible per task.
                     span.attrs["queued_s"] = round(self.env.now - span.start_s, 9)

@@ -40,6 +40,34 @@ class FieldType(enum.Enum):
         return True  # ANY
 
 
+def _accepts_int(value: Any) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _accepts_float(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _accepts_string(value: Any) -> bool:
+    return isinstance(value, str)
+
+
+def _accepts_bool(value: Any) -> bool:
+    return isinstance(value, bool)
+
+
+#: Per-type checker functions (None for ANY: accepts everything).
+#: ``Schema.validate`` runs per row on the workflow hot path, so the
+#: type dispatch is resolved once per schema instead of per value.
+_CHECKERS = {
+    FieldType.INT: _accepts_int,
+    FieldType.FLOAT: _accepts_float,
+    FieldType.STRING: _accepts_string,
+    FieldType.BOOL: _accepts_bool,
+    FieldType.ANY: None,
+}
+
+
 class Field:
     """A named, typed column."""
 
@@ -77,6 +105,8 @@ class Schema:
             if field.name in self._index:
                 raise DuplicateField(f"duplicate field name {field.name!r}")
             self._index[field.name] = position
+        self._checkers = tuple(_CHECKERS[f.ftype] for f in self.fields)
+        self._arity = len(self.fields)
 
     # -- constructors --------------------------------------------------------
 
@@ -161,17 +191,22 @@ class Schema:
 
     def validate(self, values: Sequence[Any]) -> None:
         """Check arity and per-field types of a row of values."""
-        if len(values) != len(self.fields):
+        if len(values) != self._arity:
             raise TypeMismatch(
                 f"expected {len(self.fields)} values for schema {self.names}, "
                 f"got {len(values)}"
             )
-        for field, value in zip(self.fields, values):
-            if not field.ftype.accepts(value):
-                raise TypeMismatch(
-                    f"field {field.name!r} ({field.ftype.value}) rejects "
-                    f"{value!r} ({type(value).__name__})"
-                )
+        position = 0
+        for check in self._checkers:
+            value = values[position]
+            position += 1
+            if check is None or value is None or check(value):
+                continue
+            field = self.fields[position - 1]
+            raise TypeMismatch(
+                f"field {field.name!r} ({field.ftype.value}) rejects "
+                f"{value!r} ({type(value).__name__})"
+            )
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{f.name}:{f.ftype.value}" for f in self.fields)

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Sequence
 
-from repro.cluster.serialization import estimate_bytes
 from repro.errors import SchemaError
 from repro.relational.schema import Field, FieldType, Schema
 from repro.relational.tup import Tuple
@@ -146,7 +145,7 @@ class Table:
 
     def payload_bytes(self) -> int:
         """Estimated serialized size of the table's data."""
-        return sum(estimate_bytes(row.values) for row in self.rows)
+        return sum(row.payload_bytes() for row in self.rows)
 
     def __repr__(self) -> str:
         return f"Table({len(self.rows)} rows, schema={self.schema.names})"

@@ -21,12 +21,13 @@ class Tuple:
         t[0]        # by position
     """
 
-    __slots__ = ("schema", "values")
+    __slots__ = ("schema", "values", "_nbytes")
 
     def __init__(self, schema: Schema, values: Sequence[Any]) -> None:
         schema.validate(values)
         object.__setattr__(self, "schema", schema)
         object.__setattr__(self, "values", tuple(values))
+        object.__setattr__(self, "_nbytes", -1)
 
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("Tuple is immutable")
@@ -101,8 +102,17 @@ class Tuple:
     # -- sizing ------------------------------------------------------------------
 
     def payload_bytes(self) -> int:
-        """Estimated serialized size (values only; schema is shared)."""
-        return estimate_bytes(self.values)
+        """Estimated serialized size (values only; schema is shared).
+
+        Cached after the first call: values are immutable, so the
+        estimate never changes, and batch accounting in the workflow
+        engine asks for it once per channel hop.
+        """
+        nbytes = self._nbytes
+        if nbytes < 0:
+            nbytes = estimate_bytes(self.values)
+            object.__setattr__(self, "_nbytes", nbytes)
+        return nbytes
 
     def __repr__(self) -> str:
         pairs = ", ".join(

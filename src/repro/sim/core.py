@@ -21,12 +21,36 @@ Design notes
 * Failures propagate: an event failed with an exception re-raises inside
   any process waiting on it, mirroring how ``ray.get`` re-raises task
   errors and how workflow engines surface operator errors.
+
+Fast-path notes (see ``docs/performance.md``)
+---------------------------------------------
+The kernel is the innermost loop of every experiment, so it trades a
+little uniformity for speed while keeping the event order *exactly* the
+``(time, priority, sequence)`` order of a single heap:
+
+* Hot objects are ``__slots__``-ed and the sequence counter is a plain
+  integer inlined at each schedule site.
+* Scheduled entries are split across three internally sorted queues
+  whose heads are compared on every pop, so the global minimum is
+  unchanged: ``_immediate`` (zero-delay NORMAL entries from
+  ``succeed``/``fail``/process bootstrap — appended in ``(time, seq)``
+  order by construction because the clock is monotonic), ``_tail``
+  (schedule-time entries that arrive in non-decreasing order, the
+  common case for homogeneous timeouts) and ``_queue`` (a real heap for
+  everything that arrives out of order).
+* ``Event._callbacks`` is ``None`` until the first waiter, a bare
+  callable for the (dominant) single-waiter case and a list only when
+  two or more callbacks attach.
+* The tracer hook is dormant-by-default: ``Environment.tracer`` is a
+  property whose setter caches ``tracer.enabled`` into ``_tracing`` and
+  rebinds ``step`` to a fast or traced variant, so the dormant run loop
+  performs no per-event tracer attribute walks.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from repro.errors import EmptySchedule, EventAlreadyTriggered, ProcessFailed
@@ -45,7 +69,9 @@ __all__ = [
     "PROCESSED",
 ]
 
-#: Sentinel states for :attr:`Event.state`.
+#: Sentinel states for :attr:`Event.state`.  These exact module-level
+#: strings are the only values ever assigned, so the kernel may compare
+#: them with ``is``.
 PENDING = "pending"
 TRIGGERED = "triggered"
 PROCESSED = "processed"
@@ -53,6 +79,8 @@ PROCESSED = "processed"
 #: Event priorities; URGENT events at equal timestamps fire first.
 URGENT = 0
 NORMAL = 1
+
+_INF = float("inf")
 
 
 class Event:
@@ -64,34 +92,39 @@ class Event:
     event.
     """
 
+    __slots__ = ("env", "state", "value", "exception", "_callbacks")
+
     def __init__(self, env: "Environment") -> None:
         self.env = env
         self.state = PENDING
         self.value: Any = None
         self.exception: Optional[BaseException] = None
-        self._callbacks: List[Callable[["Event"], None]] = []
+        #: ``None`` | a single callable | a list of callables.
+        self._callbacks: Any = None
 
     # -- state ------------------------------------------------------------
 
     @property
     def triggered(self) -> bool:
         """True once the event has been succeeded or failed."""
-        return self.state != PENDING
+        return self.state is not PENDING
 
     @property
     def ok(self) -> bool:
         """True if the event triggered successfully (no exception)."""
-        return self.triggered and self.exception is None
+        return self.state is not PENDING and self.exception is None
 
     # -- triggering -------------------------------------------------------
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self.state is not PENDING:
             raise EventAlreadyTriggered(f"{self!r} already triggered")
         self.value = value
         self.state = TRIGGERED
-        self.env._schedule(self, delay=0.0)
+        env = self.env
+        seq = env._sequence = env._sequence + 1
+        env._immediate.append((env._now, NORMAL, seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -100,13 +133,15 @@ class Event:
         The exception re-raises inside every process waiting on this
         event.
         """
-        if self.triggered:
+        if self.state is not PENDING:
             raise EventAlreadyTriggered(f"{self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
         self.exception = exception
         self.state = TRIGGERED
-        self.env._schedule(self, delay=0.0)
+        env = self.env
+        seq = env._sequence = env._sequence + 1
+        env._immediate.append((env._now, NORMAL, seq, self))
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
@@ -115,16 +150,26 @@ class Event:
         If the event has already been processed the callback runs
         immediately; this makes waiting on completed events safe.
         """
-        if self.state == PROCESSED:
+        if self.state is PROCESSED:
             callback(self)
+            return
+        current = self._callbacks
+        if current is None:
+            self._callbacks = callback
+        elif type(current) is list:
+            current.append(callback)
         else:
-            self._callbacks.append(callback)
+            self._callbacks = [current, callback]
 
     def _process_callbacks(self) -> None:
         self.state = PROCESSED
-        callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            callback(self)
+        callbacks, self._callbacks = self._callbacks, None
+        if callbacks is not None:
+            if type(callbacks) is list:
+                for callback in callbacks:
+                    callback(self)
+            else:
+                callbacks(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} state={self.state}>"
@@ -133,23 +178,35 @@ class Event:
 class Timeout(Event):
     """An event that triggers ``delay`` virtual seconds in the future."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(env)
+        # Direct initialisation (no super().__init__ chain): timeouts are
+        # the single most-allocated object in the simulator.
+        self.env = env
         self.delay = delay
         self.value = value
+        self.exception = None
+        self._callbacks = None
         self.state = TRIGGERED
-        env._schedule(self, delay=delay)
-        tracer = env.tracer
-        if tracer.enabled:
+        seq = env._sequence = env._sequence + 1
+        entry = (env._now + delay, NORMAL, seq, self)
+        tail = env._tail
+        if tail and entry < tail[-1]:
+            heapq.heappush(env._queue, entry)
+        else:
+            tail.append(entry)
+        if env._tracing:
+            tracer = env._tracer
             tracer.metrics.counter("sim.timeouts").inc()
             if tracer.capture_timeouts:
                 tracer.record_complete(
                     "timeout",
                     category="sim.timeout",
-                    start_s=env.now,
-                    end_s=env.now + delay,
+                    start_s=env._now,
+                    end_s=env._now + delay,
                 )
 
 
@@ -163,53 +220,92 @@ class Process(Event):
     generator's return value, so other processes can wait on it.
     """
 
+    __slots__ = ("_generator", "name", "_span", "_resume_cb")
+
     def __init__(self, env: "Environment", generator: Generator) -> None:
         if not hasattr(generator, "send"):
             raise TypeError(f"Process requires a generator, got {generator!r}")
-        super().__init__(env)
+        self.env = env
+        self.state = PENDING
+        self.value = None
+        self.exception = None
+        self._callbacks = None
         self._generator = generator
         self.name = getattr(generator, "__name__", "process")
+        #: The bound resume callback, allocated once instead of per yield.
+        self._resume_cb = self._resume
         self._span = (
-            env.tracer.start(self.name, category="sim.process")
-            if env.tracer.enabled
+            env._tracer.start(self.name, category="sim.process")
+            if env._tracing
             else None
         )
         # Bootstrap: resume on the next kernel step at the current time.
         bootstrap = Event(env)
-        bootstrap.succeed()
-        bootstrap.add_callback(self._resume)
+        bootstrap.state = TRIGGERED
+        bootstrap._callbacks = self._resume_cb
+        seq = env._sequence = env._sequence + 1
+        env._immediate.append((env._now, NORMAL, seq, bootstrap))
 
     def _resume(self, event: Event) -> None:
         """Advance the generator by one step with ``event``'s outcome."""
-        try:
-            if event.exception is not None:
-                target = self._generator.throw(event.exception)
-            else:
-                target = self._generator.send(event.value)
-        except StopIteration as stop:
-            if self._span is not None:
-                self.env.tracer.end(self._span, status="ok")
-            self.succeed(stop.value)
-            return
-        except BaseException as exc:  # noqa: BLE001 - must capture all
-            # A process that dies forwards its exception to waiters; if
-            # nothing ever waits, Environment.run() raises at the end.
-            if self._span is not None:
-                self.env.tracer.end(
-                    self._span, status="failed", error=type(exc).__name__
-                )
-            self.env._note_failure(self, exc)
-            self.fail(exc)
-            return
-        if not isinstance(target, Event):
+        generator = self._generator
+        while True:
+            try:
+                if event.exception is None:
+                    target = generator.send(event.value)
+                else:
+                    target = generator.throw(event.exception)
+            except StopIteration as stop:
+                if self._span is not None:
+                    self.env._tracer.end(self._span, status="ok")
+                self.value = stop.value
+                self.state = TRIGGERED
+                env = self.env
+                seq = env._sequence = env._sequence + 1
+                env._immediate.append((env._now, NORMAL, seq, self))
+                return
+            except BaseException as exc:  # noqa: BLE001 - must capture all
+                # A process that dies forwards its exception to waiters; if
+                # nothing ever waits, Environment.run() raises at the end.
+                if self._span is not None:
+                    self.env._tracer.end(
+                        self._span, status="failed", error=type(exc).__name__
+                    )
+                env = self.env
+                env._failures.append(ProcessFailure(self, exc))
+                self.exception = exc
+                self.state = TRIGGERED
+                seq = env._sequence = env._sequence + 1
+                env._immediate.append((env._now, NORMAL, seq, self))
+                return
+            try:
+                state = target.state
+            except AttributeError:
+                state = None
+            if state is PENDING or state is TRIGGERED:
+                callback = self._resume_cb
+                current = target._callbacks
+                if current is None:
+                    target._callbacks = callback
+                elif type(current) is list:
+                    current.append(callback)
+                else:
+                    target._callbacks = [current, callback]
+                return
+            if state is PROCESSED:
+                # Waiting on an already-completed event: resume again
+                # immediately (iteratively — the seed recursed here).
+                event = target
+                continue
             raise ProcessFailed(
                 f"process {self.name!r} yielded {target!r}, expected an Event"
             )
-        target.add_callback(self._resume)
 
 
 class ConditionValue:
     """Mapping-like view of the events collected by a condition."""
+
+    __slots__ = ("events",)
 
     def __init__(self, events: List[Event]) -> None:
         self.events = events
@@ -229,6 +325,8 @@ class AllOf(Event):
     matching ``ray.get(list_of_refs)`` semantics.
     """
 
+    __slots__ = ("_events", "_pending")
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
         self._events = list(events)
@@ -240,7 +338,7 @@ class AllOf(Event):
             event.add_callback(self._check)
 
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self.state is not PENDING:
             return
         if event.exception is not None:
             self.fail(event.exception)
@@ -253,6 +351,8 @@ class AllOf(Event):
 class AnyOf(Event):
     """Triggers when *any* child event triggers (value = that event)."""
 
+    __slots__ = ("_events",)
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
         self._events = list(events)
@@ -262,7 +362,7 @@ class AnyOf(Event):
             event.add_callback(self._check)
 
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self.state is not PENDING:
             return
         if event.exception is not None:
             self.fail(event.exception)
@@ -275,17 +375,51 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
+        #: Heap for entries that arrive out of order.
         self._queue: List = []
-        self._sequence = itertools.count()
+        #: Deque of schedule-time entries appended in sorted order (the
+        #: common case: repeated equal delays produce monotonic keys).
+        self._tail: deque = deque()
+        #: Deque of zero-delay NORMAL entries; monotonic by construction
+        #: because the clock never moves backwards and sequence numbers
+        #: only grow.
+        self._immediate: deque = deque()
+        #: Inlined sequence counter (a plain int, incremented at each
+        #: schedule site; the seed used ``itertools.count``).
+        self._sequence = 0
         self._failures: List[ProcessFailure] = []
         #: Observability hook; clusters replace this with an enabled
         #: tracer (``repro.obs``).  The null default records nothing and
         #: leaves event scheduling — hence all timings — untouched.
-        self.tracer = NULL_TRACER
+        self._tracer = NULL_TRACER
+        self._tracing = False
         #: Fault-injection hook (``repro.faults``); clusters replace
         #: this with an active injector.  The null default answers every
         #: check benignly and charges no virtual time.
-        self.faults = NULL_INJECTOR
+        self._faults = NULL_INJECTOR
+        #: ``step`` is rebound by the ``tracer`` setter: the dormant
+        #: default pays zero tracer overhead per event.
+        self.step = self._step_fast
+
+    # -- observability / fault hooks ---------------------------------------
+
+    @property
+    def tracer(self):
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        self._tracer = tracer
+        self._tracing = bool(tracer.enabled)
+        self.step = self._step_traced if self._tracing else self._step_fast
+
+    @property
+    def faults(self):
+        return self._faults
+
+    @faults.setter
+    def faults(self, injector) -> None:
+        self._faults = injector
 
     @property
     def now(self) -> float:
@@ -317,28 +451,153 @@ class Environment:
     # -- scheduling --------------------------------------------------------
 
     def _schedule(self, event: Event, delay: float, priority: int = NORMAL) -> None:
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._sequence), event)
-        )
+        seq = self._sequence = self._sequence + 1
+        if delay == 0.0 and priority == NORMAL:
+            self._immediate.append((self._now, NORMAL, seq, event))
+            return
+        entry = (self._now + delay, priority, seq, event)
+        tail = self._tail
+        if tail and entry < tail[-1]:
+            heapq.heappush(self._queue, entry)
+        else:
+            tail.append(entry)
+
+    def _pop_entry(self):
+        """Pop the globally smallest ``(time, priority, seq, event)`` entry.
+
+        All three queues are internally sorted, so comparing their heads
+        yields exactly the order a single heap would produce.  Returns
+        ``None`` when no events remain.
+        """
+        immediate = self._immediate
+        tail = self._tail
+        queue = self._queue
+        best = None
+        source = 0
+        if immediate:
+            best = immediate[0]
+            source = 1
+        if tail and (best is None or tail[0] < best):
+            best = tail[0]
+            source = 2
+        if queue and (best is None or queue[0] < best):
+            source = 3
+        if source == 1:
+            return immediate.popleft()
+        if source == 2:
+            return tail.popleft()
+        if source == 3:
+            return heapq.heappop(queue)
+        return None
 
     def _note_failure(self, process: Process, exc: BaseException) -> None:
         self._failures.append(ProcessFailure(process, exc))
 
-    def step(self) -> None:
+    def _step_fast(self) -> None:
         """Process the next scheduled event, advancing the clock."""
-        if not self._queue:
+        entry = self._pop_entry()
+        if entry is None:
             raise EmptySchedule("no scheduled events remain")
-        when, _priority, _seq, event = heapq.heappop(self._queue)
-        self._now = when
-        if self.tracer.enabled:
-            self.tracer.metrics.counter("sim.events").inc()
-        event._process_callbacks()
+        self._now = entry[0]
+        event = entry[3]
+        event.state = PROCESSED
+        callbacks = event._callbacks
+        if callbacks is not None:
+            event._callbacks = None
+            if type(callbacks) is list:
+                for callback in callbacks:
+                    callback(event)
+            else:
+                callbacks(event)
+
+    def _step_traced(self) -> None:
+        """Like :meth:`_step_fast`, plus per-event tracer accounting."""
+        entry = self._pop_entry()
+        if entry is None:
+            raise EmptySchedule("no scheduled events remain")
+        self._now = entry[0]
+        self._tracer.metrics.counter("sim.events").inc()
+        event = entry[3]
+        event.state = PROCESSED
+        callbacks = event._callbacks
+        if callbacks is not None:
+            event._callbacks = None
+            if type(callbacks) is list:
+                for callback in callbacks:
+                    callback(event)
+            else:
+                callbacks(event)
 
     def peek(self) -> float:
         """Virtual time of the next scheduled event (inf if none)."""
-        if not self._queue:
-            return float("inf")
-        return self._queue[0][0]
+        when = _INF
+        if self._immediate:
+            when = self._immediate[0][0]
+        if self._tail and self._tail[0][0] < when:
+            when = self._tail[0][0]
+        if self._queue and self._queue[0][0] < when:
+            when = self._queue[0][0]
+        return when
+
+    def _drain(self, deadline: float, until: Optional[Event]) -> bool:
+        """The fused run loop: pop-and-process until a stop condition.
+
+        Stops when ``until`` (if given) has been processed, when the next
+        event lies beyond ``deadline``, or when no events remain.
+        Returns True only in the ran-out-of-events case.
+        """
+        immediate = self._immediate
+        tail = self._tail
+        queue = self._queue
+        heappop = heapq.heappop
+        inc = (
+            self._tracer.metrics.counter("sim.events").inc
+            if self._tracing
+            else None
+        )
+        while until is None or until.state is not PROCESSED:
+            # Select the globally smallest head among the three queues.
+            if immediate:
+                entry = immediate[0]
+                if tail and tail[0] < entry:
+                    entry = tail[0]
+                    if queue and queue[0] < entry:
+                        entry = heappop(queue)
+                    else:
+                        tail.popleft()
+                elif queue and queue[0] < entry:
+                    entry = heappop(queue)
+                else:
+                    immediate.popleft()
+            elif tail:
+                entry = tail[0]
+                if queue and queue[0] < entry:
+                    entry = heappop(queue)
+                else:
+                    tail.popleft()
+            elif queue:
+                entry = heappop(queue)
+            else:
+                return True
+            when = entry[0]
+            if when > deadline:
+                # Put it back (relocating to the heap preserves order).
+                heapq.heappush(queue, entry)
+                return False
+            self._now = when
+            event = entry[3]
+            event.state = PROCESSED
+            if inc is not None:
+                inc()
+            callbacks = event._callbacks
+            if callbacks is not None:
+                event._callbacks = None
+                if type(callbacks) is list:
+                    for callback in callbacks:
+                        callback(event)
+                else:
+                    callbacks(event)
+        return False
 
     def run(self, until: Optional[Any] = None) -> Any:
         """Run the simulation.
@@ -350,37 +609,32 @@ class Environment:
         * an :class:`Event` — run until that event is processed, then
           return its value (or re-raise its exception).
         """
-        if isinstance(until, Event):
-            return self._run_until_event(until)
-        if until is not None:
-            deadline = float(until)
-            if deadline < self._now:
-                raise ValueError(f"until={deadline} is in the past (now={self._now})")
-            while self._queue and self._queue[0][0] <= deadline:
-                self.step()
-            self._now = max(self._now, deadline) if self._queue else self._now
+        if until is None:
+            self._drain(_INF, None)
             self._raise_orphan_failures()
             return None
-        while self._queue:
-            self.step()
+        if isinstance(until, Event):
+            return self._run_until_event(until)
+        deadline = float(until)
+        if deadline < self._now:
+            raise ValueError(f"until={deadline} is in the past (now={self._now})")
+        self._drain(deadline, None)
+        if deadline > self._now:
+            # The docstring promise: the clock reaches the deadline even
+            # when the schedule drains early (the seed left it behind).
+            self._now = deadline
         self._raise_orphan_failures()
         return None
 
     def _run_until_event(self, until: Event) -> Any:
-        done = [False]
-
-        def mark(_event: Event) -> None:
-            done[0] = True
-
-        until.add_callback(mark)
-        while not done[0]:
-            if not self._queue:
+        if until.state is not PROCESSED:
+            drained = self._drain(_INF, until)
+            if drained:
                 self._abort_open_process_spans()
                 raise EmptySchedule(
                     "simulation ran out of events before the awaited event "
                     "triggered (deadlock?)"
                 )
-            self.step()
         # The awaited event consumed any failure it represents.
         self._failures = [f for f in self._failures if f.process is not until]
         if until.exception is not None:
@@ -396,18 +650,18 @@ class Environment:
         spans would stay open forever and a traced failing run would
         leak unbalanced spans.
         """
-        if not self.tracer.enabled:
+        if not self._tracing:
             return
-        for span in self.tracer.spans:
+        for span in self._tracer.spans:
             if span.category == "sim.process" and not span.finished:
-                self.tracer.end(span, status="aborted")
+                self._tracer.end(span, status="aborted")
 
     def _raise_orphan_failures(self) -> None:
         """Surface crashes of processes nothing ever waited on.
 
         The Zen of Python: errors should never pass silently.
         """
-        unwaited = [f for f in self._failures if f.process.state == PROCESSED]
+        unwaited = [f for f in self._failures if f.process.state is PROCESSED]
         self._failures = [f for f in self._failures if f not in unwaited]
         if unwaited:
             first = unwaited[0]
@@ -419,6 +673,8 @@ class Environment:
 
 class ProcessFailure:
     """Record of a process that terminated with an exception."""
+
+    __slots__ = ("process", "exc")
 
     def __init__(self, process: Process, exc: BaseException) -> None:
         self.process = process

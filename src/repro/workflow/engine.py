@@ -26,7 +26,7 @@ import copy
 from typing import Any, Dict, Generator, List, Optional, Sequence
 
 from repro.cache.fingerprint import combine, fingerprint_value
-from repro.cluster import CONTROLLER, Cluster, Codec, Node, estimate_bytes
+from repro.cluster import CONTROLLER, Cluster, Codec, Node
 from repro.cluster.serialization import record_codec
 from repro.config import ReproConfig
 from repro.errors import OperatorError
@@ -60,7 +60,10 @@ class _Batch:
 
     def __init__(self, tuples: Sequence[Tuple], source: str = "") -> None:
         self.tuples = list(tuples)
-        self.nbytes = estimate_bytes([t.values for t in self.tuples])
+        # Identical to estimate_bytes([t.values for t in tuples]) —
+        # 16 bytes list overhead plus (8 + payload) per entry — but
+        # reuses each tuple's cached size instead of re-walking values.
+        self.nbytes = 16 + sum(8 + t.payload_bytes() for t in self.tuples)
         self.source = source
 
 
@@ -619,7 +622,16 @@ class WorkflowController:
             port = instance.inbound[port_number]
             eos_seen = 0
             while eos_seen < port.expected_eos:
-                message = yield port.store.get()
+                get = port.store.get()
+                try:
+                    message = yield get
+                except BaseException:
+                    # Instance killed (operator fault escalation, abort)
+                    # while blocked on its input channel: withdraw the
+                    # get so an already-granted batch returns to the
+                    # queue head for a restarted instance.
+                    get.cancel()
+                    raise
                 if isinstance(message, _Eos):
                     eos_seen += 1
                     continue
@@ -734,9 +746,13 @@ class WorkflowController:
                 outputs: List[Tuple] = []
                 seconds = 0.0
                 flops = 0.0
+                executor = instance.executor
+                process_tuple = executor.process_tuple
+                take_pending = executor.pending.take
+                extend = outputs.extend
                 for row in message.tuples:
-                    outputs.extend(instance.executor.process_tuple(row, port_number))
-                    extra_s, extra_f = instance.executor.pending.take()
+                    extend(process_tuple(row, port_number))
+                    extra_s, extra_f = take_pending()
                     seconds += tuple_cost + extra_s
                     flops += extra_f
                 self.progress.record_input(
@@ -912,6 +928,24 @@ class WorkflowController:
         """Send output tuples downstream, flushing full batches."""
         self.progress.record_output(instance.operator_id, len(rows), now=self.env.now)
         for outbound in instance.outbound:
+            if len(outbound._buffers) == 1:
+                # Single-consumer channel: every partitioner routes every
+                # row to index 0 (round-robin and hash both reduce mod 1,
+                # broadcast spans one target), so skip per-row routing and
+                # fill the buffer directly.  Flush boundaries are checked
+                # per row exactly as in the general path, so batch sizes —
+                # and therefore encode/transfer charges — are unchanged.
+                buffer = outbound._buffers[0]
+                size = outbound.batch_size
+                for row in rows:
+                    buffer.append(row)
+                    if len(buffer) >= size:
+                        yield from self._flush(instance, outbound, 0)
+                        # _flush swapped in a fresh buffer and may have
+                        # auto-tuned the batch size; re-read both.
+                        buffer = outbound._buffers[0]
+                        size = outbound.batch_size
+                continue
             for row in rows:
                 for index in outbound.append(row):
                     yield from self._flush(instance, outbound, index)
@@ -995,7 +1029,15 @@ class WorkflowController:
             tracer.metrics.histogram("workflow.queue_depth", link=link).record(
                 len(store)
             )
-        yield store.put(batch)
+        put = store.put(batch)
+        try:
+            yield put
+        except BaseException:
+            # Producer killed while blocked on a full channel: withdraw
+            # the pending put so the batch doesn't materialize after its
+            # producer is gone.
+            put.cancel()
+            raise
 
     def _finish_outbound(self, instance: _Instance) -> Generator:
         """Flush residual buffers and propagate EOS markers."""
@@ -1003,7 +1045,12 @@ class WorkflowController:
             for index in outbound.pending_indices():
                 yield from self._flush(instance, outbound, index)
             for port in outbound.consumer_ports:
-                yield port.store.put(_EOS)
+                put = port.store.put(_EOS)
+                try:
+                    yield put
+                except BaseException:
+                    put.cancel()
+                    raise
 
 
 def run_workflow(

@@ -7,8 +7,12 @@ failover, reconstruction, checkpoint restores) must account for every
 byte and core it touches.
 """
 
+from unittest import mock
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
+
+import repro.workflow.engine as wf_engine
 
 from repro.cluster import build_cluster
 from repro.faults import FaultSchedule, faults_injected
@@ -35,11 +39,26 @@ schedules = st.one_of(
 )
 
 
-def assert_resources_released(cluster):
+def assert_resources_released(cluster, stores=()):
     for node in [cluster.controller, *cluster.workers]:
         assert node.ram_used == 0, f"{node.name} leaked {node.ram_used} bytes"
         assert node.cpus.available == node.cpus.capacity, (
             f"{node.name} leaked {node.cpus.capacity - node.cpus.available} vCPUs"
+        )
+        # Kernel-level check: no dead process may stay queued in the
+        # vCPU FIFO — a stale waiter at the head would starve every
+        # request behind it (the leak `ResourceRequest.cancel` exists
+        # to prevent).
+        assert not node.cpus._waiters, (
+            f"{node.name} has {len(node.cpus._waiters)} stale vCPU waiters"
+        )
+    for store in stores:
+        assert not store.items, f"channel store left {len(store.items)} items"
+        assert not store._putters, (
+            f"channel store left {len(store._putters)} stale putters"
+        )
+        assert not store._getters, (
+            f"channel store left {len(store._getters)} stale getters"
         )
 
 
@@ -66,9 +85,21 @@ def workflow_run():
     sink = wf.add_operator(SinkOperator("results"))
     wf.link(src, keep)
     wf.link(keep, sink)
+    # Track every inter-operator channel store the engine creates so the
+    # property can assert the kernel queues drained completely.
+    stores = []
+
+    class TrackingStore(wf_engine.Store):
+        __slots__ = ()
+
+        def __init__(self, env, capacity=None):
+            super().__init__(env, capacity)
+            stores.append(self)
+
     cluster = build_cluster(Environment())
-    run_workflow(cluster, wf)
-    return cluster
+    with mock.patch.object(wf_engine, "Store", TrackingStore):
+        run_workflow(cluster, wf)
+    return cluster, stores
 
 
 @settings(max_examples=25, deadline=None)
@@ -86,8 +117,9 @@ def test_script_run_releases_all_resources(schedule):
 @given(schedule=schedules)
 def test_workflow_run_releases_all_resources(schedule):
     if schedule is None:
-        assert_resources_released(workflow_run())
+        cluster, stores = workflow_run()
+        assert_resources_released(cluster, stores)
         return
     with faults_injected(schedule):
-        cluster = workflow_run()
-    assert_resources_released(cluster)
+        cluster, stores = workflow_run()
+    assert_resources_released(cluster, stores)

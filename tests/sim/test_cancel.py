@@ -1,0 +1,156 @@
+"""Unit tests for waiter-event cancellation (the fault-abort contract).
+
+``ResourceRequest.cancel`` / ``StorePut.cancel`` / ``StoreGet.cancel``
+are what abort paths (fault kills, engine restarts, interpreter
+teardown) call so a dead process neither blocks a FIFO head nor leaks
+granted capacity.  All three are idempotent.
+"""
+
+from repro.sim import Environment
+from repro.sim.resources import Resource, Store
+
+
+def pump(env):
+    """Drain all currently scheduled events without ending the test run."""
+    env.run()
+
+
+# -- ResourceRequest ---------------------------------------------------------------
+
+
+def test_cancel_pending_request_unblocks_the_fifo():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    first = res.request()  # granted immediately
+    blocked = res.request()  # queued behind the grant
+    later = res.request()  # queued behind `blocked`
+    assert res._waiters == type(res._waiters)([blocked, later])
+    blocked.cancel()
+    assert list(res._waiters) == [later]
+    res.release()  # frees the unit; `later` must be served, not blocked
+    assert res.in_use == 1
+    assert not res._waiters
+    assert first.triggered and later.triggered
+
+
+def test_cancel_granted_request_returns_units():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    grant = res.request(2)
+    waiting = res.request(1)
+    assert res.in_use == 2 and not waiting.triggered
+    # The holder dies without ever releasing: cancel gives the units back
+    # and the FIFO is served.
+    grant.cancel()
+    assert res.in_use == 1
+    assert waiting.triggered
+    assert not res._waiters
+
+
+def test_cancel_request_is_idempotent():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    grant = res.request()
+    grant.cancel()
+    grant.cancel()  # no double release
+    assert res.in_use == 0
+    assert res.available == res.capacity
+
+
+def test_cancelled_pending_request_never_fires_callbacks():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    res.request()
+    blocked = res.request()
+    fired = []
+    blocked.add_callback(lambda ev: fired.append(ev))
+    blocked.cancel()
+    res.release()
+    pump(env)
+    assert fired == []
+
+
+# -- StorePut ----------------------------------------------------------------------
+
+
+def test_cancel_pending_put_withdraws_the_item():
+    env = Environment()
+    store = Store(env, capacity=1)
+    store.put("kept")
+    pending = store.put("withdrawn")
+    assert list(store._putters) == [pending]
+    pending.cancel()
+    assert not store._putters
+    got = store.get()
+    pump(env)
+    assert got.value == "kept"
+    assert not store.items  # "withdrawn" never entered the buffer
+
+
+def test_cancel_completed_put_is_a_noop():
+    env = Environment()
+    store = Store(env)
+    done = store.put("data")
+    assert done.triggered
+    done.cancel()
+    done.cancel()
+    assert list(store.items) == ["data"]
+
+
+# -- StoreGet ----------------------------------------------------------------------
+
+
+def test_cancel_pending_get_leaves_the_getter_fifo():
+    env = Environment()
+    store = Store(env)
+    dead = store.get()
+    live = store.get()
+    dead.cancel()
+    assert list(store._getters) == [live]
+    store.put("item")
+    pump(env)
+    assert live.value == "item"
+
+
+def test_cancel_granted_get_restores_item_at_queue_head():
+    env = Environment()
+    store = Store(env)
+    store.put("first")
+    store.put("second")
+    granted = store.get()  # triggered with "first", never consumed
+    assert granted.value == "first"
+    granted.cancel()
+    # "first" returns to the head so FIFO order is preserved for the
+    # next (live) consumer.
+    assert list(store.items) == ["first", "second"]
+    replacement = store.get()
+    pump(env)
+    assert replacement.value == "first"
+
+
+def test_cancel_delivered_get_is_a_noop():
+    env = Environment()
+    store = Store(env)
+    store.put("item")
+    received = []
+
+    def consumer(env):
+        value = yield store.get()
+        received.append(value)
+
+    env.process(consumer(env))
+    env.run()
+    assert received == ["item"]
+    # The get was fully delivered; cancelling afterwards must not
+    # resurrect the item.
+    assert not store.items
+
+
+def test_cancel_get_is_idempotent():
+    env = Environment()
+    store = Store(env)
+    store.put("x")
+    granted = store.get()
+    granted.cancel()
+    granted.cancel()
+    assert list(store.items) == ["x"]

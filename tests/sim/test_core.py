@@ -309,3 +309,96 @@ def test_nested_process_chains():
 
     assert env.run(until=env.process(root(env))) == 4
     assert env.now == 4
+
+
+# -- run(until=T) clock semantics -------------------------------------------------
+
+
+def test_run_until_advances_clock_when_queue_drains_early():
+    # Regression: the kernel used to leave the clock at the last event's
+    # time when the queue drained before the deadline; ``run(until=T)``
+    # must always end with ``now == T``.
+    env = Environment()
+    env.process(iter_timeout(env, 2))
+    env.run(until=10)
+    assert env.now == 10.0
+
+
+def test_run_until_advances_clock_on_empty_schedule():
+    env = Environment()
+    env.run(until=5)
+    assert env.now == 5.0
+
+
+def test_run_until_resumes_correctly_after_early_drain():
+    env = Environment()
+    seen = []
+
+    def late(env):
+        yield env.timeout(7)
+        seen.append(env.now)
+
+    env.process(iter_timeout(env, 1))
+    env.run(until=3)
+    assert env.now == 3.0
+    env.process(late(env))  # scheduled at now=3, fires at 10
+    env.run()
+    assert seen == [10.0]
+
+
+# -- (time, priority, sequence) tie-break pins ------------------------------------
+
+
+def _triggered_event(env, value):
+    from repro.sim import core
+
+    event = env.event()
+    event.value = value
+    event.state = core.TRIGGERED
+    return event
+
+
+def test_urgent_beats_normal_at_equal_time_despite_later_scheduling():
+    from repro.sim import core
+
+    env = Environment()
+    order = []
+    normal = _triggered_event(env, "normal")
+    normal.add_callback(lambda ev: order.append(ev.value))
+    env._schedule(normal, 1.0, core.NORMAL)
+    urgent = _triggered_event(env, "urgent")
+    urgent.add_callback(lambda ev: order.append(ev.value))
+    env._schedule(urgent, 1.0, core.URGENT)
+    env.run()
+    assert order == ["urgent", "normal"]
+
+
+def test_sequence_breaks_ties_within_equal_time_and_priority():
+    from repro.sim import core
+
+    env = Environment()
+    order = []
+    # Schedule out of time order so entries split across the kernel's
+    # internal queues (tail then heap), at equal (time, priority).
+    for tag, delay in [("a5", 5.0), ("b1", 1.0), ("c5", 5.0), ("d1", 1.0)]:
+        event = _triggered_event(env, tag)
+        event.add_callback(lambda ev: order.append(ev.value))
+        env._schedule(event, delay, core.NORMAL)
+    env.run()
+    assert order == ["b1", "d1", "a5", "c5"]
+
+
+def test_zero_delay_succeed_fires_before_later_scheduled_urgent_timeout():
+    from repro.sim import core
+
+    env = Environment()
+    order = []
+    immediate = env.event()
+    immediate.add_callback(lambda ev: order.append("immediate"))
+    immediate.succeed()  # seq N, NORMAL, t=0 via the immediate deque
+    urgent = _triggered_event(env, None)
+    urgent.add_callback(lambda ev: order.append("urgent"))
+    env._schedule(urgent, 0.0, core.URGENT)  # seq N+1, URGENT, t=0
+    env.run()
+    # URGENT priority outranks the earlier sequence number.
+    assert order == ["urgent", "immediate"]
