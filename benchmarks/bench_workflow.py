@@ -1,0 +1,310 @@
+"""Benchmark: the logical optimizer — naive vs optimized spec compilation.
+
+Every paper task's workflow now compiles from its committed
+``examples/workflows/*.json`` spec; flipping ``workflow.optimize`` in
+the config runs the same spec through ``optimize_workflow`` (dead-column
+pruning, same-language fusion, cross-language placement hints) before
+deployment.  This benchmark runs each task both ways and records the
+elapsed-time delta, plus the KGE/Scala serialization seconds the
+pruning pass exists to shave.
+
+The deltas are *signed* on purpose.  Fusion trades pipeline parallelism
+for fewer channel crossings, so wire-bound relational plans
+(``dice_relational``, ``kge_scala``) get faster while compute-parallel
+plans (``dice``, ``kge_python``) get slower — the optimizer is a real
+trade-off, not a free win, and the numbers say which plans want it.
+
+Checks the subsystem's guarantees —
+
+* the optimizer never changes the answer: every task's rows are
+  identical as multisets with the optimizer on and off,
+* plans with nothing to rewrite (``gotta``) keep a bit-identical
+  timeline, so the config switch alone costs nothing,
+* the wire-bound plans (``dice_relational``, ``kge_scala``) get
+  strictly faster, and
+* KGE/Scala spends strictly fewer virtual seconds in ``serialization``
+  spans with the optimizer on.
+
+Results go to ``BENCH_workflow.json`` at the repository root, part of
+ROADMAP's tracked ``BENCH_*.json`` series.  Uses plain pytest (no
+``benchmark`` fixture) so CI can smoke it with nothing but pytest, or
+directly:
+
+    PYTHONPATH=src python benchmarks/bench_workflow.py --quick
+"""
+
+import json
+import pathlib
+import sys
+from dataclasses import replace
+
+from repro.config import default_config
+from repro.datasets import generate_fsqa, generate_maccrobat, generate_wildfire_tweets
+from repro.experiments.harness import cached_kge_dataset
+from repro.obs import Tracer
+from repro.obs.export import breakdown
+from repro.tasks import fresh_cluster
+from repro.tasks.dice.workflow import run_dice_workflow
+from repro.tasks.gotta.workflow import run_gotta_workflow
+from repro.tasks.kge.workflow import run_kge_workflow
+from repro.tasks.wef.workflow import run_wef_workflow
+
+QUICK_DOCS = 40
+QUICK_PARAGRAPHS = 1
+QUICK_CANDIDATES = 1500
+QUICK_UNIVERSE = 4000
+QUICK_TWEETS = 40
+
+FULL_DOCS = 80
+FULL_PARAGRAPHS = 2
+FULL_CANDIDATES = 3000
+FULL_UNIVERSE = 8000
+FULL_TWEETS = 80
+
+#: Cases whose optimized plan must be strictly faster (wire-bound DAGs
+#: where pruning/fusion removes channel crossings the plan pays for).
+WIRE_BOUND = ("dice_relational", "kge_scala")
+
+#: Case with no rewrite opportunity: its timeline must not move a bit.
+UNTOUCHED = "gotta"
+
+#: Repository root: where BENCH_workflow.json lands (tracked by git).
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+#: Schema version of BENCH_workflow.json; bump on incompatible changes.
+BENCH_SCHEMA = 1
+
+CASE_NAMES = (
+    "dice",
+    "dice_relational",
+    "gotta",
+    "kge_python",
+    "kge_scala",
+    "wef",
+)
+
+
+def optimizing_config():
+    config = default_config()
+    return replace(config, workflow=replace(config.workflow, optimize=True))
+
+
+def rows_of(table):
+    return sorted(tuple(map(str, row.values)) for row in table)
+
+
+def task_cases(docs, paragraphs_n, candidates, universe, tweets_n):
+    reports = generate_maccrobat(num_docs=docs, seed=7)
+    paragraphs = generate_fsqa(num_paragraphs=paragraphs_n, seed=17)
+    dataset = cached_kge_dataset(candidates, universe_size=universe)
+    tweets = generate_wildfire_tweets(tweets_n, seed=11)
+    return [
+        ("dice", lambda cl: run_dice_workflow(cl, reports, num_workers=2)),
+        (
+            "dice_relational",
+            lambda cl: run_dice_workflow(
+                cl, reports, num_workers=2, style="relational"
+            ),
+        ),
+        ("gotta", lambda cl: run_gotta_workflow(cl, paragraphs, num_workers=2)),
+        ("kge_python", lambda cl: run_kge_workflow(cl, dataset)),
+        (
+            "kge_scala",
+            lambda cl: run_kge_workflow(
+                cl, dataset, num_processing_ops=3, join_language="scala"
+            ),
+        ),
+        ("wef", lambda cl: run_wef_workflow(cl, tweets)),
+    ]
+
+
+def compare_cases(cases):
+    """Naive-vs-optimized table for every case (the benchmark artifact)."""
+    lines = [
+        "logical optimizer: naive vs optimized (virtual seconds)",
+        f"{'task':<16} {'naive (s)':>10} {'optimized':>10} {'delta (s)':>10} "
+        f"{'speedup':>8} {'rows':>6}",
+    ]
+    cells = {}
+    for case, run_fn in cases:
+        naive = run_fn(fresh_cluster())
+        optimized = run_fn(fresh_cluster(optimizing_config()))
+        identical = rows_of(naive.output) == rows_of(optimized.output)
+        cells[case] = {
+            "naive_s": naive.elapsed_s,
+            "optimized_s": optimized.elapsed_s,
+            "delta_s": naive.elapsed_s - optimized.elapsed_s,
+            "speedup": naive.elapsed_s / optimized.elapsed_s,
+            "rows": len(naive.output.rows),
+            "rows_identical": identical,
+        }
+        lines.append(
+            f"{case:<16} {naive.elapsed_s:>10.3f} {optimized.elapsed_s:>10.3f} "
+            f"{cells[case]['delta_s']:>+10.3f} {cells[case]['speedup']:>7.2f}x "
+            f"{cells[case]['rows']:>6d}"
+        )
+    return "\n".join(lines), cells
+
+
+def kge_serialization_seconds(candidates, universe):
+    """Virtual seconds in ``serialization`` spans, optimizer off vs on.
+
+    The Scala-join KGE plan ships embedding rows across a language
+    boundary; dead-column pruning narrows what crosses, so the span
+    total must strictly drop.
+    """
+    dataset = cached_kge_dataset(candidates, universe_size=universe)
+    seconds = {}
+    for mode, config in (("off", None), ("on", optimizing_config())):
+        tracer = Tracer()
+        run_kge_workflow(
+            fresh_cluster(config, tracer=tracer),
+            dataset,
+            num_processing_ops=3,
+            join_language="scala",
+        )
+        (run,) = breakdown(tracer)
+        seconds[mode] = run.category_total("serialization")
+    return {
+        "off_s": seconds["off"],
+        "on_s": seconds["on"],
+        "reduction_s": seconds["off"] - seconds["on"],
+        "reduction_pct": 100.0 * (1.0 - seconds["on"] / seconds["off"]),
+    }
+
+
+def bench_document(config, cells, serialization):
+    """The stable BENCH_workflow.json document."""
+    return {
+        "benchmark": "workflow",
+        "schema": BENCH_SCHEMA,
+        "config": config,
+        "results": {"tasks": cells, "kge_serialization": serialization},
+    }
+
+
+def validate_document(doc: dict) -> None:
+    """Schema check for BENCH_workflow.json (used by the CI smoke job)."""
+    assert doc["benchmark"] == "workflow"
+    assert doc["schema"] == BENCH_SCHEMA
+    tasks = doc["results"]["tasks"]
+    assert set(tasks) == set(CASE_NAMES)
+    for name, cell in tasks.items():
+        for key in (
+            "naive_s", "optimized_s", "delta_s", "speedup", "rows",
+            "rows_identical",
+        ):
+            assert key in cell, f"{name} missing {key}"
+        assert cell["rows_identical"] is True, f"{name}: optimizer changed rows"
+        assert cell["naive_s"] > 0 and cell["rows"] > 0
+    for name in WIRE_BOUND:
+        assert tasks[name]["delta_s"] > 0, f"{name}: no wire-bound win recorded"
+    assert tasks[UNTOUCHED]["naive_s"] == tasks[UNTOUCHED]["optimized_s"]
+    ser = doc["results"]["kge_serialization"]
+    for key in ("off_s", "on_s", "reduction_s", "reduction_pct"):
+        assert key in ser, f"kge_serialization missing {key}"
+    assert ser["reduction_s"] > 0, "pruning did not shave serialization time"
+
+
+def check_cells(cells):
+    """The acceptance gates shared by pytest and the CLI entry point."""
+    problems = []
+    for case, cell in cells.items():
+        if not cell["rows_identical"]:
+            problems.append(f"{case}: optimizer changed the collected rows")
+    for case in WIRE_BOUND:
+        if cells[case]["optimized_s"] >= cells[case]["naive_s"]:
+            problems.append(f"{case}: wire-bound plan did not get faster")
+    if cells[UNTOUCHED]["optimized_s"] != cells[UNTOUCHED]["naive_s"]:
+        problems.append(f"{UNTOUCHED}: no-rewrite plan moved with the switch on")
+    return problems
+
+
+# -- pytest entry points -----------------------------------------------------
+
+
+def test_optimizer_preserves_rows_on_every_task(results_dir):
+    cases = task_cases(
+        QUICK_DOCS, QUICK_PARAGRAPHS, QUICK_CANDIDATES, QUICK_UNIVERSE, QUICK_TWEETS
+    )
+    table, cells = compare_cases(cases)
+    assert not check_cells(cells), check_cells(cells)
+    (results_dir / "workflow_optimizer.txt").write_text(table + "\n", encoding="utf-8")
+    print()
+    print(table)
+
+
+def test_kge_serialization_seconds_drop():
+    serialization = kge_serialization_seconds(QUICK_CANDIDATES, QUICK_UNIVERSE)
+    assert serialization["reduction_s"] > 0
+    assert serialization["on_s"] < serialization["off_s"]
+
+
+def test_quick_document_passes_schema_validation():
+    cases = task_cases(
+        QUICK_DOCS, QUICK_PARAGRAPHS, QUICK_CANDIDATES, QUICK_UNIVERSE, QUICK_TWEETS
+    )
+    _, cells = compare_cases(cases)
+    serialization = kge_serialization_seconds(QUICK_CANDIDATES, QUICK_UNIVERSE)
+    doc = bench_document({"quick": True}, cells, serialization)
+    validate_document(doc)
+
+
+def main(argv=None):
+    """CI smoke entry: ``python benchmarks/bench_workflow.py --quick``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced dataset scales; skips writing BENCH_workflow.json",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        scales = (
+            QUICK_DOCS, QUICK_PARAGRAPHS, QUICK_CANDIDATES, QUICK_UNIVERSE,
+            QUICK_TWEETS,
+        )
+    else:
+        scales = (FULL_DOCS, FULL_PARAGRAPHS, FULL_CANDIDATES, FULL_UNIVERSE,
+                  FULL_TWEETS)
+    docs, paragraphs, candidates, universe, tweets = scales
+    table, cells = compare_cases(
+        task_cases(docs, paragraphs, candidates, universe, tweets)
+    )
+    serialization = kge_serialization_seconds(candidates, universe)
+    print(table)
+    print(
+        f"kge_scala serialization: {serialization['off_s']:.3f}s -> "
+        f"{serialization['on_s']:.3f}s "
+        f"({serialization['reduction_pct']:.1f}% less with pruning)"
+    )
+    problems = check_cells(cells)
+    if serialization["reduction_s"] <= 0:
+        problems.append("kge_scala: pruning did not shave serialization time")
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    if not args.quick:
+        config = {
+            "num_docs": docs,
+            "num_paragraphs": paragraphs,
+            "num_candidates": candidates,
+            "universe_size": universe,
+            "num_tweets": tweets,
+            "num_workers": 2,
+        }
+        doc = bench_document(config, cells, serialization)
+        validate_document(doc)
+        (REPO_ROOT / "BENCH_workflow.json").write_text(
+            json.dumps(doc, indent=1) + "\n", encoding="utf-8"
+        )
+        print("wrote BENCH_workflow.json")
+    print("\nworkflow smoke OK: identical rows everywhere, wire-bound plans faster")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

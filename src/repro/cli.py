@@ -64,6 +64,20 @@ appear as ``cache`` spans), ``--faults`` (reconstruction replays hit
 the cache) and ``--scheduler`` (the locality policy gains cache
 affinity).
 
+Workflow specs (``repro.workflow.spec``)::
+
+    python -m repro compile examples/workflows/dice.json
+    python -m repro --workflow examples/workflows/demo.json
+
+The ``compile`` subcommand parses and validates one
+``repro/workflow-spec@1`` JSON document — editing-time checks: grammar,
+unknown operator types, dangling links, cycles — and reports both
+compilation targets (pipelined workflow plan and Ray-like script plan).
+``--workflow FILE`` *runs* a self-contained spec (one without
+``$param`` bindings) through both paradigms and diffs the collected
+rows.  Bad specs exit 2 with the grammar on stderr, like every other
+spec surface.
+
 Multi-tenant job service (``repro.jobs``)::
 
     python -m repro jobs                                 # spec grammar + defaults
@@ -112,8 +126,10 @@ from repro.config import JobsConfig
 from repro.errors import (
     CacheSpecError,
     FaultSpecError,
+    InvalidWorkflow,
     JobsSpecError,
     MemSpecError,
+    WorkflowSpecError,
 )
 from repro.faults import FaultSchedule, faults_injected
 from repro.jobs import describe_jobs, parse_jobs_spec
@@ -179,6 +195,21 @@ FAULT_SPEC_HINT = """\
 spec grammar: seed=N[,tasks=N,operators=N,nodes=N,links=N,replicas=N,\
 ooms=N,horizon=S,outage=S,...] or a path to a schedule JSON
 example: --faults seed=7,tasks=2,nodes=1 (inspect with 'repro faults SPEC')"""
+
+#: Appended to workflow-spec errors from ``compile`` and ``--workflow``.
+WORKFLOW_SPEC_HELP = """\
+spec grammar: a repro/workflow-spec@1 JSON document
+  {"spec": "repro/workflow-spec@1", "name": NAME,
+   "operators": [{"id": ID, "type": TYPE, "config": {...}}, ...],
+   "links": [{"from": ID, "to": ID, "out": PORT, "in": PORT}, ...]}
+config values may use resolution forms:
+  {"$param": NAME}                  runtime binding (tables, datasets, costs)
+  {"$callable": "module:qualname"}  imported Python UDF
+  {"$schema": {FIELD: TYPE, ...}}   schema literal (int/float/string/bool/any)
+  {"$predicate": {...}}             declarative predicate tree
+examples: examples/workflows/*.json (the four paper tasks, $param-bound);
+examples/workflows/demo.json (self-contained, runnable via --workflow)"""
+
 
 #: Shown by the bare ``jobs`` subcommand alongside the default config.
 JOBS_SPEC_HELP = """\
@@ -266,6 +297,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="run with lineage-keyed result caching installed; SPEC is "
         "'on,cap=1gib,lookup=0.0001,...' (inspect with the 'cache' "
         "subcommand: 'repro cache SPEC')",
+    )
+    parser.add_argument(
+        "--workflow",
+        metavar="FILE",
+        default=None,
+        help="run a self-contained workflow-spec JSON through both "
+        "paradigms (pipelined engine and Ray-like script plan) and "
+        "diff the collected rows (validate with the 'compile' "
+        "subcommand: 'repro compile FILE')",
     )
     parser.add_argument(
         "--jobs",
@@ -364,6 +404,113 @@ def _handle_jobs(spec: Optional[str]) -> int:
     return 0
 
 
+def _register_task_operator_types() -> None:
+    """Import task workflow modules that register custom spec types.
+
+    ``repro.tasks`` deliberately avoids importing its subpackages, so
+    the CLI pulls in the two modules whose operators
+    (``kge_stage``, ``wef_ensemble_train``) task specs reference.
+    """
+    import repro.tasks.kge.workflow  # noqa: F401
+    import repro.tasks.wef.workflow  # noqa: F401
+
+
+def _handle_compile(source: Optional[str]) -> int:
+    """Validate one spec file; report both compilation targets."""
+    _register_task_operator_types()
+    from collections import Counter
+
+    from repro.rayx.compile import compile_script_plan
+    from repro.workflow.spec import build_workflow, operator_factory, read_spec
+
+    spec = read_spec(source)
+    for op in spec.operators:
+        operator_factory(op.type)  # unknown types name the catalogue
+    counts = Counter(op.type for op in spec.operators)
+    types = ", ".join(
+        f"{name} x{count}" if count > 1 else name
+        for name, count in sorted(counts.items())
+    )
+    print(f"workflow {spec.name!r} ({spec.version})")
+    print(f"  operators: {len(spec.operators)} ({types})")
+    print(f"  links: {len(spec.links)}")
+    params = spec.params()
+    if params:
+        print(f"  params: {', '.join(params)}")
+        print(
+            "  validation: structural OK (instantiation deferred: "
+            "$param bindings are supplied at run time)"
+        )
+        return 0
+    plan = compile_script_plan(build_workflow(spec))
+    print(
+        f"  workflow plan: {plan.workflow.num_operators} operators, "
+        f"{len(plan.workflow.links)} links"
+    )
+    print(f"  script plan: {plan.num_tasks} tasks")
+    print("  validation: OK (both paradigms compile)")
+    return 0
+
+
+def _run_workflow_file(path: str) -> int:
+    """Run a self-contained spec through both paradigms; diff rows."""
+    _register_task_operator_types()
+    from repro.cluster import build_cluster
+    from repro.rayx.compile import compile_script_plan
+    from repro.sim import Environment
+    from repro.workflow import run_workflow
+    from repro.workflow.spec import build_workflow, read_spec
+
+    spec = read_spec(path)
+    params = spec.params()
+    if params:
+        raise WorkflowSpecError(
+            f"spec references runtime bindings {params}; only "
+            f"self-contained specs run from the command line "
+            f"(inspect with 'repro compile {path}')"
+        )
+    workflow = build_workflow(spec)
+    cluster = build_cluster(Environment())
+    result = run_workflow(cluster, workflow)
+    plan = compile_script_plan(build_workflow(spec))
+    script_cluster = build_cluster(Environment())
+    script_tables = plan.run(cluster=script_cluster)
+
+    def multiset(table):
+        return sorted(tuple(map(str, row.values)) for row in table)
+
+    print(
+        f"workflow {spec.name!r}: {workflow.num_operators} operators, "
+        f"{len(workflow.links)} links"
+    )
+    print(
+        f"  workflow paradigm: {result.elapsed_s:.3f}s virtual "
+        f"({result.num_worker_instances} worker instances)"
+    )
+    print(
+        f"  script paradigm:   {script_cluster.env.now:.3f}s virtual "
+        f"({plan.num_tasks} tasks)"
+    )
+    identical = True
+    for sink_id, table in sorted(script_tables.items()):
+        engine_rows = multiset(result.results[sink_id])
+        script_rows = multiset(table)
+        match = engine_rows == script_rows
+        identical = identical and match
+        verdict = "identical" if match else "MISMATCH"
+        print(
+            f"  sink {sink_id!r}: {len(engine_rows)} rows (workflow) vs "
+            f"{len(script_rows)} rows (script) -- {verdict}"
+        )
+    if not identical:
+        print(
+            f"repro: --workflow: paradigms disagree on {path}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 @dataclass(frozen=True)
 class Subcommand:
     """One row of the dispatch table: an inspection subcommand."""
@@ -404,6 +551,11 @@ SUBCOMMANDS = {
         Subcommand(
             "jobs", "repro jobs [SPEC]", "optional", "jobs",
             _handle_jobs, (JobsSpecError,), JOBS_SPEC_HELP,
+        ),
+        Subcommand(
+            "compile", "repro compile FILE", "required", None,
+            _handle_compile, (WorkflowSpecError, InvalidWorkflow),
+            WORKFLOW_SPEC_HELP,
         ),
     )
 }
@@ -523,6 +675,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     code = _dispatch_subcommand(names, args)
     if code is not None:
         return code
+    if args.workflow is not None:
+        try:
+            return _run_workflow_file(args.workflow)
+        except (WorkflowSpecError, InvalidWorkflow) as exc:
+            print(
+                _spec_error("--workflow", exc, WORKFLOW_SPEC_HELP),
+                file=sys.stderr,
+            )
+            return 2
     if args.scheduler is not None and not valid_policy(args.scheduler):
         print(
             f"repro: --scheduler: unknown policy {args.scheduler!r}\n"

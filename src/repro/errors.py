@@ -89,6 +89,10 @@ class InvalidWorkflow(WorkflowError):
     """The workflow DAG failed validation (cycle, dangling port, ...)."""
 
 
+class WorkflowSpecError(WorkflowError):
+    """A JSON workflow spec was malformed (grammar or reference error)."""
+
+
 class OperatorError(WorkflowError):
     """An operator raised during execution; reported at operator level.
 

@@ -4,6 +4,7 @@ Substitute for the paper's Ray cluster; see DESIGN.md section 2.
 """
 
 from repro.rayx.actor import ActorHandle
+from repro.rayx.compile import ScriptPlan, ScriptTask, compile_script_plan
 from repro.rayx.objectref import ObjectRef
 from repro.rayx.objectstore import ObjectStore
 from repro.rayx.runtime import RayxRuntime, TaskContext, run_script
@@ -13,6 +14,9 @@ __all__ = [
     "ObjectRef",
     "ObjectStore",
     "RayxRuntime",
+    "ScriptPlan",
+    "ScriptTask",
     "TaskContext",
+    "compile_script_plan",
     "run_script",
 ]

@@ -1,0 +1,267 @@
+"""Compile a workflow spec into a Ray-like script plan.
+
+The dual-paradigm half of the spec layer
+(:mod:`repro.workflow.spec`): the same ``repro/workflow-spec@1``
+document that :func:`repro.workflow.spec.build_workflow` turns into a
+pipelined operator DAG compiles here into a *script* — a task graph of
+:meth:`RayxRuntime.submit` calls, one task per (operator, worker
+instance), exactly the shape a data scientist would hand-write against
+Ray (paper Section III-C).
+
+The compilation preserves the paradigm differences the paper measures:
+
+* **No pipelining.**  Each task materialises its operator's entire
+  output as one object-store value; consumers block on upstream refs
+  (``ray.get`` semantics via top-level ref dereferencing) instead of
+  streaming batches.
+* **Coarse compute.**  A task accumulates its executor's declared
+  charges and settles them in one ``ctx.compute`` / one
+  ``ctx.model_compute`` at the end — the script runtime sees operator
+  granularity, not tuple granularity.
+* **Explicit partitioning.**  Hash / round-robin / broadcast routing,
+  which the workflow engine does on the wire, happens *inside* the
+  consuming task over the concatenated upstream outputs — the rows a
+  worker receives form the same multisets either way.
+
+Row results are therefore identical across paradigms; elapsed virtual
+times are not (and are not meant to be).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple as PyTuple
+
+from repro.cluster import Cluster, build_cluster
+from repro.config import ReproConfig
+from repro.errors import InvalidWorkflow
+from repro.rayx.objectref import ObjectRef
+from repro.rayx.runtime import RayxRuntime, TaskContext, run_script
+from repro.relational import Schema, Table, Tuple
+from repro.sim import Environment
+from repro.workflow.dag import Workflow
+from repro.workflow.operator import LogicalOperator, SourceExecutor
+from repro.workflow.partitioning import stable_hash
+from repro.workflow.spec.loader import build_workflow
+from repro.workflow.spec.model import WorkflowSpec
+
+__all__ = ["ScriptTask", "ScriptPlan", "compile_script_plan"]
+
+
+@dataclass(frozen=True)
+class ScriptTask:
+    """One planned ``submit`` call: an operator's worker instance."""
+
+    label: str
+    operator_id: str
+    worker_index: int
+    #: Labels of the upstream tasks whose refs this task receives.
+    upstream: PyTuple[str, ...]
+
+    def __repr__(self) -> str:
+        deps = ", ".join(self.upstream) or "-"
+        return f"<ScriptTask {self.label} <- {deps}>"
+
+
+def _task_label(operator_id: str, worker_index: int) -> str:
+    return f"{operator_id}#{worker_index}"
+
+
+def _worker_share(
+    rows: List[Tuple],
+    operator: LogicalOperator,
+    port: int,
+    worker_index: int,
+) -> List[Tuple]:
+    """The slice of ``rows`` this worker instance consumes.
+
+    Mirrors :mod:`repro.workflow.partitioning` applied to the
+    concatenated upstream output (deterministic producer order), so
+    each worker sees the same multiset of rows as its engine
+    counterpart's partitioner routes to it.
+    """
+    num_workers = operator.num_workers
+    strategy = operator.partition_strategy(port)
+    if strategy == "broadcast":
+        return rows
+    if num_workers == 1:
+        return rows
+    if strategy == "hash":
+        key = operator.partition_key(port)
+        if key is None:
+            raise InvalidWorkflow(
+                f"operator {operator.operator_id!r}: hash partitioning on "
+                f"port {port} without a partition key"
+            )
+        return [
+            row for row in rows if stable_hash(row[key]) % num_workers == worker_index
+        ]
+    # Round-robin over the concatenated stream.
+    return rows[worker_index :: num_workers]
+
+
+def _make_task(
+    operator: LogicalOperator,
+    worker_index: int,
+    port_ref_counts: Sequence[int],
+):
+    """Build the remote task body for one (operator, worker) pair.
+
+    The task receives the flattened upstream chunk values (the runtime
+    dereferences top-level refs on the task's node, charging the
+    object-store transfer), regroups them by input port using
+    ``port_ref_counts``, selects this worker's share, and drives the
+    executor lifecycle eagerly — charging all accumulated virtual time
+    in one settlement at the end.
+    """
+
+    def task(ctx: TaskContext, *chunks: List[Tuple]) -> Generator:
+        executor = operator.create_executor(worker_index)
+        executor.open()
+        seconds, flops = executor.pending.take()
+        out: List[Tuple] = []
+        if isinstance(executor, SourceExecutor):
+            cost = operator.tuple_cost_s(0)
+            for row in executor.produce():
+                extra_s, extra_f = executor.pending.take()
+                seconds += cost + extra_s
+                flops += extra_f
+                out.append(row)
+        else:
+            offset = 0
+            for port, count in enumerate(port_ref_counts):
+                incoming = [
+                    row
+                    for chunk in chunks[offset : offset + count]
+                    for row in chunk
+                ]
+                offset += count
+                cost = operator.tuple_cost_s(port)
+                for row in _worker_share(incoming, operator, port, worker_index):
+                    out.extend(executor.process_tuple(row, port))
+                    extra_s, extra_f = executor.pending.take()
+                    seconds += cost + extra_s
+                    flops += extra_f
+                out.extend(executor.on_finish(port))
+                extra_s, extra_f = executor.pending.take()
+                seconds += extra_s
+                flops += extra_f
+        executor.close()
+        extra_s, extra_f = executor.pending.take()
+        seconds += extra_s
+        flops += extra_f
+        # One coarse settlement: the script paradigm charges at task
+        # granularity, not tuple granularity (no pipelining).
+        if seconds > 0:
+            yield from ctx.compute(seconds)
+        if flops > 0:
+            yield from ctx.model_compute(flops)
+        if operator.is_sink:
+            # Sink executors collect rather than emit.
+            return list(executor.rows)
+        return out
+
+    task.__name__ = _task_label(operator.operator_id, worker_index)
+    return task
+
+
+class ScriptPlan:
+    """A workflow compiled to the script paradigm.
+
+    ``tasks`` lists the planned submissions in dependency order;
+    :meth:`driver` is a ready-to-run :func:`repro.rayx.run_script`
+    driver returning ``{sink_id: Table}``; :meth:`run` is the one-call
+    convenience wrapper.
+    """
+
+    def __init__(self, workflow: Workflow) -> None:
+        self.workflow = workflow
+        #: Output schemas per operator (compiling also runs the full
+        #: GUI-time validation, so a bad plan fails here, not mid-run).
+        self.schemas: Dict[str, Schema] = workflow.compile_schemas()
+        self.tasks: List[ScriptTask] = []
+        for operator in workflow.topological_order():
+            upstream: List[str] = []
+            for link in workflow.in_links(operator.operator_id):
+                producer = workflow.operators[link.producer_id]
+                upstream.extend(
+                    _task_label(producer.operator_id, w)
+                    for w in range(producer.num_workers)
+                )
+            for w in range(operator.num_workers):
+                self.tasks.append(
+                    ScriptTask(
+                        label=_task_label(operator.operator_id, w),
+                        operator_id=operator.operator_id,
+                        worker_index=w,
+                        upstream=tuple(upstream),
+                    )
+                )
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+    def driver(self, runtime: RayxRuntime) -> Generator:
+        """Submit the task graph; gather sink rows into tables."""
+        workflow = self.workflow
+        refs: Dict[str, List[ObjectRef]] = {}
+        for operator in workflow.topological_order():
+            in_links = workflow.in_links(operator.operator_id)
+            port_ref_counts = [
+                workflow.operators[link.producer_id].num_workers
+                for link in in_links
+            ]
+            args: List[ObjectRef] = []
+            for link in in_links:
+                args.extend(refs[link.producer_id])
+            refs[operator.operator_id] = [
+                runtime.submit(
+                    _make_task(operator, w, port_ref_counts),
+                    *args,
+                    label=_task_label(operator.operator_id, w),
+                )
+                for w in range(operator.num_workers)
+            ]
+        results: Dict[str, Table] = {}
+        for sink in workflow.sinks():
+            chunks = yield from runtime.get_all(refs[sink.operator_id])
+            rows = [row for chunk in chunks for row in chunk]
+            results[sink.operator_id] = Table(self.schemas[sink.operator_id], rows)
+        return results
+
+    def run(
+        self,
+        cluster: Optional[Cluster] = None,
+        num_cpus: int = 4,
+        config: Optional[ReproConfig] = None,
+    ) -> Dict[str, Table]:
+        """Execute the plan; returns the collected sink tables.
+
+        Builds the paper's testbed cluster when none is given; read
+        the elapsed virtual time from ``cluster.env.now``.
+        """
+        if cluster is None:
+            cluster = build_cluster(Environment(), config)
+        return run_script(cluster, self.driver, num_cpus=num_cpus, config=config)
+
+
+def compile_script_plan(
+    source: Any, bindings: Optional[Dict[str, Any]] = None
+) -> ScriptPlan:
+    """Compile a spec (or built workflow) to a :class:`ScriptPlan`.
+
+    ``source`` may be a :class:`WorkflowSpec`, a raw spec document
+    (``dict``), or an already-built :class:`Workflow` — the latter lets
+    callers compile the output of the logical optimizer.
+    """
+    if isinstance(source, Workflow):
+        workflow = source
+    else:
+        spec = (
+            source
+            if isinstance(source, WorkflowSpec)
+            else WorkflowSpec.from_json(source)
+        )
+        workflow = build_workflow(spec, bindings)
+    return ScriptPlan(workflow)

@@ -11,7 +11,7 @@ carries a human-readable :meth:`describe` for progress/debug output.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Optional, Sequence
 
 from repro.relational.tup import Tuple
 
@@ -32,11 +32,22 @@ __all__ = [
 
 
 class Predicate:
-    """A boolean function of a tuple with a description."""
+    """A boolean function of a tuple with a description.
 
-    def __init__(self, fn: Callable[[Tuple], bool], description: str) -> None:
+    ``columns`` optionally names the input columns the predicate reads
+    (None = unknown, e.g. an arbitrary UDF).  The workflow optimizer's
+    dead-column pruning consults it; evaluation never does.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[Tuple], bool],
+        description: str,
+        columns: Optional[Iterable[str]] = None,
+    ) -> None:
         self._fn = fn
         self.description = description
+        self.columns = frozenset(columns) if columns is not None else None
 
     def __call__(self, row: Tuple) -> bool:
         return bool(self._fn(row))
@@ -50,60 +61,84 @@ class Predicate:
 
 def column_equals(name: str, value: Any) -> Predicate:
     """``row[name] == value``"""
-    return Predicate(lambda row: row[name] == value, f"{name} == {value!r}")
+    return Predicate(lambda row: row[name] == value, f"{name} == {value!r}", [name])
 
 
 def column_not_equals(name: str, value: Any) -> Predicate:
     """``row[name] != value``"""
-    return Predicate(lambda row: row[name] != value, f"{name} != {value!r}")
+    return Predicate(lambda row: row[name] != value, f"{name} != {value!r}", [name])
 
 
 def column_in(name: str, values: Iterable[Any]) -> Predicate:
     """``row[name] in values`` (values are frozen into a set)."""
     frozen = frozenset(values)
-    return Predicate(lambda row: row[name] in frozen, f"{name} in {sorted(frozen)!r}")
+    return Predicate(
+        lambda row: row[name] in frozen, f"{name} in {sorted(frozen)!r}", [name]
+    )
 
 
 def column_not_in(name: str, values: Iterable[Any]) -> Predicate:
     """``row[name] not in values``"""
     frozen = frozenset(values)
     return Predicate(
-        lambda row: row[name] not in frozen, f"{name} not in {sorted(frozen)!r}"
+        lambda row: row[name] not in frozen,
+        f"{name} not in {sorted(frozen)!r}",
+        [name],
     )
 
 
 def column_greater(name: str, value: Any) -> Predicate:
     """``row[name] > value``"""
-    return Predicate(lambda row: row[name] > value, f"{name} > {value!r}")
+    return Predicate(lambda row: row[name] > value, f"{name} > {value!r}", [name])
 
 
 def column_less(name: str, value: Any) -> Predicate:
     """``row[name] < value``"""
-    return Predicate(lambda row: row[name] < value, f"{name} < {value!r}")
+    return Predicate(lambda row: row[name] < value, f"{name} < {value!r}", [name])
 
 
 def column_is_not_null(name: str) -> Predicate:
     """``row[name] is not None``"""
-    return Predicate(lambda row: row[name] is not None, f"{name} is not null")
+    return Predicate(
+        lambda row: row[name] is not None, f"{name} is not null", [name]
+    )
+
+
+def _merged_columns(predicates: Sequence[Predicate]):
+    """Union of known column sets; None as soon as any part is unknown."""
+    merged = set()
+    for predicate in predicates:
+        if predicate.columns is None:
+            return None
+        merged |= predicate.columns
+    return merged
 
 
 def all_of(predicates: Sequence[Predicate]) -> Predicate:
     """Conjunction of predicates."""
     preds = list(predicates)
     description = " and ".join(f"({p.describe()})" for p in preds) or "true"
-    return Predicate(lambda row: all(p(row) for p in preds), description)
+    return Predicate(
+        lambda row: all(p(row) for p in preds), description, _merged_columns(preds)
+    )
 
 
 def any_of(predicates: Sequence[Predicate]) -> Predicate:
     """Disjunction of predicates."""
     preds = list(predicates)
     description = " or ".join(f"({p.describe()})" for p in preds) or "false"
-    return Predicate(lambda row: any(p(row) for p in preds), description)
+    return Predicate(
+        lambda row: any(p(row) for p in preds), description, _merged_columns(preds)
+    )
 
 
 def negate(predicate: Predicate) -> Predicate:
     """Logical negation."""
-    return Predicate(lambda row: not predicate(row), f"not ({predicate.describe()})")
+    return Predicate(
+        lambda row: not predicate(row),
+        f"not ({predicate.describe()})",
+        predicate.columns,
+    )
 
 
 def udf_predicate(fn: Callable[[Tuple], bool], description: str = "udf") -> Predicate:

@@ -6,16 +6,22 @@ installation, the model "loaded ... and distributed through the
 network to each worker" of the paper's Section IV-E — and runs the
 forward pass *unpinned* (Texera does not restrict PyTorch's cores),
 which is the other half of the workflow side's GOTTA advantage.
+
+The DAG itself is a spec: the canonical JSON lives in
+``examples/workflows/gotta.json`` and :func:`gotta_spec_dict` below
+regenerates the identical document (pinned by a unit test).  Runtime
+data — the item table, worker count and the measured model-load cost —
+enters through ``$param`` bindings.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Dict, Sequence
 
 from repro.cluster import Cluster
 from repro.datasets.fsqa import FsqaParagraph
 from repro.relational import Tuple
-from repro.tasks.base import PARADIGM_WORKFLOW, TaskRun, run_trace_of
+from repro.tasks.base import PARADIGM_WORKFLOW, TaskRun, run_trace_of, task_spec
 from repro.tasks.gotta.common import (
     GOTTA_COSTS,
     PREDICTION_SCHEMA,
@@ -24,9 +30,15 @@ from repro.tasks.gotta.common import (
     make_bart,
 )
 from repro.workflow import Workflow, run_workflow
-from repro.workflow.operators import ModelApplyOperator, SinkOperator, TableSource
+from repro.workflow.spec import (
+    SPEC_VERSION,
+    build_workflow,
+    callable_form,
+    param_form,
+    schema_form,
+)
 
-__all__ = ["build_gotta_workflow", "run_gotta_workflow"]
+__all__ = ["build_gotta_workflow", "gotta_spec_dict", "run_gotta_workflow"]
 
 
 def _apply(model, row: Tuple):
@@ -42,37 +54,67 @@ def _apply(model, row: Tuple):
     ]
 
 
+def _generation_flops(model, row: Tuple) -> float:
+    return model.generation_flops(row["prompt"], row["context"])
+
+
+def gotta_spec_dict() -> Dict[str, Any]:
+    """The Figure 6 inference DAG as a spec document."""
+    return {
+        "spec": SPEC_VERSION,
+        "name": "gotta",
+        "operators": [
+            {
+                "id": "qa-items",
+                "type": "table_source",
+                "config": {
+                    "table": param_form("items"),
+                    "output_batch_size": 8,
+                },
+            },
+            # Model load cost per worker instance: disk read + installation.
+            {
+                "id": "bart-generate",
+                "type": "model_apply",
+                "config": {
+                    "output_schema": schema_form(PREDICTION_SCHEMA),
+                    "loader": callable_form(make_bart),
+                    "apply_fn": callable_form(_apply),
+                    "flops_fn": callable_form(_generation_flops),
+                    "load_seconds": param_form("load_seconds"),
+                    "num_workers": param_form("num_workers"),
+                    "per_tuple_work_s": GOTTA_COSTS.prepare_per_item_s,
+                    "output_batch_size": 8,
+                },
+            },
+            {
+                "id": "predictions",
+                "type": "sink",
+                "config": {"per_tuple_work_s": GOTTA_COSTS.evaluate_per_item_s},
+            },
+        ],
+        "links": [
+            {"from": "qa-items", "to": "bart-generate", "out": 0, "in": 0},
+            {"from": "bart-generate", "to": "predictions", "out": 0, "in": 0},
+        ],
+    }
+
+
 def build_gotta_workflow(
     paragraphs: Sequence[FsqaParagraph],
     num_workers: int = 1,
     load_seconds: float = None,
 ) -> Workflow:
-    """Assemble the Figure 6 inference DAG."""
-    wf = Workflow("gotta")
-    source = wf.add_operator(
-        TableSource("qa-items", items_table(paragraphs)).with_output_batch_size(8)
+    """Compile the GOTTA spec with runtime bindings."""
+    spec = task_spec("gotta.json", gotta_spec_dict)
+    return build_workflow(
+        spec,
+        {
+            "items": items_table(paragraphs),
+            "num_workers": num_workers,
+            "load_seconds": load_seconds,
+        },
     )
-    # Model load cost per worker instance: disk read + installation.
-    generate = wf.add_operator(
-        ModelApplyOperator(
-            "bart-generate",
-            PREDICTION_SCHEMA,
-            loader=make_bart,
-            apply_fn=_apply,
-            flops_fn=lambda model, row: model.generation_flops(
-                row["prompt"], row["context"]
-            ),
-            load_seconds=load_seconds,
-            num_workers=num_workers,
-            per_tuple_work_s=GOTTA_COSTS.prepare_per_item_s,
-        ).with_output_batch_size(8)
-    )
-    sink = wf.add_operator(
-        SinkOperator("predictions", per_tuple_work_s=GOTTA_COSTS.evaluate_per_item_s)
-    )
-    wf.link(source, generate)
-    wf.link(generate, sink)
-    return wf
 
 
 def run_gotta_workflow(

@@ -17,23 +17,23 @@ operators, with two experiment axes:
   chain streams the same table ~7x cheaper but adds two cross-language
   edges whose per-tuple bridge cost grows with the candidate count —
   which is why the Scala advantage collapses at 68k (Table I).
+
+Each (fusion, language) variant is a spec document produced by
+:func:`kge_spec_dict`; the default (5 ops, Python join) is committed
+as ``examples/workflows/kge.json`` and pinned by a unit test.  The
+dataset, model config and worker count bind at load time via
+``$param``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple as PyTuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple as PyTuple
 
 from repro.cluster import Cluster
 from repro.datasets.amazon import PRODUCT_SCHEMA, PURCHASE_RELATION
 from repro.errors import InvalidWorkflow
-from repro.relational import (
-    FieldType,
-    Schema,
-    Table,
-    Tuple,
-    column_is_not_null,
-)
-from repro.tasks.base import PARADIGM_WORKFLOW, TaskRun, run_trace_of
+from repro.relational import FieldType, Schema, Table, Tuple
+from repro.tasks.base import PARADIGM_WORKFLOW, TaskRun, run_trace_of, task_spec
 from repro.tasks.kge.common import (
     EMBEDDED_SCHEMA,
     KGE_COSTS,
@@ -43,18 +43,20 @@ from repro.tasks.kge.common import (
 )
 from repro.workflow import LogicalOperator, OperatorExecutor, Workflow, run_workflow
 from repro.workflow.language import OperatorLanguage
-from repro.workflow.operators import (
-    FilterOperator,
-    HashJoinOperator,
-    MapOperator,
-    ProjectionOperator,
-    SinkOperator,
-    TableSource,
+from repro.workflow.spec import (
+    SPEC_VERSION,
+    WorkflowSpec,
+    build_workflow,
+    callable_form,
+    param_form,
+    register_operator_type,
+    schema_form,
 )
 
 __all__ = [
     "KgeStageOperator",
     "build_kge_workflow",
+    "kge_spec_dict",
     "run_kge_workflow",
     "STAGE_FUSIONS",
 ]
@@ -231,127 +233,147 @@ class KgeStageOperator(LogicalOperator):
         return _KgeStageExecutor(self)
 
 
-def _add_scala_join_chain(
-    wf: Workflow, dataset: KgeDataset, num_workers: int
-) -> PyTuple[LogicalOperator, LogicalOperator]:
-    """The paper's nine Scala operators implementing the table join.
+register_operator_type("kge_stage", KgeStageOperator)
 
-    Returns (probe_entry, chain_exit): link the upstream product stream
-    into ``probe_entry``'s port 1 and downstream from ``chain_exit``.
-    """
+#: Schema of the Scala chain's streamed embedding table.
+_TABLE_SCHEMA = Schema.of(entity_id=FieldType.STRING, embedding=FieldType.ANY)
+
+
+def _table_values(row: Tuple):
+    return [row["entity_id"], row["embedding"]]
+
+
+def _embedded_values(row: Tuple):
+    return [row["product_id"], row["name"], row["price"], row["embedding"]]
+
+
+def _row_values(row: Tuple):
+    return list(row.values)
+
+
+def _scala_join_operators(num_workers_form: Any) -> List[Dict[str, Any]]:
+    """The paper's nine Scala operators implementing the table join."""
     costs = KGE_COSTS
-    scala = OperatorLanguage.SCALA
-    table_schema = Schema.of(entity_id=FieldType.STRING, embedding=FieldType.ANY)
-    table = Table.from_rows(
-        table_schema, ([eid, emb] for eid, emb in dataset.model.embedding_table())
-    )
-    # 1-3: stream, project and partition the full embedding table.
-    src = wf.add_operator(
-        TableSource(
-            "scala-embedding-table",
-            table,
-            language=scala,
-            per_tuple_work_s=costs.scala_table_work_per_entity_s,
-        )
-    )
-    project = wf.add_operator(
-        ProjectionOperator(
-            "scala-project-table",
-            ["entity_id", "embedding"],
-            language=scala,
-            per_tuple_work_s=1.0e-5,
-        )
-    )
-    partition = wf.add_operator(
-        MapOperator(
-            "scala-partition-table",
-            table_schema,
-            lambda row: [row["entity_id"], row["embedding"]],
-            language=scala,
-            per_tuple_work_s=1.0e-5,
-            num_workers=num_workers,
-        )
-    )
-    # 4: the join itself.
-    join = wf.add_operator(
-        HashJoinOperator(
-            "scala-hash-join",
-            build_key="entity_id",
-            probe_key="product_id",
-            language=scala,
-            per_tuple_work_s=6.0e-5,
-            build_extra_work_s=2.0e-5,
-            num_workers=num_workers,
-        )
-    )
-    # 5-9: normalize the join output back to the pipeline's shape.
-    to_embedded = wf.add_operator(
-        MapOperator(
-            "scala-normalize",
-            EMBEDDED_SCHEMA,
-            lambda row: [row["product_id"], row["name"], row["price"], row["embedding"]],
-            language=scala,
-            per_tuple_work_s=1.0e-5,
-            num_workers=num_workers,
-        )
-    )
-    validate = wf.add_operator(
-        FilterOperator(
-            "scala-validate",
-            column_is_not_null("embedding"),
-            language=scala,
-            per_tuple_work_s=1.0e-5,
-            num_workers=num_workers,
-        )
-    )
-    cast = wf.add_operator(
-        MapOperator(
-            "scala-cast",
-            EMBEDDED_SCHEMA,
-            lambda row: list(row.values),
-            language=scala,
-            per_tuple_work_s=1.0e-5,
-            num_workers=num_workers,
-        )
-    )
-    dedup = wf.add_operator(
-        MapOperator(
-            "scala-dedup-check",
-            EMBEDDED_SCHEMA,
-            lambda row: list(row.values),
-            language=scala,
-            per_tuple_work_s=1.0e-5,
-            num_workers=num_workers,
-        )
-    )
-    final = wf.add_operator(
-        ProjectionOperator(
-            "scala-format",
-            ["product_id", "name", "price", "embedding"],
-            language=scala,
-            per_tuple_work_s=1.0e-5,
-            num_workers=num_workers,
-        )
-    )
-    wf.link(src, project)
-    wf.link(project, partition)
-    wf.link(partition, join, input_port=0)  # build: embedding table
-    wf.link(join, to_embedded)
-    wf.link(to_embedded, validate)
-    wf.link(validate, cast)
-    wf.link(cast, dedup)
-    wf.link(dedup, final)
-    return join, final
+    return [
+        # 1-3: stream, project and partition the full embedding table.
+        {
+            "id": "scala-embedding-table",
+            "type": "table_source",
+            "config": {
+                "table": param_form("embedding_table"),
+                "language": "scala",
+                "per_tuple_work_s": costs.scala_table_work_per_entity_s,
+            },
+        },
+        {
+            "id": "scala-project-table",
+            "type": "projection",
+            "config": {
+                "columns": ["entity_id", "embedding"],
+                "language": "scala",
+                "per_tuple_work_s": 1.0e-5,
+            },
+        },
+        {
+            "id": "scala-partition-table",
+            "type": "map",
+            "config": {
+                "output_schema": schema_form(_TABLE_SCHEMA),
+                "fn": callable_form(_table_values),
+                "language": "scala",
+                "per_tuple_work_s": 1.0e-5,
+                "num_workers": num_workers_form,
+            },
+        },
+        # 4: the join itself.
+        {
+            "id": "scala-hash-join",
+            "type": "hash_join",
+            "config": {
+                "build_key": "entity_id",
+                "probe_key": "product_id",
+                "language": "scala",
+                "per_tuple_work_s": 6.0e-5,
+                "build_extra_work_s": 2.0e-5,
+                "num_workers": num_workers_form,
+            },
+        },
+        # 5-9: normalize the join output back to the pipeline's shape.
+        {
+            "id": "scala-normalize",
+            "type": "map",
+            "config": {
+                "output_schema": schema_form(EMBEDDED_SCHEMA),
+                "fn": callable_form(_embedded_values),
+                "language": "scala",
+                "per_tuple_work_s": 1.0e-5,
+                "num_workers": num_workers_form,
+            },
+        },
+        {
+            "id": "scala-validate",
+            "type": "filter",
+            "config": {
+                "predicate": {
+                    "$predicate": {"op": "is_not_null", "column": "embedding"}
+                },
+                "language": "scala",
+                "per_tuple_work_s": 1.0e-5,
+                "num_workers": num_workers_form,
+            },
+        },
+        {
+            "id": "scala-cast",
+            "type": "map",
+            "config": {
+                "output_schema": schema_form(EMBEDDED_SCHEMA),
+                "fn": callable_form(_row_values),
+                "language": "scala",
+                "per_tuple_work_s": 1.0e-5,
+                "num_workers": num_workers_form,
+            },
+        },
+        {
+            "id": "scala-dedup-check",
+            "type": "map",
+            "config": {
+                "output_schema": schema_form(EMBEDDED_SCHEMA),
+                "fn": callable_form(_row_values),
+                "language": "scala",
+                "per_tuple_work_s": 1.0e-5,
+                "num_workers": num_workers_form,
+            },
+        },
+        {
+            "id": "scala-format",
+            "type": "projection",
+            "config": {
+                "columns": ["product_id", "name", "price", "embedding"],
+                "language": "scala",
+                "per_tuple_work_s": 1.0e-5,
+                "num_workers": num_workers_form,
+            },
+        },
+    ]
 
 
-def build_kge_workflow(
-    dataset: KgeDataset,
-    num_processing_ops: int = 5,
-    join_language: str = "python",
-    num_workers: int = 1,
-    models_config=None,
-) -> Workflow:
-    """Assemble the Figure 7 DAG with the requested fusion/language."""
+_SCALA_CHAIN_LINKS = [
+    {"from": "scala-embedding-table", "to": "scala-project-table", "out": 0, "in": 0},
+    {"from": "scala-project-table", "to": "scala-partition-table", "out": 0, "in": 0},
+    # build: embedding table
+    {"from": "scala-partition-table", "to": "scala-hash-join", "out": 0, "in": 0},
+    {"from": "scala-hash-join", "to": "scala-normalize", "out": 0, "in": 0},
+    {"from": "scala-normalize", "to": "scala-validate", "out": 0, "in": 0},
+    {"from": "scala-validate", "to": "scala-cast", "out": 0, "in": 0},
+    {"from": "scala-cast", "to": "scala-dedup-check", "out": 0, "in": 0},
+    {"from": "scala-dedup-check", "to": "scala-format", "out": 0, "in": 0},
+]
+
+
+def kge_spec_dict(
+    num_processing_ops: int = 5, join_language: str = "python"
+) -> Dict[str, Any]:
+    """The Figure 7 DAG for one (fusion, language) point as a spec."""
     if num_processing_ops not in STAGE_FUSIONS:
         raise InvalidWorkflow(
             f"num_processing_ops must be in {sorted(STAGE_FUSIONS)}, "
@@ -364,34 +386,82 @@ def build_kge_workflow(
             "the Scala variant replaces the join of the 3-operator "
             "implementation (paper Section IV-D); use num_processing_ops=3"
         )
+    workers = param_form("num_workers")
+    operators: List[Dict[str, Any]] = [
+        {
+            "id": "candidates",
+            "type": "table_source",
+            "config": {"table": param_form("candidates"), "num_workers": 1},
+        }
+    ]
+    links: List[Dict[str, Any]] = []
+    upstream = "candidates"
+    for group in STAGE_FUSIONS[num_processing_ops]:
+        if join_language == "scala" and group == ("join",):
+            operators.extend(_scala_join_operators(workers))
+            links.extend(_SCALA_CHAIN_LINKS)
+            # probe: products
+            links.append(
+                {"from": upstream, "to": "scala-hash-join", "out": 0, "in": 1}
+            )
+            upstream = "scala-format"
+            continue
+        stage_id = "-".join(group)
+        operators.append(
+            {
+                "id": stage_id,
+                "type": "kge_stage",
+                "config": {
+                    "dataset": param_form("dataset"),
+                    "stages": list(group),
+                    "models_config": param_form("models_config"),
+                    "num_workers": workers,
+                },
+            }
+        )
+        links.append({"from": upstream, "to": stage_id, "out": 0, "in": 0})
+        upstream = stage_id
+    operators.append({"id": "recommendations", "type": "sink", "config": {}})
+    links.append({"from": upstream, "to": "recommendations", "out": 0, "in": 0})
+    return {
+        "spec": SPEC_VERSION,
+        "name": f"kge-{num_processing_ops}ops-{join_language}",
+        "operators": operators,
+        "links": links,
+    }
+
+
+def _default_kge_spec_dict() -> Dict[str, Any]:
+    return kge_spec_dict(5, "python")
+
+
+def build_kge_workflow(
+    dataset: KgeDataset,
+    num_processing_ops: int = 5,
+    join_language: str = "python",
+    num_workers: int = 1,
+    models_config=None,
+) -> Workflow:
+    """Compile the Figure 7 spec with the requested fusion/language."""
     from repro.config import default_config
 
     models_config = models_config or default_config().models
-    wf = Workflow(f"kge-{num_processing_ops}ops-{join_language}")
-    source = wf.add_operator(
-        TableSource("candidates", dataset.candidates_table, num_workers=1)
-    )
-    upstream: LogicalOperator = source
-    for group in STAGE_FUSIONS[num_processing_ops]:
-        if join_language == "scala" and group == ("join",):
-            join_entry, chain_exit = _add_scala_join_chain(wf, dataset, num_workers)
-            wf.link(upstream, join_entry, input_port=1)  # probe: products
-            upstream = chain_exit
-            continue
-        operator = wf.add_operator(
-            KgeStageOperator(
-                "-".join(group),
-                dataset,
-                group,
-                models_config,
-                num_workers=num_workers,
-            )
+    if (num_processing_ops, join_language) == (5, "python"):
+        spec = task_spec("kge.json", _default_kge_spec_dict)
+    else:
+        spec = WorkflowSpec.from_json(kge_spec_dict(num_processing_ops, join_language))
+    bindings: Dict[str, Any] = {
+        "candidates": dataset.candidates_table,
+        "dataset": dataset,
+        "models_config": models_config,
+        "num_workers": num_workers,
+    }
+    if join_language == "scala":
+        bindings["embedding_table"] = Table.from_rows(
+            _TABLE_SCHEMA,
+            ([eid, emb] for eid, emb in dataset.model.embedding_table()),
         )
-        wf.link(upstream, operator)
-        upstream = operator
-    sink = wf.add_operator(SinkOperator("recommendations"))
-    wf.link(upstream, sink)
-    return wf
+    return build_workflow(spec, bindings)
 
 
 def run_kge_workflow(

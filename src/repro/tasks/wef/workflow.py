@@ -19,12 +19,12 @@ operator built on the public extension API
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Any, Dict, Iterable, List, Sequence
 
 from repro.cluster import Cluster
 from repro.datasets.wildfire import FRAMINGS, LabeledTweet
 from repro.relational import Schema, Tuple
-from repro.tasks.base import PARADIGM_WORKFLOW, TaskRun, run_trace_of
+from repro.tasks.base import PARADIGM_WORKFLOW, TaskRun, run_trace_of, task_spec
 from repro.tasks.wef.common import (
     LOSS_SCHEMA,
     WEF_COSTS,
@@ -32,9 +32,19 @@ from repro.tasks.wef.common import (
     tweets_table,
 )
 from repro.workflow import LogicalOperator, OperatorExecutor, Workflow, run_workflow
-from repro.workflow.operators import SinkOperator, TableSource
+from repro.workflow.spec import (
+    SPEC_VERSION,
+    build_workflow,
+    param_form,
+    register_operator_type,
+)
 
-__all__ = ["EnsembleTrainOperator", "build_wef_workflow", "run_wef_workflow"]
+__all__ = [
+    "EnsembleTrainOperator",
+    "build_wef_workflow",
+    "run_wef_workflow",
+    "wef_spec_dict",
+]
 
 
 class _EnsembleTrainExecutor(OperatorExecutor):
@@ -103,15 +113,45 @@ class EnsembleTrainOperator(LogicalOperator):
         return _EnsembleTrainExecutor(self)
 
 
+# The spec layer refers to the custom operator by this type name — the
+# extension hook GUI systems expose as "install a custom operator".
+register_operator_type("wef_ensemble_train", EnsembleTrainOperator)
+
+
+def wef_spec_dict() -> Dict[str, Any]:
+    """The Figure 5 ensemble-training DAG as a spec document."""
+    return {
+        "spec": SPEC_VERSION,
+        "name": "wef",
+        "operators": [
+            {
+                "id": "tweets",
+                "type": "table_source",
+                "config": {"table": param_form("tweets")},
+            },
+            {
+                "id": "train-framing-ensemble",
+                "type": "wef_ensemble_train",
+                "config": {},
+            },
+            {"id": "training-summary", "type": "sink", "config": {}},
+        ],
+        "links": [
+            {"from": "tweets", "to": "train-framing-ensemble", "out": 0, "in": 0},
+            {
+                "from": "train-framing-ensemble",
+                "to": "training-summary",
+                "out": 0,
+                "in": 0,
+            },
+        ],
+    }
+
+
 def build_wef_workflow(tweets: Sequence[LabeledTweet]) -> Workflow:
-    """Assemble the Figure 5 ensemble-training DAG."""
-    wf = Workflow("wef")
-    source = wf.add_operator(TableSource("tweets", tweets_table(tweets)))
-    train = wf.add_operator(EnsembleTrainOperator("train-framing-ensemble"))
-    sink = wf.add_operator(SinkOperator("training-summary"))
-    wf.link(source, train)
-    wf.link(train, sink)
-    return wf
+    """Compile the WEF spec with the tweet table bound at runtime."""
+    spec = task_spec("wef.json", wef_spec_dict)
+    return build_workflow(spec, {"tweets": tweets_table(tweets)})
 
 
 def run_wef_workflow(cluster: Cluster, tweets: Sequence[LabeledTweet]) -> TaskRun:

@@ -10,13 +10,19 @@ configuration errors surface before execution (paper Section III-A:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from repro.errors import InvalidWorkflow
+from repro.errors import InvalidWorkflow, SchemaError
 from repro.relational import Schema
 from repro.workflow.operator import LogicalOperator
 
 __all__ = ["Link", "Workflow"]
+
+
+def _port_range(count: int, side: str) -> str:
+    if count == 0:
+        return f"operator has no {side} ports"
+    return f"valid {side} ports: 0..{count - 1}"
 
 
 @dataclass(frozen=True)
@@ -42,6 +48,11 @@ class Workflow:
         self.name = name
         self.operators: Dict[str, LogicalOperator] = {}
         self.links: List[Link] = []
+        #: Co-location hints (operator_id -> group label), filled by
+        #: the logical optimizer; the engine forwards them to
+        #: ``repro.sched`` as ``colocate_key``s.  Empty on hand-built
+        #: workflows, so placement stays seed-identical by default.
+        self.placement_hints: Dict[str, str] = {}
 
     # -- construction ---------------------------------------------------------
 
@@ -62,15 +73,22 @@ class Workflow:
         input_port: int = 0,
     ) -> Link:
         """Connect ``producer[output_port]`` to ``consumer[input_port]``."""
-        self._require_operator(producer.operator_id)
-        self._require_operator(consumer.operator_id)
+        attempted = Link(
+            producer.operator_id, output_port, consumer.operator_id, input_port
+        )
+        self._require_operator(producer.operator_id, attempted)
+        self._require_operator(consumer.operator_id, attempted)
         if not 0 <= output_port < producer.num_output_ports:
             raise InvalidWorkflow(
-                f"{producer.operator_id!r} has no output port {output_port}"
+                f"dangling link {attempted!r}: operator "
+                f"{producer.operator_id!r} has no output port {output_port} "
+                f"({_port_range(producer.num_output_ports, 'output')})"
             )
         if not 0 <= input_port < consumer.num_input_ports:
             raise InvalidWorkflow(
-                f"{consumer.operator_id!r} has no input port {input_port}"
+                f"dangling link {attempted!r}: operator "
+                f"{consumer.operator_id!r} has no input port {input_port} "
+                f"({_port_range(consumer.num_input_ports, 'input')})"
             )
         for existing in self.links:
             if (
@@ -78,19 +96,23 @@ class Workflow:
                 and existing.input_port == input_port
             ):
                 raise InvalidWorkflow(
-                    f"input port {input_port} of {consumer.operator_id!r} "
-                    f"already connected by {existing!r}"
+                    f"duplicate link into input port {input_port} of operator "
+                    f"{consumer.operator_id!r}: {attempted!r} conflicts with "
+                    f"existing {existing!r}"
                 )
-        link = Link(producer.operator_id, output_port, consumer.operator_id, input_port)
-        self.links.append(link)
-        return link
+        self.links.append(attempted)
+        return attempted
 
-    def _require_operator(self, operator_id: str) -> LogicalOperator:
+    def _require_operator(
+        self, operator_id: str, attempted: Optional[Link] = None
+    ) -> LogicalOperator:
         try:
             return self.operators[operator_id]
         except KeyError:
+            context = f" (while adding link {attempted!r})" if attempted else ""
             raise InvalidWorkflow(
-                f"operator {operator_id!r} was not added to the workflow"
+                f"dangling link: operator {operator_id!r} was not added to "
+                f"the workflow{context}"
             ) from None
 
     # -- queries ------------------------------------------------------------------
@@ -135,7 +157,15 @@ class Workflow:
             ready.sort()
         if len(order) != len(self.operators):
             stuck = sorted(op_id for op_id, deg in indegree.items() if deg > 0)
-            raise InvalidWorkflow(f"workflow contains a cycle involving {stuck}")
+            edges = [
+                repr(link)
+                for link in self.links
+                if link.producer_id in stuck and link.consumer_id in stuck
+            ]
+            raise InvalidWorkflow(
+                f"workflow contains a cycle involving operators {stuck} "
+                f"(links on the cycle: {edges})"
+            )
         return order
 
     def validate(self) -> None:
@@ -165,12 +195,23 @@ class Workflow:
         self.validate()
         output_schemas: Dict[str, Schema] = {}
         for operator in self.topological_order():
-            input_schemas: List[Schema] = []
-            for link in self.in_links(operator.operator_id):
-                input_schemas.append(output_schemas[link.producer_id])
-            output_schemas[operator.operator_id] = operator.output_schema(
-                input_schemas
-            )
+            in_links = self.in_links(operator.operator_id)
+            input_schemas = [output_schemas[l.producer_id] for l in in_links]
+            try:
+                output_schemas[operator.operator_id] = operator.output_schema(
+                    input_schemas
+                )
+            except InvalidWorkflow:
+                raise  # already scoped to the operator by the raiser
+            except SchemaError as exc:
+                ports = ", ".join(
+                    f"port {l.input_port} (from {l.producer_id!r})"
+                    for l in in_links
+                ) or "no input ports"
+                raise InvalidWorkflow(
+                    f"operator {operator.operator_id!r}: schema mismatch on "
+                    f"{ports}: {exc}"
+                ) from exc
         return output_schemas
 
     def __repr__(self) -> str:

@@ -327,6 +327,9 @@ class WorkflowController:
                 operator_id=operator.operator_id,
                 worker_index=worker_index,
                 num_workers=operator.num_workers,
+                colocate_key=self.workflow.placement_hints.get(
+                    operator.operator_id
+                ),
             )
         )
 
@@ -431,6 +434,10 @@ class WorkflowController:
                 node=CONTROLLER,
             )
         try:
+            if self.config.workflow.optimize:
+                from repro.workflow.optimize import optimize_workflow
+
+                self.workflow = optimize_workflow(self.workflow)
             self.workflow.compile_schemas()  # validates + captures schemas
             self._build_plan()
             wf_config = self.config.workflow

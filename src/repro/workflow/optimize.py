@@ -1,0 +1,439 @@
+"""Logical optimization passes over a workflow DAG.
+
+The paper's GUI paradigm compiles a declarative operator graph, which
+is exactly what makes *logical optimization* possible — a freedom the
+script paradigm gives up by encoding the plan in imperative Python.
+This module implements three rule passes that run between the spec
+layer and the engine's physical plan:
+
+``prune_dead_columns``
+    Dead-column elimination: a backward pass propagates the column
+    sets operators actually read (declarative predicates and
+    projections know theirs; UDFs report "unknown" and block the
+    pass), then inserts :class:`ProjectionOperator`s on links where
+    the requirement is a strict subset of the flowing schema —
+    shrinking every downstream batch, encode and transfer.
+
+``fuse_adjacent``
+    Operator fusion: maximal linear chains of same-language,
+    same-parallelism, one-in/one-out operators collapse into a single
+    :class:`FusedOperator`.  One physical instance then charges all
+    the chained per-tuple costs, and the inter-operator channel —
+    encode, per-batch handling, decode, transfer — disappears
+    entirely.
+
+``placement_groups``
+    Language-aware co-location: operators joined by a cross-language
+    link are grouped, and the engine hands the group label to
+    ``repro.sched`` as a ``colocate_key`` so the scheduler pins the
+    group onto one node — the serialization *boundary* still pays the
+    codec, but the placement-dependent network transfer on the
+    paper's KGE pain-point edges (Python<->Scala) goes away.
+
+All passes are opt-in (``WorkflowConfig.optimize``, default False):
+with the optimizer off, compiled plans execute bit-identically to the
+hand-built seed plans — pinned by the timing-regression suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.relational import Schema, Tuple
+from repro.workflow.dag import Link, Workflow
+from repro.workflow.operator import LogicalOperator, OperatorExecutor
+from repro.workflow.operators import ProjectionOperator
+
+__all__ = [
+    "FusedOperator",
+    "fuse_adjacent",
+    "optimize_workflow",
+    "placement_groups",
+    "prune_dead_columns",
+]
+
+
+# -- fusion --------------------------------------------------------------------
+
+
+class _FusedExecutor(OperatorExecutor):
+    """Runs a chain of sub-executors inside one physical instance.
+
+    The engine's consumer loop charges the *head* operator's per-tuple
+    cost (``FusedOperator.tuple_cost_s``); this executor charges each
+    inner stage's per-tuple cost for every row entering that stage, so
+    the fused instance pays exactly the compute the split operators
+    paid — minus the channel costs between them.
+    """
+
+    def __init__(
+        self, executors: Sequence[OperatorExecutor], stage_costs: Sequence[float]
+    ) -> None:
+        super().__init__()
+        self._executors = list(executors)
+        self._stage_costs = list(stage_costs)
+
+    def _drain(self, executor: OperatorExecutor) -> None:
+        seconds, flops = executor.pending.take()
+        self.pending.seconds += seconds
+        self.pending.flops += flops
+
+    def open(self) -> None:
+        for executor in self._executors:
+            executor.open()
+            self._drain(executor)
+
+    def _through_stage(
+        self, index: int, rows: Iterable[Tuple], port: int
+    ) -> List[Tuple]:
+        executor = self._executors[index]
+        stage_port = port if index == 0 else 0
+        out: List[Tuple] = []
+        for row in rows:
+            if index > 0:
+                self.pending.seconds += self._stage_costs[index]
+            out.extend(executor.process_tuple(row, stage_port))
+            self._drain(executor)
+        return out
+
+    def process_tuple(self, row: Tuple, port: int) -> Iterable[Tuple]:
+        rows: List[Tuple] = [row]
+        for index in range(len(self._executors)):
+            rows = self._through_stage(index, rows, port)
+            if not rows:
+                return ()
+        return rows
+
+    def on_finish(self, port: int) -> Iterable[Tuple]:
+        rows: List[Tuple] = []
+        for index, executor in enumerate(self._executors):
+            rows = self._through_stage(index, rows, port) if rows else []
+            rows.extend(executor.on_finish(port if index == 0 else 0))
+            self._drain(executor)
+        return rows
+
+    def close(self) -> None:
+        for executor in self._executors:
+            executor.close()
+            self._drain(executor)
+
+
+class FusedOperator(LogicalOperator):
+    """A maximal linear chain of operators fused into one.
+
+    Head properties (language, parallelism, partitioning, engine-side
+    per-tuple cost) come from the first operator; the output batch
+    size comes from the last (it governs the fused operator's
+    outbound channels).
+    """
+
+    def __init__(self, chain: Sequence[LogicalOperator]) -> None:
+        if len(chain) < 2:
+            raise ValueError("fusion needs at least two operators")
+        head, tail = chain[0], chain[-1]
+        super().__init__(
+            "+".join(op.operator_id for op in chain),
+            head.language,
+            num_workers=head.num_workers,
+            per_tuple_work_s=head.per_tuple_work_s,
+            framework_cores=head.framework_cores,
+            output_batch_size=tail.output_batch_size,
+        )
+        self.chain = tuple(chain)
+
+    @property
+    def is_blocking(self) -> bool:
+        return any(op.is_blocking for op in self.chain)
+
+    def partition_key(self, port: int) -> Optional[str]:
+        return self.chain[0].partition_key(port)
+
+    def partition_strategy(self, port: int) -> str:
+        return self.chain[0].partition_strategy(port)
+
+    def tuple_cost_s(self, port: int = 0) -> float:
+        return self.chain[0].tuple_cost_s(port)
+
+    def required_input_columns(self, port, required_output=None):
+        required = required_output
+        for op in reversed(self.chain):
+            required = op.required_input_columns(0, required)
+        return required
+
+    def output_schema(self, input_schemas: Sequence[Schema]) -> Schema:
+        schema = self.chain[0].output_schema(input_schemas)
+        for op in self.chain[1:]:
+            schema = op.output_schema([schema])
+        return schema
+
+    def create_executor(self, worker_index: int = 0) -> OperatorExecutor:
+        return _FusedExecutor(
+            [op.create_executor(worker_index) for op in self.chain],
+            [op.tuple_cost_s(0) for op in self.chain],
+        )
+
+
+def _linear(workflow: Workflow, operator: LogicalOperator) -> bool:
+    """One-in/one-out, not an endpoint of the DAG."""
+    return (
+        not operator.is_source
+        and not operator.is_sink
+        and operator.num_input_ports == 1
+        and operator.num_output_ports == 1
+    )
+
+
+def _fusable(workflow: Workflow, link: Link) -> bool:
+    producer = workflow.operators[link.producer_id]
+    consumer = workflow.operators[link.consumer_id]
+    if not _linear(workflow, producer) or not _linear(workflow, consumer):
+        return False
+    if len(workflow.out_links(producer.operator_id)) != 1:
+        return False
+    if len(workflow.in_links(consumer.operator_id)) != 1:
+        return False
+    if producer.language != consumer.language:
+        return False
+    if producer.num_workers != consumer.num_workers:
+        return False
+    if producer.framework_cores != consumer.framework_cores:
+        return False
+    # A multi-worker consumer that hash-partitions its input routes
+    # rows by key; fusing would pin each row to its producer's worker.
+    if consumer.num_workers > 1 and consumer.partition_key(0) is not None:
+        return False
+    return True
+
+
+def fuse_adjacent(workflow: Workflow) -> Workflow:
+    """Collapse fusable linear chains into :class:`FusedOperator`s."""
+    fusable = {
+        (link.producer_id, link.consumer_id)
+        for link in workflow.links
+        if _fusable(workflow, link)
+    }
+    if not fusable:
+        return _rebuild(workflow, {}, ())
+    next_of = {producer: consumer for producer, consumer in fusable}
+    has_fused_in = {consumer for _, consumer in fusable}
+    chains: List[List[str]] = []
+    for operator in workflow.topological_order():
+        op_id = operator.operator_id
+        if op_id in has_fused_in or op_id not in next_of:
+            continue
+        chain = [op_id]
+        while chain[-1] in next_of:
+            chain.append(next_of[chain[-1]])
+        chains.append(chain)
+    replacements: Dict[str, LogicalOperator] = {}
+    dropped_links = set()
+    for chain in chains:
+        fused = FusedOperator([workflow.operators[op_id] for op_id in chain])
+        for op_id in chain:
+            replacements[op_id] = fused
+        for producer, consumer in zip(chain, chain[1:]):
+            dropped_links.add((producer, consumer))
+    return _rebuild(workflow, replacements, dropped_links)
+
+
+def _rebuild(
+    workflow: Workflow,
+    replacements: Dict[str, LogicalOperator],
+    dropped_links,
+) -> Workflow:
+    """A new DAG with some operators replaced and internal links dropped."""
+    rebuilt = Workflow(workflow.name)
+    for op_id, operator in workflow.operators.items():
+        replacement = replacements.get(op_id, operator)
+        if replacement.operator_id not in rebuilt.operators:
+            rebuilt.add_operator(replacement)
+    for link in workflow.links:
+        if (link.producer_id, link.consumer_id) in dropped_links:
+            continue
+        rebuilt.link(
+            rebuilt.operators[
+                replacements.get(
+                    link.producer_id, workflow.operators[link.producer_id]
+                ).operator_id
+            ],
+            rebuilt.operators[
+                replacements.get(
+                    link.consumer_id, workflow.operators[link.consumer_id]
+                ).operator_id
+            ],
+            output_port=link.output_port,
+            input_port=link.input_port,
+        )
+    rebuilt.placement_hints = dict(workflow.placement_hints)
+    return rebuilt
+
+
+# -- dead-column pruning -------------------------------------------------------
+
+
+def _required_columns(workflow: Workflow) -> Dict[Link, Optional[frozenset]]:
+    """Backward pass: columns each link must carry (None = all)."""
+    order = workflow.topological_order()
+    # Required *output* columns per operator: union over its out-links.
+    required_out: Dict[str, Optional[frozenset]] = {}
+    required_on_link: Dict[Link, Optional[frozenset]] = {}
+    for operator in reversed(order):
+        op_id = operator.operator_id
+        out_links = workflow.out_links(op_id)
+        if not out_links:
+            required_out[op_id] = None  # sinks keep every column
+        else:
+            merged: Optional[frozenset] = frozenset()
+            for link in out_links:
+                need = required_on_link[link]
+                if need is None:
+                    merged = None
+                    break
+                merged = merged | need
+            required_out[op_id] = merged
+        for link in workflow.in_links(op_id):
+            need = operator.required_input_columns(
+                link.input_port, required_out[op_id]
+            )
+            key = operator.partition_key(link.input_port)
+            if need is not None and key is not None:
+                need = frozenset(need) | {key}
+            required_on_link[link] = (
+                frozenset(need) if need is not None else None
+            )
+    return required_on_link
+
+
+def prune_dead_columns(workflow: Workflow) -> Workflow:
+    """Insert projections on links carrying provably dead columns."""
+    schemas = workflow.compile_schemas()
+    required = _required_columns(workflow)
+    rebuilt = _rebuild(workflow, {}, ())
+    for link, need in required.items():
+        if need is None:
+            continue
+        producer = workflow.operators[link.producer_id]
+        schema = schemas[link.producer_id]
+        keep = [name for name in schema.names if name in need]
+        if not keep or len(keep) >= len(schema.names):
+            continue
+        pruner = ProjectionOperator(
+            f"prune:{link.producer_id}->{link.consumer_id}",
+            keep,
+            language=producer.language,
+            num_workers=producer.num_workers,
+        )
+        # Splice: producer -> pruner -> consumer, same ports.
+        rebuilt.add_operator(pruner)
+        rebuilt.links.remove(
+            Link(
+                link.producer_id,
+                link.output_port,
+                link.consumer_id,
+                link.input_port,
+            )
+        )
+        rebuilt.link(
+            rebuilt.operators[link.producer_id],
+            pruner,
+            output_port=link.output_port,
+        )
+        rebuilt.link(
+            pruner,
+            rebuilt.operators[link.consumer_id],
+            input_port=link.input_port,
+        )
+    return _drop_identity_pruners(rebuilt)
+
+
+def _drop_identity_pruners(workflow: Workflow) -> Workflow:
+    """Remove pruners made redundant by pruning further upstream.
+
+    Requirements only grow walking upstream, so once the earliest
+    projection of a chain narrows the stream, the pruners inserted on
+    later links arrive at exactly the columns they keep.  One schema
+    pass finds them: an identity projection changes nothing, so the
+    removals never invalidate the compiled schemas.
+    """
+    pruner_ids = [
+        op_id for op_id in workflow.operators if op_id.startswith("prune:")
+    ]
+    if not pruner_ids:
+        return workflow
+    schemas = workflow.compile_schemas()
+    for pruner_id in pruner_ids:
+        pruner = workflow.operators[pruner_id]
+        (in_link,) = workflow.in_links(pruner_id)
+        if schemas[in_link.producer_id].names != pruner.columns:
+            continue
+        (out_link,) = workflow.out_links(pruner_id)
+        workflow.links.remove(in_link)
+        workflow.links.remove(out_link)
+        del workflow.operators[pruner_id]
+        workflow.link(
+            workflow.operators[in_link.producer_id],
+            workflow.operators[out_link.consumer_id],
+            output_port=in_link.output_port,
+            input_port=out_link.input_port,
+        )
+    return workflow
+
+
+# -- language-aware placement --------------------------------------------------
+
+
+def placement_groups(workflow: Workflow) -> Dict[str, str]:
+    """Group operators joined by cross-language links (union-find).
+
+    The engine hands each group label to the scheduler as a
+    ``colocate_key``: the group's instances land on one node, so the
+    cross-language edges — which already pay the codec — at least stop
+    paying the network transfer.
+    """
+    parent: Dict[str, str] = {}
+
+    def find(op_id: str) -> str:
+        root = op_id
+        while parent.get(root, root) != root:
+            root = parent[root]
+        while parent.get(op_id, op_id) != root:
+            parent[op_id], op_id = root, parent[op_id]
+        return root
+
+    touched = set()
+    for link in workflow.links:
+        producer = workflow.operators[link.producer_id]
+        consumer = workflow.operators[link.consumer_id]
+        if producer.language == consumer.language:
+            continue
+        touched.add(link.producer_id)
+        touched.add(link.consumer_id)
+        root_a, root_b = find(link.producer_id), find(link.consumer_id)
+        if root_a != root_b:
+            parent[max(root_a, root_b)] = min(root_a, root_b)
+    return {op_id: f"lang-group:{find(op_id)}" for op_id in sorted(touched)}
+
+
+# -- the driver ----------------------------------------------------------------
+
+
+def optimize_workflow(
+    workflow: Workflow,
+    prune: bool = True,
+    fuse: bool = True,
+    placement: bool = True,
+) -> Workflow:
+    """Run the enabled rule passes; returns a new workflow.
+
+    Prune runs before fuse so inserted projections can themselves be
+    fused into their neighbours; placement hints are derived from the
+    final operator graph.
+    """
+    optimized = workflow
+    if prune:
+        optimized = prune_dead_columns(optimized)
+    if fuse:
+        optimized = fuse_adjacent(optimized)
+    if placement:
+        optimized.placement_hints = placement_groups(optimized)
+    return optimized

@@ -1,0 +1,41 @@
+"""Authoring helpers: build the grammar's resolution forms from Python.
+
+The task packages generate their canonical spec documents with these
+helpers (and the committed ``examples/workflows/*.json`` files are the
+serialized output), so the JSON stays in lockstep with the Python-side
+schemas, cost constants and named functions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.relational import Schema
+
+__all__ = ["callable_form", "param_form", "schema_form", "udf_predicate_form"]
+
+
+def param_form(name: str) -> Dict[str, Any]:
+    """``{"$param": name}`` — bound at load time."""
+    return {"$param": name}
+
+
+def callable_form(fn: Callable[..., Any]) -> Dict[str, Any]:
+    """``{"$callable": "module:qualname"}`` for a module-level function."""
+    return {"$callable": f"{fn.__module__}:{fn.__qualname__}"}
+
+
+def schema_form(schema: Schema) -> Dict[str, Any]:
+    """``{"$schema": {field: type, ...}}`` for a schema literal."""
+    return {"$schema": {f.name: f.ftype.value for f in schema.fields}}
+
+
+def udf_predicate_form(fn: Callable[..., Any], description: str) -> Dict[str, Any]:
+    """``{"$predicate": {"op": "udf", ...}}`` wrapping a named function."""
+    return {
+        "$predicate": {
+            "op": "udf",
+            "fn": f"{fn.__module__}:{fn.__qualname__}",
+            "description": description,
+        }
+    }

@@ -1,0 +1,1 @@
+"""Shared test fixtures and generators (not collected as tests)."""

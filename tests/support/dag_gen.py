@@ -1,0 +1,178 @@
+"""Seeded random workflow-spec generator for property tests.
+
+Produces *valid-by-construction* ``repro/workflow-spec@1`` documents:
+every spec is self-contained (declarative configs only — no ``$param``
+bindings, no ``$callable`` UDFs), so it can be loaded, optimized, and
+executed under either paradigm without any runtime context.
+
+Determinism guarantees baked into the generation:
+
+* Record ``id`` values are unique per source and per spec, so
+  ``distinct`` keyed on ``id`` selects the same surviving rows
+  regardless of arrival order.
+* ``score`` values come from ``random.Random.random()`` — ties are
+  vanishingly unlikely, so ``sort``/``top_k`` boundaries don't depend
+  on arrival order either.
+* Order-*sensitive* operators (``limit``, counter-based ``sample``)
+  are deliberately absent from the palette: their output rows depend
+  on tuple arrival order, which legitimately differs between the
+  pipelined engine and the script plan.
+
+Knobs: ``depth`` bounds the number of unary stages, ``max_sources``
+the fan-in, and every eligible operator gets a random language
+(Python/Scala/Java mix) and worker count.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List
+
+__all__ = ["random_spec", "CATEGORIES"]
+
+CATEGORIES = ["sign", "symptom", "disorder", "medication"]
+
+#: Unary schema-preserving stages the generator draws from.  Each entry
+#: is (type, config builder); builders receive (rng, next worker count).
+_STAGES = ("filter", "distinct", "sort", "top_k", "sample")
+
+
+def _records(rng: random.Random, start_id: int, count: int) -> List[Dict[str, Any]]:
+    return [
+        {
+            "id": f"r{start_id + i:04d}",
+            "category": rng.choice(CATEGORIES),
+            "score": round(rng.random(), 9),
+            "count": rng.randint(0, 50),
+        }
+        for i in range(count)
+    ]
+
+
+def _language(rng: random.Random) -> str:
+    return rng.choice(["python", "python", "scala", "java"])
+
+
+def _predicate(rng: random.Random) -> Dict[str, Any]:
+    choice = rng.randrange(4)
+    if choice == 0:
+        return {"op": "greater", "column": "score", "value": round(rng.uniform(0.0, 0.6), 3)}
+    if choice == 1:
+        return {"op": "less", "column": "count", "value": rng.randint(10, 50)}
+    if choice == 2:
+        return {"op": "in", "column": "category", "values": rng.sample(CATEGORIES, rng.randint(1, 3))}
+    return {
+        "op": "not",
+        "of": {"op": "equals", "column": "category", "value": rng.choice(CATEGORIES)},
+    }
+
+
+def _stage(rng: random.Random, op_id: str) -> Dict[str, Any]:
+    kind = rng.choice(_STAGES)
+    if kind == "filter":
+        config: Dict[str, Any] = {
+            "predicate": {"$predicate": _predicate(rng)},
+            "language": _language(rng),
+            "num_workers": rng.randint(1, 2),
+        }
+    elif kind == "distinct":
+        # Keyed on the unique id field: deterministic under any order.
+        config = {"key": "id", "num_workers": rng.randint(1, 2)}
+    elif kind == "sort":
+        config = {"key": "score", "reverse": rng.random() < 0.5}
+    elif kind == "top_k":
+        config = {"key": "score", "k": rng.randint(1, 12)}
+    else:  # sample, keyed: stable hash of id, order-independent
+        config = {"one_in": rng.randint(1, 3), "key": "id"}
+    return {"id": op_id, "type": kind, "config": config}
+
+
+def random_spec(seed: int, depth: int = 4, max_sources: int = 3) -> Dict[str, Any]:
+    """One random self-contained spec document for ``seed``."""
+    rng = random.Random(seed)
+    operators: List[Dict[str, Any]] = []
+    links: List[Dict[str, Any]] = []
+    counter = 0
+
+    def next_id(prefix: str) -> str:
+        nonlocal counter
+        counter += 1
+        return f"{prefix}{counter}"
+
+    num_sources = rng.randint(1, max_sources)
+    frontier: List[str] = []
+    next_record = 0
+    for _ in range(num_sources):
+        count = rng.randint(3, 12)
+        op_id = next_id("src")
+        operators.append(
+            {
+                "id": op_id,
+                "type": "jsonl_source",
+                "config": {
+                    "records": _records(rng, next_record, count),
+                    "schema": {
+                        "$schema": {
+                            "id": "string",
+                            "category": "string",
+                            "score": "float",
+                            "count": "int",
+                        }
+                    },
+                    "num_workers": rng.randint(1, 2),
+                },
+            }
+        )
+        next_record += count
+        frontier.append(op_id)
+
+    for _ in range(rng.randint(1, depth)):
+        if len(frontier) >= 2 and rng.random() < 0.35:
+            left = frontier.pop(rng.randrange(len(frontier)))
+            right = frontier.pop(rng.randrange(len(frontier)))
+            op_id = next_id("merge")
+            operators.append(
+                {"id": op_id, "type": "union", "config": {"num_inputs": 2}}
+            )
+            links.append({"from": left, "to": op_id, "in": 0})
+            links.append({"from": right, "to": op_id, "in": 1})
+            frontier.append(op_id)
+        else:
+            index = rng.randrange(len(frontier))
+            upstream = frontier[index]
+            op_id = next_id("op")
+            operators.append(_stage(rng, op_id))
+            links.append({"from": upstream, "to": op_id})
+            frontier[index] = op_id
+
+    while len(frontier) >= 2:
+        left = frontier.pop()
+        right = frontier.pop()
+        op_id = next_id("merge")
+        operators.append({"id": op_id, "type": "union", "config": {"num_inputs": 2}})
+        links.append({"from": left, "to": op_id, "in": 0})
+        links.append({"from": right, "to": op_id, "in": 1})
+        frontier.append(op_id)
+
+    (tail,) = frontier
+    if rng.random() < 0.5:
+        names = ["id", "category", "score", "count"]
+        keep = sorted(
+            rng.sample(names, rng.randint(1, len(names))), key=names.index
+        )
+        op_id = next_id("project")
+        operators.append(
+            {"id": op_id, "type": "projection", "config": {"columns": keep}}
+        )
+        links.append({"from": tail, "to": op_id})
+        tail = op_id
+    sink_id = next_id("view")
+    operators.append({"id": sink_id, "type": "sink", "config": {}})
+    links.append({"from": tail, "to": sink_id})
+
+    return {
+        "spec": "repro/workflow-spec@1",
+        "name": f"generated-{seed}",
+        "operators": operators,
+        "links": links,
+    }

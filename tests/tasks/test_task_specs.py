@@ -1,0 +1,51 @@
+"""The committed task specs stay in lockstep with their generators.
+
+Each task package generates its canonical ``repro/workflow-spec@1``
+document from the same schemas, UDF references and calibrated cost
+constants the hand-built workflow used; the committed
+``examples/workflows/*.json`` files are the serialized output.  These
+pins fail whenever either side drifts — regenerate the JSON (or fix
+the generator) so the GUI-paradigm artifacts never go stale.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.tasks.dice.workflow import dice_relational_spec_dict, dice_spec_dict
+from repro.tasks.gotta.workflow import gotta_spec_dict
+from repro.tasks.kge.workflow import kge_spec_dict
+from repro.tasks.wef.workflow import wef_spec_dict
+from repro.workflow.spec import WorkflowSpec
+
+SPEC_DIR = Path(__file__).resolve().parents[2] / "examples" / "workflows"
+
+GENERATORS = {
+    "dice.json": dice_spec_dict,
+    "dice_relational.json": dice_relational_spec_dict,
+    "gotta.json": gotta_spec_dict,
+    "kge.json": lambda: kge_spec_dict(5, "python"),
+    "wef.json": wef_spec_dict,
+}
+
+
+@pytest.mark.parametrize("filename", sorted(GENERATORS))
+def test_committed_spec_matches_generator(filename):
+    committed = json.loads((SPEC_DIR / filename).read_text(encoding="utf-8"))
+    assert committed == GENERATORS[filename]()
+
+
+@pytest.mark.parametrize("filename", sorted(GENERATORS))
+def test_committed_spec_is_canonically_formatted(filename):
+    path = SPEC_DIR / filename
+    text = path.read_text(encoding="utf-8")
+    doc = json.loads(text)
+    assert text == json.dumps(doc, indent=2) + "\n"
+
+
+@pytest.mark.parametrize("filename", sorted(GENERATORS))
+def test_task_specs_parse_and_declare_their_bindings(filename):
+    spec = WorkflowSpec.from_json(GENERATORS[filename]())
+    assert spec.params(), "task specs bind runtime data via $param"
+    assert spec.operators[-1].type in ("sink", "visualization")

@@ -126,9 +126,8 @@ def test_compile_schemas_surfaces_bad_projection():
     sink = wf.add_operator(SinkOperator("sink"))
     wf.link(src, proj)
     wf.link(proj, sink)
-    from repro.errors import FieldNotFound
-
-    with pytest.raises(FieldNotFound):
+    # The failure is wrapped so the message names the operator and port.
+    with pytest.raises(InvalidWorkflow, match=r"'proj'.*port 0.*'nope'"):
         wf.compile_schemas()
 
 

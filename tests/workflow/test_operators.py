@@ -196,9 +196,8 @@ def test_visualization_validates_fields_at_compile():
     src = wf.add_operator(TableSource("src", make_table(3)))
     viz = wf.add_operator(VisualizationOperator("viz", "bar", "missing"))
     wf.link(src, viz)
-    from repro.errors import FieldNotFound
-
-    with pytest.raises(FieldNotFound):
+    # Wrapped at compile time so the message names the operator and port.
+    with pytest.raises(InvalidWorkflow, match=r"'viz'.*port 0.*'missing'"):
         wf.compile_schemas()
 
 

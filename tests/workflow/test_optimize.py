@@ -1,0 +1,263 @@
+"""The logical optimizer: fusion, dead-column pruning, placement.
+
+Contract under test: ``optimize_workflow`` may change the *physical*
+plan — fewer operators, narrower rows on the wire, co-located language
+groups — but never the collected rows; and with the optimizer off the
+plan is untouched, so calibrated timings and cache lineage keys stay
+exactly as pinned.  Fault recovery composes: a fused operator is one
+checkpointing instance, and an injected crash replays it like any
+hand-built operator.
+"""
+
+from dataclasses import replace
+
+from repro.cache import ResultCache, cached
+from repro.cluster import build_cluster
+from repro.config import default_config
+from repro.errors import InvalidWorkflow  # noqa: F401  (re-exported surface)
+from repro.faults import FaultEvent, FaultSchedule, faults_injected
+from repro.relational import (
+    FieldType,
+    Schema,
+    Table,
+    column_greater,
+    udf_predicate,
+)
+from repro.sim import Environment
+from repro.workflow import Workflow, run_workflow
+from repro.workflow.language import OperatorLanguage
+from repro.workflow.operators import (
+    FilterOperator,
+    ProjectionOperator,
+    SinkOperator,
+    TableSource,
+)
+from repro.workflow.optimize import (
+    FusedOperator,
+    fuse_adjacent,
+    optimize_workflow,
+    placement_groups,
+    prune_dead_columns,
+)
+
+WIDE = Schema.of(
+    id=FieldType.INT,
+    score=FieldType.FLOAT,
+    note=FieldType.STRING,
+    blob=FieldType.STRING,
+)
+
+
+def wide_table(rows=300):
+    return Table.from_rows(
+        WIDE, [[i, i / 100, f"note-{i}", "x" * 50] for i in range(rows)]
+    )
+
+
+def make_workflow(predicate=None, project=("id", "score"), languages=None):
+    """scan -> keep -> keep2 -> columns -> results, all single-worker."""
+    languages = languages or {}
+    wf = Workflow("optimizer-demo")
+    src = wf.add_operator(TableSource("scan", wide_table()))
+    keep = wf.add_operator(
+        FilterOperator(
+            "keep",
+            predicate or column_greater("score", 0.5),
+            language=languages.get("keep", OperatorLanguage.PYTHON),
+        )
+    )
+    keep2 = wf.add_operator(
+        FilterOperator(
+            "keep2",
+            column_greater("score", 1.0),
+            language=languages.get("keep2", OperatorLanguage.PYTHON),
+        )
+    )
+    columns = wf.add_operator(ProjectionOperator("columns", list(project)))
+    sink = wf.add_operator(SinkOperator("results"))
+    wf.link(src, keep)
+    wf.link(keep, keep2)
+    wf.link(keep2, columns)
+    wf.link(columns, sink)
+    return wf
+
+
+def run_once(workflow, config=None, cache=None, schedule=None):
+    from contextlib import ExitStack
+
+    with ExitStack() as stack:
+        injector = None
+        if schedule is not None:
+            injector = stack.enter_context(faults_injected(schedule))
+        if cache is not None:
+            stack.enter_context(cached(cache))
+        cluster = build_cluster(Environment())
+        result = run_workflow(cluster, workflow, config)
+    return result, injector
+
+
+def rows_of(result):
+    return sorted(tuple(map(str, row.values)) for row in result.table().rows)
+
+
+# -- fusion --------------------------------------------------------------------
+
+
+def test_adjacent_same_language_operators_fuse():
+    wf = fuse_adjacent(make_workflow())
+    assert "keep+keep2+columns" in wf.operators
+    fused = wf.operators["keep+keep2+columns"]
+    assert isinstance(fused, FusedOperator)
+    assert wf.num_operators == 3  # scan, fused chain, results
+    baseline, _ = run_once(make_workflow())
+    fused_run, _ = run_once(wf)
+    assert rows_of(fused_run) == rows_of(baseline)
+    # fewer instances deployed, same rows out
+    assert fused_run.num_worker_instances < baseline.num_worker_instances
+
+
+def test_fusion_stops_at_language_boundaries():
+    wf = fuse_adjacent(
+        make_workflow(languages={"keep2": OperatorLanguage.SCALA})
+    )
+    # keep (python) cannot fuse into keep2 (scala); keep2 stays alone
+    # because its consumer is python again.
+    assert "keep" in wf.operators
+    assert "keep2" in wf.operators
+    assert "keep+keep2" not in wf.operators
+
+
+def test_fused_chain_output_schema_matches_tail():
+    wf = fuse_adjacent(make_workflow())
+    schemas = wf.compile_schemas()
+    assert schemas["keep+keep2+columns"].names == ["id", "score"]
+
+
+# -- dead-column pruning -------------------------------------------------------
+
+
+def test_pruning_inserts_projection_after_the_source():
+    wf = prune_dead_columns(make_workflow())
+    pruners = [op_id for op_id in wf.operators if op_id.startswith("prune:")]
+    assert pruners == ["prune:scan->keep"]
+    baseline, _ = run_once(make_workflow())
+    pruned, _ = run_once(wf)
+    assert rows_of(pruned) == rows_of(baseline)
+    # the pruner drops note/blob before they ever cross the wire
+    assert wf.compile_schemas()["prune:scan->keep"].names == ["id", "score"]
+
+
+def test_udf_predicate_blocks_pruning_upstream_of_itself():
+    opaque = udf_predicate(lambda row: row["score"] > 0.5, "udf")
+    wf = prune_dead_columns(make_workflow(predicate=opaque))
+    pruners = [op for op in wf.operators if op.startswith("prune:")]
+    # The UDF reads unknown columns, so nothing may be dropped before
+    # it — but the stream still narrows right after it.
+    assert pruners == ["prune:keep->keep2"]
+    baseline, _ = run_once(make_workflow(predicate=opaque))
+    pruned, _ = run_once(
+        prune_dead_columns(make_workflow(predicate=opaque))
+    )
+    assert rows_of(pruned) == rows_of(baseline)
+
+
+def test_pruning_noop_when_everything_is_needed():
+    wf = prune_dead_columns(
+        make_workflow(project=("id", "score", "note", "blob"))
+    )
+    assert not [op for op in wf.operators if op.startswith("prune:")]
+
+
+# -- placement hints -----------------------------------------------------------
+
+
+def test_cross_language_links_form_one_colocation_group():
+    wf = make_workflow(languages={"keep2": OperatorLanguage.SCALA})
+    hints = placement_groups(wf)
+    assert hints["keep"] == hints["keep2"] == hints["columns"]
+    assert "scan" not in hints  # same-language neighbours stay unhinted
+
+
+def test_colocated_operators_share_a_node():
+    wf = make_workflow(languages={"keep2": OperatorLanguage.SCALA})
+    wf.placement_hints = placement_groups(wf)
+    result, _ = run_once(wf)
+    stats = result.operator_stats
+    assert stats["keep"]["nodes"] == stats["keep2"]["nodes"] == stats["columns"]["nodes"]
+
+
+# -- the config switch ---------------------------------------------------------
+
+
+def optimizing_config():
+    config = default_config()
+    return replace(config, workflow=replace(config.workflow, optimize=True))
+
+
+def test_config_optimize_rewrites_plan_and_preserves_rows():
+    baseline, _ = run_once(make_workflow())
+    optimized, _ = run_once(make_workflow(), config=optimizing_config())
+    assert rows_of(optimized) == rows_of(baseline)
+    fused_ids = [op for op in optimized.workflow.operators if "+" in op]
+    assert fused_ids == ["prune:scan->keep+keep+keep2+columns"]
+    assert optimized.elapsed_s < baseline.elapsed_s
+
+
+def test_optimizer_off_keeps_plan_and_timing_identical():
+    first, _ = run_once(make_workflow())
+    second, _ = run_once(make_workflow())
+    assert second.elapsed_s == first.elapsed_s
+    assert sorted(second.workflow.operators) == sorted(first.workflow.operators)
+
+
+# -- faults: fused operators checkpoint and replay -----------------------------
+
+
+def test_fused_operator_replays_from_checkpoint():
+    clean, _ = run_once(optimize_workflow(make_workflow()))
+    (fused_id,) = [op for op in clean.workflow.operators if "+" in op]
+    schedule = FaultSchedule(
+        events=(FaultEvent(0.01, "operator", target=fused_id),)
+    )
+    faulted, injector = run_once(optimize_workflow(make_workflow()), schedule=schedule)
+    assert injector.injected == 1
+    assert injector.retries == 1  # one checkpoint restore
+    assert rows_of(faulted) == rows_of(clean)
+    assert faulted.elapsed_s > clean.elapsed_s
+
+
+def test_optimized_plan_recovers_from_fault_with_pruning_in_place():
+    wf = optimize_workflow(make_workflow())
+    pruner_or_fused = [op for op in wf.operators if op != "scan" and op != "results"]
+    assert pruner_or_fused
+    schedule = FaultSchedule(
+        events=(FaultEvent(0.01, "operator", target=pruner_or_fused[0]),)
+    )
+    clean, _ = run_once(optimize_workflow(make_workflow()))
+    faulted, injector = run_once(optimize_workflow(make_workflow()), schedule=schedule)
+    assert injector.injected == 1
+    assert rows_of(faulted) == rows_of(clean)
+
+
+# -- cache: lineage keys are stable with the optimizer off ---------------------
+
+
+def test_cache_lineage_keys_stable_across_runs_optimizer_off():
+    cache = ResultCache("on")
+    first, _ = run_once(make_workflow(), cache=cache)
+    cold = (cache.hits, cache.misses)
+    second, _ = run_once(make_workflow(), cache=cache)
+    assert rows_of(second) == rows_of(first)
+    assert cache.misses == cold[1]  # warm run added no new entries
+    assert cache.hits > cold[0]  # every batch key matched the cold run
+
+
+def test_optimized_runs_use_their_own_cache_keys():
+    """Fused plans must not collide with unoptimized lineage keys."""
+    cache = ResultCache("on")
+    plain, _ = run_once(make_workflow(), cache=cache)
+    misses_after_plain = cache.misses
+    fused, _ = run_once(optimize_workflow(make_workflow()), cache=cache)
+    assert rows_of(fused) == rows_of(plain)
+    # the fused operator's work is new lineage, not a false hit
+    assert cache.misses > misses_after_plain
