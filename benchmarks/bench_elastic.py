@@ -1,0 +1,222 @@
+"""Benchmark: elasticity's cost-vs-latency trade against a static fleet.
+
+Replays the burst-then-tail traffic of experiment E10 (a heavy 4-vCPU
+flood followed by a long 1-vCPU trickle) through two clusters:
+
+* **static-4** — the paper's testbed, four workers for the whole run;
+* **elastic** — one worker plus a :class:`repro.elastic.Autoscaler`
+  (bounds 1..8) that provisions through the flood and drains back down
+  through the tail.
+
+Records, per scenario: worker node-seconds (the cost bill — machines
+are billed join-to-retirement), p50/p99 queueing latency, completions
+and makespan.  The acceptance gates are E10's: identical completions,
+fewer node-seconds for the elastic run, at equal-or-better p99 queue
+latency.
+
+Results go to ``BENCH_elastic.json`` at the repository root using the
+stable ``benchmark`` / ``schema`` / ``config`` / ``results`` document
+shape of the BENCH_* series.  Uses plain pytest so CI can smoke it, or
+directly:
+
+    PYTHONPATH=src python benchmarks/bench_elastic.py --quick
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.elastic import elastic_config_to_json
+from repro.experiments.exp_elastic import ELASTIC_POLICY, run_scenarios
+
+#: Repository root: where BENCH_elastic.json lands (tracked by git).
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Schema version of BENCH_elastic.json; bump on incompatible changes.
+BENCH_SCHEMA = 1
+
+#: The E10 traffic shape: a 12s flood of 4-vCPU jobs at 18/s, then a
+#: 1-vCPU trickle tail to 60s — the burst needs more than four workers,
+#: the tail wastes most of a static fleet.
+TRAFFIC = {
+    "flood_s": 12.0,
+    "tail_s": 60.0,
+    "heavy_rate": 18.0,
+    "light_rate": 2.0,
+}
+
+#: Reduced scale for CI smoke (--quick): same shape, ~130 jobs.
+TRAFFIC_QUICK = {
+    "flood_s": 6.0,
+    "tail_s": 25.0,
+    "heavy_rate": 12.0,
+    "light_rate": 2.0,
+}
+
+SCENARIOS = ("static-4", "elastic")
+
+
+def run_bench(traffic: dict):
+    """One full two-scenario run; returns (outcomes, wall_seconds)."""
+    started = time.perf_counter()
+    outcomes = run_scenarios(**traffic)
+    wall_s = time.perf_counter() - started
+    return outcomes, wall_s
+
+
+def bench_document(traffic: dict, outcomes: dict, wall_s: float) -> dict:
+    """The stable BENCH_elastic.json document."""
+    static, elastic = outcomes["static-4"], outcomes["elastic"]
+    scenarios = {}
+    for label, summary in outcomes.items():
+        scenarios[label] = {
+            "jobs": summary["jobs"],
+            "completed": summary["counts"]["completed"],
+            "node_seconds": summary["node_seconds"],
+            "p50_queue_s": summary["p50_queue_s"],
+            "p99_queue_s": summary["p99_queue_s"],
+            "peak_queue_depth": summary["peak_queue_depth"],
+            "virtual_makespan_s": summary["virtual_makespan_s"],
+        }
+    scenarios["elastic"].update(
+        {
+            "scale_ups": elastic["elastic"]["scale_ups"],
+            "scale_downs": elastic["elastic"]["scale_downs"],
+            "peak_nodes": elastic["elastic"]["peak_nodes"],
+            "final_nodes": elastic["elastic"]["final_nodes"],
+        }
+    )
+    saved = static["node_seconds"] - elastic["node_seconds"]
+    return {
+        "benchmark": "elastic",
+        "schema": BENCH_SCHEMA,
+        "config": {
+            "traffic": traffic,
+            "policy": elastic_config_to_json(ELASTIC_POLICY),
+            "static_workers": 4,
+        },
+        "results": {
+            "scenarios": scenarios,
+            "node_seconds_saved": saved,
+            "node_seconds_saved_pct": 100.0 * saved / static["node_seconds"],
+            "p99_queue_delta_s": (
+                (elastic["p99_queue_s"] or 0.0)
+                - (static["p99_queue_s"] or 0.0)
+            ),
+            "wall_s": wall_s,
+        },
+    }
+
+
+def validate_document(doc: dict) -> None:
+    """Schema + gate check for BENCH_elastic.json (CI smoke job)."""
+    assert doc["benchmark"] == "elastic"
+    assert doc["schema"] == BENCH_SCHEMA
+    scenarios = doc["results"]["scenarios"]
+    assert set(scenarios) == set(SCENARIOS)
+    for label, cell in scenarios.items():
+        for key in (
+            "jobs", "completed", "node_seconds", "p50_queue_s",
+            "p99_queue_s", "peak_queue_depth", "virtual_makespan_s",
+        ):
+            assert key in cell, f"{label} missing {key}"
+        assert cell["completed"] == cell["jobs"], f"{label}: jobs lost"
+        assert cell["node_seconds"] > 0
+    static, elastic = scenarios["static-4"], scenarios["elastic"]
+    assert elastic["completed"] == static["completed"]
+    # The acceptance gates: cheaper AND no worse at the tail.
+    assert elastic["node_seconds"] < static["node_seconds"]
+    assert elastic["p99_queue_s"] <= static["p99_queue_s"]
+    assert doc["results"]["node_seconds_saved"] > 0
+    assert doc["results"]["p99_queue_delta_s"] <= 0
+    assert elastic["scale_ups"] > 0
+    assert elastic["scale_downs"] > 0
+    assert elastic["peak_nodes"] > 4, "the flood never out-scaled static-4"
+
+
+def bench_table(doc: dict) -> str:
+    scenarios = doc["results"]["scenarios"]
+    static, elastic = scenarios["static-4"], scenarios["elastic"]
+    results = doc["results"]
+    return "\n".join(
+        [
+            "elasticity vs static fleet (virtual seconds unless noted)",
+            f"  completed          {static['completed']} jobs in both runs",
+            f"  node-seconds       static {static['node_seconds']:.1f} -> "
+            f"elastic {elastic['node_seconds']:.1f} "
+            f"({results['node_seconds_saved_pct']:.0f}% saved)",
+            f"  p99 queue          static {static['p99_queue_s']:.3f}s -> "
+            f"elastic {elastic['p99_queue_s']:.3f}s",
+            f"  autoscaler         {elastic['scale_ups']} up / "
+            f"{elastic['scale_downs']} down, peak {elastic['peak_nodes']} "
+            f"workers, final {elastic['final_nodes']}",
+            f"  makespan           static {static['virtual_makespan_s']:.2f}s, "
+            f"elastic {elastic['virtual_makespan_s']:.2f}s; "
+            f"{results['wall_s']:.2f}s wall for both",
+        ]
+    )
+
+
+# -- pytest entry points -----------------------------------------------------
+
+
+def test_elastic_beats_static_and_records_bench(results_dir):
+    """The acceptance bar: fewer node-seconds at equal-or-better p99,
+    and the recorded BENCH_elastic.json at the repository root."""
+    outcomes, wall_s = run_bench(TRAFFIC)
+    doc = bench_document(TRAFFIC, outcomes, wall_s)
+    validate_document(doc)
+    (REPO_ROOT / "BENCH_elastic.json").write_text(
+        json.dumps(doc, indent=2) + "\n", encoding="utf-8"
+    )
+    (results_dir / "elastic_vs_static.txt").write_text(
+        bench_table(doc) + "\n", encoding="utf-8"
+    )
+    print()
+    print(bench_table(doc))
+
+
+def test_quick_scale_passes_the_same_gates():
+    """CI-scale traffic clears the identical acceptance gates."""
+    outcomes, wall_s = run_bench(TRAFFIC_QUICK)
+    validate_document(bench_document(TRAFFIC_QUICK, outcomes, wall_s))
+
+
+def test_bench_is_deterministic():
+    """Same traffic, same outcomes — bit for bit (wall time aside)."""
+    first, _ = run_bench(TRAFFIC_QUICK)
+    second, _ = run_bench(TRAFFIC_QUICK)
+    assert first == second
+
+
+def main(argv=None):
+    """CI smoke entry: ``python benchmarks/bench_elastic.py --quick``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced traffic; skips writing BENCH_elastic.json",
+    )
+    args = parser.parse_args(argv)
+    traffic = TRAFFIC_QUICK if args.quick else TRAFFIC
+    outcomes, wall_s = run_bench(traffic)
+    doc = bench_document(traffic, outcomes, wall_s)
+    print(bench_table(doc))
+    try:
+        validate_document(doc)
+    except AssertionError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    if not args.quick:
+        (REPO_ROOT / "BENCH_elastic.json").write_text(
+            json.dumps(doc, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"\nwrote {REPO_ROOT / 'BENCH_elastic.json'}")
+    print("elastic smoke OK: cheaper than static at equal-or-better p99")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -92,6 +92,20 @@ outcome (jobs/sec, queue-latency percentiles, per-tenant shares).
 ``--jobs SPEC`` runs the named experiments as jobs submitted through a
 service instead of direct calls; it composes with every other flag.
 
+Elasticity (``repro.elastic``)::
+
+    python -m repro elastic                              # spec grammar + defaults
+    python -m repro elastic on,min=1,max=16              # inspect a policy
+    python -m repro jobs on,rate=50 --elastic on,min=1   # autoscaled traffic
+    python -m repro elasticity --quick                   # cost-vs-latency experiment
+
+The ``elastic`` subcommand prints the autoscaler policy a spec expands
+to; ``--elastic SPEC`` installs it for the run, so every job service
+built attaches an :class:`repro.elastic.Autoscaler` that provisions
+and drains workers from the ``repro.obs`` gauge signals.  Composes
+with ``jobs`` (the traffic run above scales 1..N with load) and
+``--trace`` (membership appears as the ``cluster.nodes`` gauge).
+
 Subcommand dispatch is table-driven: each inspection subcommand is one
 :class:`Subcommand` row in ``SUBCOMMANDS`` sharing a single usage and
 exit-2 spec-error formatter, so new subsystems slot in without another
@@ -116,6 +130,7 @@ from repro.experiments.exp_scaling import (
     run_fig13d,
 )
 from repro.experiments.exp_caching import run_caching
+from repro.experiments.exp_elastic import run_elasticity
 from repro.experiments.exp_fairshare import run_fairshare
 from repro.experiments.exp_memory import run_memory
 from repro.experiments.exp_recovery import run_recovery
@@ -123,8 +138,10 @@ from repro.experiments.exp_scheduling import run_scheduling
 from repro.experiments.exp_workers import run_fig14a, run_fig14b, run_fig14c
 from repro.cache import ResultCache, cached, describe_cache, parse_cache_spec
 from repro.config import JobsConfig
+from repro.elastic import describe_elastic, elastic_enabled, parse_elastic_spec
 from repro.errors import (
     CacheSpecError,
+    ElasticSpecError,
     FaultSpecError,
     InvalidWorkflow,
     JobsSpecError,
@@ -165,6 +182,9 @@ QUICK_EXPERIMENTS = {
     ),
     "fairshare": lambda: run_fairshare(
         horizon_s=12.0, heavy_rate=14.0, light_rate=2.0
+    ),
+    "elasticity": lambda: run_elasticity(
+        flood_s=6.0, tail_s=25.0, heavy_rate=12.0, light_rate=2.0
     ),
 }
 
@@ -236,6 +256,25 @@ spec grammar: comma-separated flags and key=value pairs
   body=NAME         job body, see repro.jobs.bodies (default profile)
   admit=FRACTION    RAM backpressure watermark (default: memory policy's)
 example: --jobs on,rate=50,tenants=8,policy=drf,quota_running=4"""
+
+
+#: Shown by the bare ``elastic`` subcommand alongside the default config.
+ELASTIC_SPEC_HELP = """\
+spec grammar: comma-separated flags and key=value pairs
+  on | off          attach / don't attach the autoscaler (default: off)
+  min=N             fleet floor, workers (default 1)
+  max=N             fleet ceiling, workers (default 8)
+  interval=SECONDS  gauge-evaluation cadence (default 1)
+  provision=SECONDS virtual boot latency per new node (default 10)
+  up=F              scale up above F queued jobs per worker (default 4)
+  load=FRACTION     ... or at this reserved-vCPU load (default 0.9)
+  ram=FRACTION      ... or at this RAM high-water fraction (default 0.9)
+  idle=SECONDS      a node must idle this long to drain (default 3)
+  cooldown=SECONDS  no scale-down within this of a scale-up (default 5)
+  step=N            nodes provisioned per scale-up decision (default 1)
+  shape=NAME        new-node machine shape: default, fast, slow, highmem
+  drain=on|off      drain (migrate replicas) vs crash-evict (default on)
+example: --elastic on,min=1,max=16,provision=5,shape=fast"""
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -314,6 +353,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the named experiments as jobs submitted through the "
         "multi-tenant job service; SPEC is 'on,rate=50,policy=drf,...' "
         "(inspect with the 'jobs' subcommand: 'repro jobs SPEC')",
+    )
+    parser.add_argument(
+        "--elastic",
+        metavar="SPEC",
+        default=None,
+        help="install an elastic-membership/autoscaler policy for the "
+        "run; SPEC is 'on,min=1,max=16,provision=5,...' (inspect with "
+        "the 'elastic' subcommand: 'repro elastic SPEC')",
     )
     return parser
 
@@ -401,6 +448,18 @@ def _handle_jobs(spec: Optional[str]) -> int:
         if not service.queue.drained:
             print("repro: jobs: queue did not drain", file=sys.stderr)
             return 1
+    return 0
+
+
+def _handle_elastic(spec: Optional[str]) -> int:
+    if spec is None:
+        from repro.config import ElasticConfig
+
+        print(describe_elastic(ElasticConfig()))
+        print()
+        print(ELASTIC_SPEC_HELP)
+        return 0
+    print(describe_elastic(parse_elastic_spec(spec)))
     return 0
 
 
@@ -553,6 +612,10 @@ SUBCOMMANDS = {
             _handle_jobs, (JobsSpecError,), JOBS_SPEC_HELP,
         ),
         Subcommand(
+            "elastic", "repro elastic [SPEC]", "optional", "elastic",
+            _handle_elastic, (ElasticSpecError,), ELASTIC_SPEC_HELP,
+        ),
+        Subcommand(
             "compile", "repro compile FILE", "required", None,
             _handle_compile, (WorkflowSpecError, InvalidWorkflow),
             WORKFLOW_SPEC_HELP,
@@ -615,6 +678,13 @@ def _jobs_summary(summary) -> str:
         f"p99 {seconds(summary['p99_queue_s'])}",
         f"  peak queue depth {summary['peak_queue_depth']}",
     ]
+    if "elastic" in summary:
+        es = summary["elastic"]
+        lines.append(
+            f"  elastic          {es['scale_ups']} up / {es['scale_downs']} "
+            f"down, peak {es['peak_nodes']} nodes, "
+            f"{summary['node_seconds']:.1f} node-seconds"
+        )
     for tenant, stats in summary["tenants"].items():
         lines.append(
             f"  {tenant:<16} {stats['completed']}/{stats['submitted']} "
@@ -666,6 +736,30 @@ def _run_experiments(names: List[str], registry, jobs_config) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    # --elastic is resolved before subcommand dispatch (unlike the
+    # SPEC_OPTIONS below) so it composes with 'repro jobs SPEC': the
+    # traffic run resolves the installed config when it builds its
+    # JobService.
+    elastic_config = None
+    if args.elastic is not None:
+        try:
+            elastic_config = parse_elastic_spec(args.elastic)
+        except ElasticSpecError as exc:
+            print(
+                _spec_error("--elastic", exc, ELASTIC_SPEC_HELP),
+                file=sys.stderr,
+            )
+            return 2
+    elastic_context = (
+        elastic_enabled(elastic_config)
+        if elastic_config is not None
+        else nullcontext()
+    )
+    with elastic_context:
+        return _main(args)
+
+
+def _main(args) -> int:
     registry = QUICK_EXPERIMENTS if args.quick else ALL_EXPERIMENTS
     if args.list:
         for name in sorted(registry):

@@ -2,22 +2,25 @@
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List
+from typing import Any, Callable, Dict, Generator, List, Optional, Set
 
-from repro.config import ClusterTopologyConfig, ReproConfig, default_config
+from repro.config import ClusterTopologyConfig, MachineConfig, ReproConfig, default_config
 from repro.cluster.network import Network
 from repro.cluster.node import Node
 from repro.cluster.serialization import CodecSuite, make_codecs
 from repro.cache import ResultCache, current_cache
-from repro.errors import UnknownNode
+from repro.errors import DrainError, UnknownNode
 from repro.faults.injector import current_injector
 from repro.mem import MemoryManager, current_memory_config
 from repro.obs.tracer import current_tracer
 from repro.sim import Environment
 
-__all__ = ["Cluster", "build_cluster"]
+__all__ = ["Cluster", "build_cluster", "DRAIN_POLL_S"]
 
 CONTROLLER = "controller"
+
+#: Cadence at which a drain re-checks that a node has quiesced.
+DRAIN_POLL_S = 0.05
 
 
 class Cluster:
@@ -62,6 +65,20 @@ class Cluster:
         self._nodes: Dict[str, Node] = {CONTROLLER: self.controller}
         for worker in self.workers:
             self._nodes[worker.name] = worker
+        #: Membership bookkeeping (``repro.elastic``).  Listeners are
+        #: called as ``listener(action, node)`` with ``action`` in
+        #: {"add", "remove"}; ``draining`` names workers mid-drain so
+        #: placement layers stop targeting them before removal lands.
+        self._membership_listeners: List[Callable[[str, Node], None]] = []
+        self.draining: Set[str] = set()
+        #: Object stores that must relocate replicas when a node drains.
+        self.stores: List[Any] = []
+        self._joined_s: Dict[str, float] = {
+            worker.name: env.now for worker in self.workers
+        }
+        self._node_seconds_retired = 0.0
+        self._busy_seconds_retired = 0.0
+        self.peak_workers = len(self.workers)
         self.network = Network(env, topology.network)
         self.codecs: CodecSuite = make_codecs(config.serialization)
         #: Memory-pressure layer (``repro.mem``), resolved like the
@@ -106,19 +123,123 @@ class Cluster:
     def node_names(self) -> List[str]:
         return list(self._nodes)
 
-    def worker_round_robin(self, index: int) -> Node:
-        """Deterministic worker assignment for the i-th placement.
+    # -- membership (repro.elastic) --------------------------------------------
 
-        .. deprecated::
-            Placement decisions belong to :class:`repro.sched.Scheduler`;
-            this method remains only as a compatibility shim and now
-            delegates to the default policy's arithmetic.  New code
-            should build a scheduler and call
-            :meth:`repro.sched.Scheduler.place`.
+    def add_membership_listener(self, listener: Callable[[str, Node], None]) -> None:
+        """Subscribe to worker joins/leaves: ``listener(action, node)``."""
+        self._membership_listeners.append(listener)
+
+    def register_store(self, store: Any) -> None:
+        """Register an object store whose replicas must survive drains."""
+        self.stores.append(store)
+
+    def joined_at(self, name: str) -> float:
+        """Virtual time at which worker ``name`` joined the cluster."""
+        return self._joined_s[name]
+
+    def add_node(self, name: str, machine: Optional[MachineConfig] = None) -> Node:
+        """Join a new worker to the cluster immediately.
+
+        ``machine`` defaults to the topology's homogeneous shape; pass
+        any :class:`repro.config.MachineConfig` (or a named shape from
+        ``repro.elastic.MACHINE_SHAPES``) for heterogeneous fleets.
+        Provisioning latency is the caller's concern — the autoscaler
+        pays it through :meth:`provision_node`.
         """
-        from repro.sched.policy import round_robin_index  # local: avoid cycle
+        if name in self._nodes:
+            raise ValueError(f"node {name!r} already exists")
+        node = Node(self.env, name, machine or self.config.topology.machine)
+        self.workers.append(node)
+        self._nodes[name] = node
+        self._joined_s[name] = self.env.now
+        self.peak_workers = max(self.peak_workers, len(self.workers))
+        self.memory.add_node(name)
+        for listener in list(self._membership_listeners):
+            listener("add", node)
+        tracer = self.env.tracer
+        if tracer.enabled:
+            tracer.metrics.gauge("cluster.nodes").set(len(self.workers))
+        return node
 
-        return self.workers[round_robin_index(index, self.num_workers)]
+    def provision_node(
+        self,
+        name: str,
+        machine: Optional[MachineConfig] = None,
+        latency_s: float = 0.0,
+    ) -> Generator:
+        """Simulation process: pay virtual boot latency, then join."""
+        if latency_s < 0:
+            raise ValueError(f"negative provisioning latency: {latency_s}")
+        if latency_s > 0:
+            yield self.env.timeout(latency_s)
+        return self.add_node(name, machine)
+
+    def remove_node(self, name: str, drain: bool = True):
+        """Start removing worker ``name``; returns a simulation process.
+
+        With ``drain=True`` the node is marked draining *synchronously*
+        (so placement layers stop targeting it the moment this is
+        called) and the returned generator waits for outstanding vCPU
+        requests to finish, migrates sole object-store replicas to a
+        surviving worker (redundant replicas are dropped for free), and
+        waits for RAM reservations to clear before retiring the node.
+
+        With ``drain=False`` the removal reuses the node-kill machinery
+        (:meth:`ObjectStore.evict_node`): replicas are dropped as in a
+        crash, and any sole un-reconstructable replica stays addressed
+        to the now-gone node — later fetches fail loudly with
+        :class:`UnknownNode`, exactly as after a real crash.
+
+        Run it with ``env.process(cluster.remove_node(...))`` or
+        ``yield from`` inside another process.
+        """
+        node = self.node(name)
+        if node is self.controller:
+            raise ValueError("cannot remove the controller node")
+        if name in self.draining:
+            raise ValueError(f"node {name!r} is already draining")
+        active = [w for w in self.workers if w.name not in self.draining]
+        if len(active) <= 1:
+            raise DrainError("cannot remove the last active worker")
+        if drain:
+            self.draining.add(name)
+        return self._remove(node, drain)
+
+    def _remove(self, node: Node, drain: bool) -> Generator:
+        try:
+            if drain:
+                while node.cpus.in_use > 0 or node.cpus._waiters:
+                    yield self.env.timeout(DRAIN_POLL_S)
+                target = self._migration_target(node.name)
+                for store in list(self.stores):
+                    yield from store.migrate_node(node.name, target)
+                while node.ram_used > 0:
+                    yield self.env.timeout(DRAIN_POLL_S)
+            else:
+                for store in list(self.stores):
+                    store.evict_node(node.name)
+        finally:
+            self.draining.discard(node.name)
+        self._retire(node)
+        return node
+
+    def _migration_target(self, exclude: str) -> Optional[str]:
+        for worker in self.workers:
+            if worker.name != exclude and worker.name not in self.draining:
+                return worker.name
+        return None
+
+    def _retire(self, node: Node) -> None:
+        self.workers.remove(node)
+        del self._nodes[node.name]
+        self._node_seconds_retired += self.env.now - self._joined_s.pop(node.name)
+        self._busy_seconds_retired += node.busy_seconds
+        self.memory.remove_node(node.name)
+        for listener in list(self._membership_listeners):
+            listener("remove", node)
+        tracer = self.env.tracer
+        if tracer.enabled:
+            tracer.metrics.gauge("cluster.nodes").set(len(self.workers))
 
     # -- data movement ---------------------------------------------------------
 
@@ -132,8 +253,26 @@ class Cluster:
     # -- accounting -------------------------------------------------------------
 
     def total_busy_seconds(self) -> float:
-        """Aggregate CPU-seconds consumed across all nodes."""
-        return sum(node.busy_seconds for node in self._nodes.values())
+        """Aggregate CPU-seconds consumed across all nodes, ever.
+
+        Includes nodes retired by :meth:`remove_node` — their busy time
+        was real even though the machine is gone.
+        """
+        return self._busy_seconds_retired + sum(
+            node.busy_seconds for node in self._nodes.values()
+        )
+
+    def node_seconds(self) -> float:
+        """Worker machine-seconds paid so far (the cluster's cost bill).
+
+        Each worker is billed from its join time to now (or to its
+        retirement); the controller is free, matching how the paper's
+        cost discussion counts rented worker VMs.
+        """
+        now = self.env.now
+        return self._node_seconds_retired + sum(
+            now - self._joined_s[worker.name] for worker in self.workers
+        )
 
     def __repr__(self) -> str:
         return f"<Cluster controller + {self.num_workers} workers @ t={self.env.now:.2f}s>"

@@ -79,7 +79,14 @@ class Network:
         distribution pattern the paper credits Texera with for the
         GOTTA model ("loaded the model and distributed it through the
         network to each worker").
+
+        A broadcast overlapping a link-degradation window pays the same
+        sampled factor :meth:`transfer` charges its unicasts — sampled
+        once at broadcast start, covering every destination, so the
+        charge matches ``destinations`` equivalent unicasts issued at
+        the same instant.
         """
         if destinations < 0:
             raise ValueError(f"negative destination count: {destinations}")
-        return destinations * self.config.transfer_time(nbytes)
+        factor = self.env.faults.link_factor(self.env.now)
+        return destinations * self.config.transfer_time(nbytes) * factor

@@ -83,8 +83,25 @@ class Node:
             # blocks the vCPU FIFO nor — if already granted — leaks cores.
             request.cancel()
             raise
+        started = self.env.now
         try:
-            yield self.env.timeout(duration_s)
+            try:
+                yield self.env.timeout(duration_s)
+            except BaseException:
+                # Killed mid-compute: the elapsed slice still burned the
+                # vCPUs, so charge it — otherwise utilization gauges
+                # under-report exactly when faults are active.
+                elapsed = (self.env.now - started) * cores
+                if elapsed > 0:
+                    self.busy_seconds += elapsed
+                    tracer = self.env.tracer
+                    if tracer.enabled:
+                        tracer.metrics.counter("node.busy_s", node=self.name).add(
+                            elapsed
+                        )
+                raise
+            # The success path must keep charging duration_s * cores (not
+            # now - started) so the accounting floats stay bit-identical.
             self.busy_seconds += duration_s * cores
             tracer = self.env.tracer
             if tracer.enabled:

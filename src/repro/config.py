@@ -475,6 +475,82 @@ class JobsConfig:
 
 
 @dataclass(frozen=True)
+class ElasticConfig:
+    """Dynamic cluster membership + autoscaler policy (``repro.elastic``).
+
+    With the default (``enabled=False``) the subsystem is completely
+    dormant: the node set stays exactly as built and every direct
+    engine run is bit-identical to the seed timings (pinned by
+    ``tests/elastic/test_timing_pin.py``).  Enabling it attaches an
+    :class:`repro.elastic.Autoscaler` process to the job service that
+    watches the quantities behind the ``repro.obs`` gauges — queue
+    depth (``jobs.queue_depth``), reserved-vCPU load
+    (``sched.node_load``) and RAM high water (``mem.high_water``) —
+    and provisions or drains workers accordingly.
+    """
+
+    #: Master switch consulted by the CLI and :class:`repro.jobs.JobService`.
+    enabled: bool = False
+    #: Fleet size bounds (workers; the controller is never scaled).
+    min_nodes: int = 1
+    max_nodes: int = 8
+    #: Gauge-evaluation cadence of the autoscaler process.
+    interval_s: float = 1.0
+    #: Virtual boot latency paid before a provisioned node joins.
+    provision_s: float = 10.0
+    #: Scale up when queued jobs per (active + provisioning) worker
+    #: exceed this ...
+    up_queue_per_node: float = 4.0
+    #: ... or when the queue is non-empty and mean reserved-vCPU load
+    #: across active workers reaches this fraction ...
+    up_load: float = 0.90
+    #: ... or when the queue is non-empty and some node's RAM high
+    #: water exceeds this fraction of its ceiling.
+    up_ram: float = 0.90
+    #: A node becomes a scale-down victim after being idle this long.
+    idle_s: float = 3.0
+    #: Cooldown after a scale-up before scale-down resumes.
+    cooldown_s: float = 5.0
+    #: Nodes provisioned per scale-up decision.
+    step: int = 1
+    #: Machine shape provisioned nodes use — a name from
+    #: ``repro.elastic.MACHINE_SHAPES`` (default/fast/slow/highmem).
+    shape: str = "default"
+    #: Drain nodes on scale-down (migrate replicas) rather than
+    #: crash-evicting them through the node-kill machinery.
+    drain: bool = True
+
+    def __post_init__(self) -> None:
+        if self.min_nodes < 1:
+            raise ValueError(f"min_nodes must be >= 1, got {self.min_nodes}")
+        if self.max_nodes < self.min_nodes:
+            raise ValueError(
+                f"max_nodes must be >= min_nodes, got "
+                f"{self.max_nodes} < {self.min_nodes}"
+            )
+        if self.interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {self.interval_s}")
+        if self.provision_s < 0:
+            raise ValueError(f"provision_s must be >= 0, got {self.provision_s}")
+        if self.up_queue_per_node <= 0:
+            raise ValueError(
+                f"up_queue_per_node must be positive, got {self.up_queue_per_node}"
+            )
+        for name in ("up_load", "up_ram"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1], got {value}")
+        if self.idle_s < 0:
+            raise ValueError(f"idle_s must be >= 0, got {self.idle_s}")
+        if self.cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be >= 0, got {self.cooldown_s}")
+        if self.step < 1:
+            raise ValueError(f"step must be >= 1, got {self.step}")
+        if not self.shape:
+            raise ValueError("shape must be a non-empty shape name")
+
+
+@dataclass(frozen=True)
 class ClusterTopologyConfig:
     """The paper's deployment: 1 coordinator + 4 worker machines."""
 
@@ -510,6 +586,11 @@ class ReproConfig:
     #: default is fully dormant; an explicitly installed config
     #: (``repro.jobs.jobs_enabled``) takes precedence over this field.
     jobs: JobsConfig = field(default_factory=JobsConfig)
+    #: Elastic-membership/autoscaler policy (see :mod:`repro.elastic`).
+    #: The default is fully dormant; an explicitly installed config
+    #: (``repro.elastic.elastic_enabled``) takes precedence over this
+    #: field.
+    elastic: ElasticConfig = field(default_factory=ElasticConfig)
 
 
 DEFAULT_CONFIG = ReproConfig()

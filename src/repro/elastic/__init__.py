@@ -1,0 +1,118 @@
+"""Elastic cluster membership + autoscaling: ``repro.elastic``.
+
+The paper's scaling studies (Figs. 13/14) stop at a static 1-4
+workers; real deployments of both paradigms run on fleets that grow
+and shrink with load.  This package adds that dimension on top of the
+layers beneath it:
+
+* :meth:`repro.cluster.Cluster.add_node` /
+  :meth:`~repro.cluster.Cluster.remove_node` — dynamic membership with
+  virtual provisioning latency and draining (outstanding vCPU requests
+  finish, sole object-store replicas migrate to survivors, RAM
+  reservations clear) before a node retires;
+* :data:`MACHINE_SHAPES` — heterogeneous machine shapes
+  (``default``/``fast``/``slow``/``highmem``) for the fleets real
+  scientific workflows ask for;
+* :class:`Autoscaler` — a periodic process watching the quantities
+  behind the ``repro.obs`` gauges (queue depth, ``sched.node_load``,
+  ``mem.high_water``) with configurable scale-up/down rules, composing
+  with the :mod:`repro.jobs` traffic generator.
+
+Enabling it follows the pattern of every other layer:
+
+>>> from repro.elastic import elastic_enabled
+>>> from repro.jobs import JobService, JobsConfig
+>>> with elastic_enabled("on,min=1,max=8,provision=3"):
+...     summary = JobService(JobsConfig(enabled=True)).simulate()
+
+or from the command line with ``--elastic SPEC`` (composes with
+``repro jobs SPEC``); ``python -m repro elastic`` prints the grammar.
+
+Dormant by default: nothing consults this package unless an autoscaler
+is explicitly enabled, the node set stays exactly as built, and every
+direct engine run is bit-identical to the seed virtual timings (pinned
+by ``tests/elastic/test_timing_pin.py``).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Union
+
+from repro.config import ElasticConfig
+from repro.elastic.autoscaler import Autoscaler
+from repro.elastic.spec import (
+    MACHINE_SHAPES,
+    describe_elastic,
+    elastic_config_from_json,
+    elastic_config_to_json,
+    machine_shape,
+    parse_elastic_spec,
+)
+
+__all__ = [
+    "ElasticConfig",
+    "Autoscaler",
+    "MACHINE_SHAPES",
+    "machine_shape",
+    "parse_elastic_spec",
+    "describe_elastic",
+    "elastic_config_to_json",
+    "elastic_config_from_json",
+    "install_elastic",
+    "uninstall_elastic",
+    "current_elastic_config",
+    "elastic_enabled",
+]
+
+#: The globally installed config, if any (see :func:`install_elastic`).
+_installed: Optional[ElasticConfig] = None
+
+
+def _coerce(config_or_spec: Union[ElasticConfig, str]) -> ElasticConfig:
+    if isinstance(config_or_spec, ElasticConfig):
+        return config_or_spec
+    return parse_elastic_spec(config_or_spec)
+
+
+def install_elastic(config_or_spec: Union[ElasticConfig, str]) -> ElasticConfig:
+    """Make an elastic config the session default.
+
+    Accepts an :class:`ElasticConfig` or a spec string (validated
+    eagerly, so a typo fails at install time rather than mid-run).
+    """
+    global _installed
+    config = _coerce(config_or_spec)
+    _installed = config
+    return config
+
+
+def uninstall_elastic() -> None:
+    """Clear the globally installed config (back to the dormant default)."""
+    global _installed
+    _installed = None
+
+
+def current_elastic_config() -> Optional[ElasticConfig]:
+    """The globally installed elastic config, or None."""
+    return _installed
+
+
+@contextmanager
+def elastic_enabled(
+    config_or_spec: Union[ElasticConfig, str],
+) -> Iterator[ElasticConfig]:
+    """Install an elastic config for the duration of a ``with`` block.
+
+    >>> with elastic_enabled("on,min=1,max=8") as config:
+    ...     config.max_nodes
+    8
+    """
+    global _installed
+    config = _coerce(config_or_spec)
+    previous = _installed
+    _installed = config
+    try:
+        yield config
+    finally:
+        _installed = previous

@@ -1,0 +1,223 @@
+"""The autoscaler: a periodic process scaling the worker fleet.
+
+One :class:`Autoscaler` serves one :class:`repro.jobs.JobService`.  On
+every ``interval_s`` tick it evaluates the quantities behind the
+``repro.obs`` gauges — queue depth (``jobs.queue_depth``), reserved
+vCPUs per node (``sched.node_load``), RAM high water
+(``mem.high_water``) — and either provisions new workers (paying the
+configured virtual boot latency before :meth:`Cluster.add_node` lands)
+or drains idle ones through :meth:`Cluster.remove_node`.
+
+Reading the sources rather than the gauge objects keeps the policy
+usable without an attached tracer; when one *is* attached the decisions
+are mirrored into ``elastic.scale_up`` / ``elastic.scale_down``
+counters and the ``cluster.nodes`` gauge, so a trace shows cause
+(queue/load/RAM rule) and effect (membership) side by side.
+
+Scale-up and scale-down are deliberately asymmetric, the standard
+cluster-autoscaler shape: up is eager (any rule trips it, ``step``
+nodes at a time), down is cautious (empty queue, a node idle for
+``idle_s``, outside the ``cooldown_s`` window after the last scale-up,
+one node per tick).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.config import ElasticConfig
+from repro.elastic.spec import machine_shape
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.cluster import Node
+    from repro.jobs.service import JobService
+
+__all__ = ["Autoscaler"]
+
+
+class Autoscaler:
+    """Watches one job service's signals and scales its cluster."""
+
+    def __init__(self, service: "JobService", config: ElasticConfig) -> None:
+        self.service = service
+        self.cluster = service.cluster
+        self.env = service.env
+        self.config = config
+        #: Shape provisioned nodes use (resolved eagerly so a bad name
+        #: fails at construction, not mid-run).
+        self.machine = machine_shape(config.shape)
+        # Telemetry.
+        self.scale_ups = 0
+        self.scale_downs = 0
+        #: Nodes currently paying their boot latency.
+        self.provisioning = 0
+        self._next_index = 0
+        self._last_scale_up_s: Optional[float] = None
+        #: ``name -> time`` the node was first observed idle.
+        self._idle_since: dict = {}
+        self._proc = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def ensure_started(self) -> None:
+        """Start the periodic evaluation process (idempotent)."""
+        if self._proc is None:
+            self._proc = self.env.process(self._run())
+
+    def _run(self):
+        while True:
+            yield self.env.timeout(self.config.interval_s)
+            self._evaluate()
+
+    # -- signal views -------------------------------------------------------
+
+    def active_workers(self) -> List["Node"]:
+        """Workers that are neither draining nor still booting."""
+        draining = self.cluster.draining
+        return [w for w in self.cluster.workers if w.name not in draining]
+
+    def _population(self) -> int:
+        return len(self.active_workers()) + self.provisioning
+
+    # -- the policy ---------------------------------------------------------
+
+    def _evaluate(self) -> None:
+        cfg = self.config
+        now = self.env.now
+        active = self.active_workers()
+        population = len(active) + self.provisioning
+        depth = self.service.queue.depth
+
+        # Track idleness first so a node that was busy this tick cannot
+        # be drained on the same tick it went idle.
+        held = self.service._cpus_held
+        for node in active:
+            busy = (
+                held.get(node.name, 0) > 0
+                or node.cpus.in_use > 0
+                or node.cpus._waiters
+            )
+            if busy:
+                self._idle_since.pop(node.name, None)
+            else:
+                self._idle_since.setdefault(node.name, now)
+
+        if population < cfg.max_nodes and self._wants_up(active, depth, population):
+            self._scale_up(min(cfg.step, cfg.max_nodes - population))
+            return
+
+        if (
+            depth == 0
+            and population > cfg.min_nodes
+            and (
+                self._last_scale_up_s is None
+                or now - self._last_scale_up_s >= cfg.cooldown_s
+            )
+        ):
+            victim = self._pick_victim(active, now)
+            if victim is not None:
+                self._scale_down(victim)
+
+    def _wants_up(self, active: List["Node"], depth: int, population: int) -> bool:
+        cfg = self.config
+        if depth > cfg.up_queue_per_node * population:
+            return True
+        if depth == 0:
+            return False
+        held = self.service._cpus_held
+        total_cpus = sum(node.num_cpus for node in active)
+        if total_cpus > 0:
+            load = sum(held.get(node.name, 0) for node in active) / total_cpus
+            if load >= cfg.up_load:
+                return True
+        for node in active:
+            if node.ram_limit > 0 and node.ram_peak / node.ram_limit >= cfg.up_ram:
+                return True
+        return False
+
+    def _pick_victim(self, active: List["Node"], now: float) -> Optional["Node"]:
+        cfg = self.config
+        candidates = [
+            node
+            for node in active
+            if node.name in self._idle_since
+            and now - self._idle_since[node.name] >= cfg.idle_s
+        ]
+        if not candidates:
+            return None
+        # Retire the youngest idle node first: the seed workers stay,
+        # which keeps warm object-store replicas where the early work
+        # put them.
+        return max(
+            candidates, key=lambda node: (self.cluster.joined_at(node.name), node.name)
+        )
+
+    # -- actuation ----------------------------------------------------------
+
+    def _scale_up(self, count: int) -> None:
+        self._last_scale_up_s = self.env.now
+        for _ in range(count):
+            name = f"elastic-{self._next_index}"
+            self._next_index += 1
+            self.provisioning += 1
+            self.env.process(self._provision(name))
+        tracer = self.env.tracer
+        if tracer.enabled:
+            tracer.metrics.counter("elastic.scale_up").add(count)
+
+    def _provision(self, name: str):
+        try:
+            yield from self.cluster.provision_node(
+                name, machine=self.machine, latency_s=self.config.provision_s
+            )
+        finally:
+            self.provisioning -= 1
+        self.scale_ups += 1
+
+    def _scale_down(self, victim: "Node") -> None:
+        self._idle_since.pop(victim.name, None)
+        self.scale_downs += 1
+        self.env.process(
+            self.cluster.remove_node(victim.name, drain=self.config.drain)
+        )
+        tracer = self.env.tracer
+        if tracer.enabled:
+            tracer.metrics.counter("elastic.scale_down").inc()
+
+    # -- dispatcher SOS -----------------------------------------------------
+
+    def request_capacity(self) -> bool:
+        """Called by a starved dispatcher: jobs pending, nothing running.
+
+        Returns True when more capacity is coming (nodes provisioning,
+        a drain about to return capacity bookkeeping to steady state,
+        or a scale-up just triggered here) so the dispatcher should
+        wait instead of failing the pending jobs; False when the fleet
+        is already at ``max_nodes`` and no help is possible.
+        """
+        if self.provisioning > 0:
+            return True
+        if self._population() >= self.config.max_nodes:
+            return False
+        if self.cluster.draining:
+            return True
+        self._scale_up(1)
+        return True
+
+    # -- reporting ----------------------------------------------------------
+
+    def summary(self) -> dict:
+        return {
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "provisioning": self.provisioning,
+            "final_nodes": len(self.cluster.workers),
+            "peak_nodes": self.cluster.peak_workers,
+            "shape": self.config.shape,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Autoscaler {self.config.min_nodes}..{self.config.max_nodes} "
+            f"{self.scale_ups} up / {self.scale_downs} down>"
+        )

@@ -1,0 +1,185 @@
+"""Compact CLI specs for elasticity: ``--elastic "on,min=1,max=8"``.
+
+A spec is a comma-separated list of flags and ``key=value`` pairs,
+the same grammar family as ``--mem``, ``--faults`` and ``--jobs``:
+
+==================  ====================================================
+``on``              attach the autoscaler to the job service
+``off``             keep the subsystem dormant (the default)
+``min=N``           fleet floor, workers (1)
+``max=N``           fleet ceiling, workers (8)
+``interval=F``      gauge-evaluation cadence, virtual seconds (1)
+``provision=F``     virtual boot latency per provisioned node (10)
+``up=F``            scale up above this many queued jobs per worker (4)
+``load=F``          ... or at this reserved-vCPU load with a queue (0.9)
+``ram=F``           ... or at this RAM high-water fraction (0.9)
+``idle=F``          a node must idle this long to be drained (3)
+``cooldown=F``      no scale-down within this of a scale-up (5)
+``step=N``          nodes provisioned per scale-up decision (1)
+``shape=NAME``      machine shape for new nodes (``default``;
+                    also ``fast``, ``slow``, ``highmem``)
+``drain=on|off``    drain (migrate replicas) vs crash-evict on
+                    scale-down (on)
+==================  ====================================================
+
+``repro elastic SPEC`` prints the configuration a spec expands to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, replace
+from typing import Any, Dict
+
+from repro.config import GIB, ElasticConfig, MachineConfig
+from repro.errors import ElasticSpecError
+
+__all__ = [
+    "MACHINE_SHAPES",
+    "machine_shape",
+    "parse_elastic_spec",
+    "describe_elastic",
+    "elastic_config_to_json",
+    "elastic_config_from_json",
+]
+
+#: Named machine shapes for heterogeneous fleets.  ``default`` is the
+#: paper's testbed VM; the others are the usual cloud families —
+#: compute-optimized, burstable, memory-optimized.
+MACHINE_SHAPES: Dict[str, MachineConfig] = {
+    "default": MachineConfig(),
+    "fast": MachineConfig(
+        num_cpus=16, ram_bytes=64 * GIB, flops_per_core_per_s=4.0e9
+    ),
+    "slow": MachineConfig(
+        num_cpus=4, ram_bytes=16 * GIB, flops_per_core_per_s=1.0e9
+    ),
+    "highmem": MachineConfig(
+        num_cpus=8, ram_bytes=256 * GIB, flops_per_core_per_s=2.0e9
+    ),
+}
+
+
+def machine_shape(name: str) -> MachineConfig:
+    """Resolve a shape name; raises :class:`ElasticSpecError`."""
+    try:
+        return MACHINE_SHAPES[name]
+    except KeyError:
+        raise ElasticSpecError(
+            f"unknown machine shape {name!r} "
+            f"(have {', '.join(sorted(MACHINE_SHAPES))})"
+        ) from None
+
+
+def _parse_bool(key: str, value: str) -> bool:
+    lowered = value.lower()
+    if lowered in ("on", "true", "1", "yes"):
+        return True
+    if lowered in ("off", "false", "0", "no"):
+        return False
+    raise ElasticSpecError(
+        f"bad value for elastic spec key {key!r}: {value!r} (want on/off)"
+    )
+
+
+def parse_elastic_spec(spec: str) -> ElasticConfig:
+    """Parse an ``--elastic`` spec string into an :class:`ElasticConfig`.
+
+    >>> parse_elastic_spec("on,min=2,max=16").max_nodes
+    16
+    """
+    text = spec.strip()
+    if not text:
+        raise ElasticSpecError("empty elastic spec")
+    kwargs: Dict[str, Any] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            raise ElasticSpecError(f"empty fragment in elastic spec {spec!r}")
+        if "=" not in part:
+            flag = part.lower()
+            if flag == "on":
+                kwargs["enabled"] = True
+            elif flag == "off":
+                kwargs["enabled"] = False
+            else:
+                raise ElasticSpecError(
+                    f"unknown elastic spec flag {part!r} (want 'on', 'off' "
+                    "or key=value)"
+                )
+            continue
+        key, _, value = part.partition("=")
+        key = key.strip().lower()
+        value = value.strip()
+        try:
+            if key == "min":
+                kwargs["min_nodes"] = int(value)
+            elif key == "max":
+                kwargs["max_nodes"] = int(value)
+            elif key == "interval":
+                kwargs["interval_s"] = float(value)
+            elif key == "provision":
+                kwargs["provision_s"] = float(value)
+            elif key == "up":
+                kwargs["up_queue_per_node"] = float(value)
+            elif key == "load":
+                kwargs["up_load"] = float(value)
+            elif key == "ram":
+                kwargs["up_ram"] = float(value)
+            elif key == "idle":
+                kwargs["idle_s"] = float(value)
+            elif key == "cooldown":
+                kwargs["cooldown_s"] = float(value)
+            elif key == "step":
+                kwargs["step"] = int(value)
+            elif key == "shape":
+                machine_shape(value)  # validate eagerly
+                kwargs["shape"] = value
+            elif key == "drain":
+                kwargs["drain"] = _parse_bool(key, value)
+            else:
+                raise ElasticSpecError(f"unknown elastic spec key {key!r}")
+        except ValueError:
+            raise ElasticSpecError(
+                f"bad value for elastic spec key {key!r}: {value!r}"
+            ) from None
+    try:
+        return replace(ElasticConfig(), **kwargs)
+    except ValueError as exc:
+        raise ElasticSpecError(str(exc)) from None
+
+
+def elastic_config_to_json(config: ElasticConfig) -> Dict[str, Any]:
+    """Plain-JSON dump of a config (benchmark documents)."""
+    return asdict(config)
+
+
+def elastic_config_from_json(doc: Dict[str, Any]) -> ElasticConfig:
+    """Inverse of :func:`elastic_config_to_json` (validates on construction)."""
+    return ElasticConfig(**doc)
+
+
+def describe_elastic(config: ElasticConfig) -> str:
+    """Aligned text description of an elastic config (the CLI's output)."""
+    shape = MACHINE_SHAPES.get(config.shape)
+    shape_text = config.shape
+    if shape is not None:
+        shape_text += (
+            f" ({shape.num_cpus} vCPU, {shape.ram_bytes // GIB} GiB, "
+            f"{shape.flops_per_core_per_s:.1e} FLOP/s/core)"
+        )
+    lines = [
+        "elasticity: "
+        + ("autoscaler ON" if config.enabled else "dormant (static cluster)"),
+        f"  fleet              {config.min_nodes}..{config.max_nodes} workers",
+        f"  cadence            every {config.interval_s:g}s, "
+        f"provision latency {config.provision_s:g}s",
+        f"  scale up           queue > {config.up_queue_per_node:g}/worker, "
+        f"or load >= {config.up_load:.0%}, or RAM >= {config.up_ram:.0%} "
+        f"(+{config.step}/decision)",
+        f"  scale down         idle >= {config.idle_s:g}s, empty queue, "
+        f"cooldown {config.cooldown_s:g}s",
+        f"  new-node shape     {shape_text}",
+        f"  on scale-down      "
+        + ("drain (migrate replicas)" if config.drain else "crash-evict"),
+    ]
+    return "\n".join(lines)

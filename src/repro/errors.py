@@ -184,6 +184,18 @@ class JobBodyError(JobsError):
     """A job body raised; the job moves to the ``failed`` state."""
 
 
+class ElasticError(ReproError):
+    """Base class for the elastic-membership subsystem (``repro.elastic``)."""
+
+
+class ElasticSpecError(ElasticError):
+    """An ``--elastic`` spec string was malformed."""
+
+
+class DrainError(ElasticError):
+    """A node drain could not quiesce the node or relocate its data."""
+
+
 class MLError(ReproError):
     """Base class for model/tokenizer/training errors."""
 

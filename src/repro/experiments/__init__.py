@@ -13,6 +13,7 @@ E6          Placement-policy comparison (extension)     :func:`run_scheduling`
 E7          Memory pressure: spill vs die (extension)   :func:`run_memory`
 E8          Result caching: cold vs warm (extension)    :func:`run_caching`
 E9          Fair-share admission: FIFO vs DRF (ext.)    :func:`run_fairshare`
+E10         Elastic autoscaling: cost vs latency (ext.) :func:`run_elasticity`
 ==========  ==========================================  ======================
 
 Each returns an :class:`repro.metrics.ExperimentReport` holding the
@@ -21,6 +22,7 @@ measured values side by side with the paper's, rendered by
 """
 
 from repro.experiments.exp_caching import run_caching
+from repro.experiments.exp_elastic import run_elasticity
 from repro.experiments.exp_fairshare import run_fairshare
 from repro.experiments.exp_language import run_table1
 from repro.experiments.exp_memory import run_memory
@@ -51,6 +53,7 @@ __all__ = [
     "run_memory",
     "run_caching",
     "run_fairshare",
+    "run_elasticity",
 ]
 
 ALL_EXPERIMENTS = {
@@ -69,4 +72,5 @@ ALL_EXPERIMENTS = {
     "memory": run_memory,
     "caching": run_caching,
     "fairshare": run_fairshare,
+    "elasticity": run_elasticity,
 }

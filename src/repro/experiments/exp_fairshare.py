@@ -38,8 +38,17 @@ HEAVY = "team-heavy/flood"
 LIGHT = "team-light/trickle"
 
 
-def _streams(horizon_s: float, heavy_rate: float, light_rate: float):
-    """Two seeded per-tenant streams, merged into one arrival list."""
+def _streams(
+    horizon_s: float,
+    heavy_rate: float,
+    light_rate: float,
+    light_horizon_s: float = None,
+):
+    """Two seeded per-tenant streams, merged into one arrival list.
+
+    ``light_horizon_s`` lets the trickle outlive the flood — the
+    burst-then-tail shape the elasticity experiment (E10) replays.
+    """
     heavy = TrafficGenerator(
         JobsConfig(
             seed=11,
@@ -55,7 +64,9 @@ def _streams(horizon_s: float, heavy_rate: float, light_rate: float):
         JobsConfig(
             seed=23,
             rate_per_s=light_rate,
-            horizon_s=horizon_s,
+            horizon_s=(
+                light_horizon_s if light_horizon_s is not None else horizon_s
+            ),
             tenants=1,
             cpus=1,
             ram_bytes=1 * GIB,

@@ -35,7 +35,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.cluster import Cluster, build_cluster
-from repro.config import JobsConfig
+from repro.config import ElasticConfig, JobsConfig
 from repro.errors import InvalidJobTransition, JobQueueFull
 from repro.jobs.bodies import JobResult, resolve_body
 from repro.jobs.fairshare import FairShare
@@ -68,6 +68,7 @@ class JobService:
         config: Optional[JobsConfig] = None,
         cluster: Optional[Cluster] = None,
         queue: Optional[JobQueue] = None,
+        elastic: Optional[Union[ElasticConfig, str]] = None,
     ) -> None:
         self.config = config or JobsConfig()
         if cluster is None:
@@ -109,6 +110,42 @@ class JobService:
         self.peak_queue_depth = 0
         self.blocked = {"quota": 0, "capacity": 0, "backpressure": 0, "placement": 0}
         self.requeued = 0
+        #: Elastic membership (``repro.elastic``), resolved like every
+        #: other layer: explicit argument, else the globally installed
+        #: config, else the cluster config's field (dormant default).
+        from repro.elastic import (  # local: repro.elastic imports repro.config only
+            Autoscaler,
+            current_elastic_config,
+            parse_elastic_spec,
+        )
+
+        if isinstance(elastic, str):
+            elastic = parse_elastic_spec(elastic)
+        if elastic is None:
+            elastic = current_elastic_config()
+        if elastic is None:
+            elastic = getattr(cluster.config, "elastic", None)
+        self.elastic = elastic
+        self.autoscaler = (
+            Autoscaler(self, elastic)
+            if elastic is not None and elastic.enabled
+            else None
+        )
+        cluster.add_membership_listener(self._membership_changed)
+
+    # -- membership (repro.elastic) -----------------------------------------
+
+    def _membership_changed(self, action: str, node) -> None:
+        if action == "add":
+            self._cpus_held.setdefault(node.name, 0)
+        else:
+            self._cpus_held.pop(node.name, None)
+        fs = self.fairshare
+        fs.total_cpus = sum(n.num_cpus for n in self.cluster.workers)
+        fs.total_ram_bytes = sum(n.ram_limit for n in self.cluster.workers)
+        # Either direction can unblock the dispatcher: an add brings
+        # capacity, a completed drain settles the draining set.
+        self._kick()
 
     # -- submission --------------------------------------------------------
 
@@ -141,11 +178,19 @@ class JobService:
 
     def _never_admissible(self, spec: JobSpec) -> Optional[str]:
         workers = self.cluster.workers
-        if spec.cpus > max(node.num_cpus for node in workers):
-            return f"demand of {spec.cpus} vCPUs exceeds every node"
+        max_cpus = max(node.num_cpus for node in workers)
         ceiling = max(
             node.ram_limit * self.admission_watermark for node in workers
         )
+        if self.autoscaler is not None:
+            # The fleet can grow: a job that fits the autoscaler's
+            # provisioned shape is admissible even if no current node
+            # can take it.
+            shape = self.autoscaler.machine
+            max_cpus = max(max_cpus, shape.num_cpus)
+            ceiling = max(ceiling, shape.ram_bytes * self.admission_watermark)
+        if spec.cpus > max_cpus:
+            return f"demand of {spec.cpus} vCPUs exceeds every node"
         if spec.ram_bytes > ceiling:
             return (
                 f"demand of {spec.ram_bytes} B exceeds the admission "
@@ -186,6 +231,13 @@ class JobService:
                 stuck = self.queue.pending()
                 if not stuck:
                     return
+                if self.autoscaler is not None and self.autoscaler.request_capacity():
+                    # The fleet can still grow (or is mid-drain): wait
+                    # for the membership change to kick us rather than
+                    # failing jobs a provisioning node could admit.
+                    yield self._wake
+                    self._wake = self.env.event()
+                    continue
                 # Nothing is running and no arrivals remain, yet these
                 # jobs did not admit: nothing can ever unblock them
                 # (e.g. an injected ``oom`` fault clamped node RAM
@@ -227,7 +279,10 @@ class JobService:
     def _fitting_node(self, job: Job):
         """Any node with free vCPUs and RAM under the watermark, or None."""
         fits = False
+        draining = self.cluster.draining
         for node in self.cluster.workers:
+            if node.name in draining:
+                continue
             if self._cpus_held[node.name] + job.spec.cpus > node.num_cpus:
                 continue
             fits = True
@@ -356,6 +411,8 @@ class JobService:
 
     def run_pending(self) -> None:
         """Run the simulation until queue and in-flight jobs drain."""
+        if self.autoscaler is not None:
+            self.autoscaler.ensure_started()
         dispatcher = self.env.process(self._dispatch())
         self.env.run(until=dispatcher)
 
@@ -429,7 +486,7 @@ class JobService:
             }
             for tenant, stats in sorted(per_tenant.items())
         }
-        return {
+        out = {
             "jobs": len(self.queue),
             "counts": counts,
             "rejected": self.queue.rejected,
@@ -443,7 +500,14 @@ class JobService:
             "p99_queue_s": percentile(latencies, 99),
             "peak_queue_depth": self.peak_queue_depth,
             "tenants": tenants,
+            # The cluster's machine-seconds bill — the cost axis of the
+            # elasticity experiment (for a static cluster this is just
+            # workers x makespan).
+            "node_seconds": self.cluster.node_seconds(),
         }
+        if self.autoscaler is not None:
+            out["elastic"] = self.autoscaler.summary()
+        return out
 
     # -- persistence -------------------------------------------------------
 

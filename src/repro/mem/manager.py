@@ -33,7 +33,7 @@ from fnmatch import fnmatch
 from typing import TYPE_CHECKING, Any, Deque, Dict, Generator, List, Optional
 
 from repro.config import MemoryConfig
-from repro.errors import InsufficientResources
+from repro.errors import InsufficientResources, MemoryPressureError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.cluster import Cluster
@@ -110,6 +110,44 @@ class MemoryManager:
         self.restore_seconds = 0.0
         self.blocked_count = 0
         self.blocked_seconds = 0.0
+
+    # -- membership (repro.elastic) ----------------------------------------
+
+    def add_node(self, name: str) -> None:
+        """Track a node that joined the cluster mid-run.
+
+        Called by :meth:`Cluster.add_node`; the ``node_ram_bytes``
+        override applies to late joiners exactly as it did at
+        construction, so the fleet stays homogeneous in policy even
+        when heterogeneous in shape.
+        """
+        self._states[name] = _NodeMemory()
+        if self.config.node_ram_bytes is not None:
+            node = self.cluster.node(name)
+            node.ram_limit = min(node.ram_limit, int(self.config.node_ram_bytes))
+
+    def remove_node(self, name: str) -> None:
+        """Forget a drained node's bookkeeping.
+
+        The drain is responsible for emptying the node first; leftover
+        tracked state here means data would silently vanish, so fail
+        loudly instead.
+        """
+        state = self._states.pop(name, None)
+        if state is None:
+            return
+        if (
+            state.resident
+            or state.spilled
+            or state.restoring
+            or state.queue
+            or state.free_waiters
+        ):
+            raise MemoryPressureError(
+                f"node {name!r} removed with tracked memory state: "
+                f"{len(state.resident)} resident, {len(state.spilled)} spilled, "
+                f"{len(state.queue)} queued"
+            )
 
     # -- watermark arithmetic ----------------------------------------------
 

@@ -39,7 +39,7 @@ from typing import Any, Callable, Dict, Generator, Optional, Set, Tuple
 
 from repro.cluster import Cluster, estimate_bytes
 from repro.config import ObjectStoreConfig
-from repro.errors import ObjectNotFound, ReconstructionError
+from repro.errors import DrainError, ObjectNotFound, ReconstructionError
 from repro.rayx.objectref import ObjectRef
 
 __all__ = ["ObjectStore"]
@@ -104,7 +104,12 @@ class ObjectStore:
         self.transfers_deduped = 0
         self.replicas_lost = 0
         self.reconstructions = 0
+        #: Replicas shipped off draining nodes (``repro.elastic``) and
+        #: the bytes they carried — scale-down's data-movement bill.
+        self.migrations = 0
+        self.migrated_bytes = 0
         cluster.faults.register_store(self)
+        cluster.register_store(self)
 
     def put(
         self, ref: ObjectRef, value: Any, node_name: str, parent=None
@@ -462,6 +467,69 @@ class ObjectStore:
             self._evict(ref_id, stored, node_name)
             dropped += 1
         return dropped
+
+    def migrate_node(self, node_name: str, target: Optional[str]) -> Generator:
+        """Simulation process relocating every replica off ``node_name``.
+
+        The drain half of the node-kill machinery: a replica that is
+        redundant (another node holds a copy) is dropped for free, but a
+        *sole* replica is first shipped to ``target`` — paying a spill
+        restore when it sits on disk, the inter-node transfer, and the
+        target's RAM admission — so no value is lost.  Raises
+        :class:`DrainError` when a sole replica exists and no surviving
+        target is available.  Returns ``(migrated, dropped)`` counts.
+        """
+        migrated = dropped = 0
+        mem = self.cluster.memory
+        for ref_id, stored in list(self._objects.items()):
+            if node_name not in stored.replicas:
+                continue
+            if len(stored.replicas) == 1:
+                if target is None:
+                    raise DrainError(
+                        f"cannot drain {node_name!r}: sole replica of "
+                        f"{stored.label!r} has no surviving target node"
+                    )
+                if mem.active:
+                    yield from mem.ensure_resident(
+                        node_name, ref_id, label=stored.label
+                    )
+                yield self.cluster.env.process(
+                    self.cluster.transfer(node_name, target, stored.nbytes)
+                )
+                if mem.active:
+                    yield from mem.allocate(target, stored.nbytes, key=ref_id)
+                else:
+                    self.cluster.node(target).allocate_ram(stored.nbytes)
+                stored.replicas.add(target)
+                self.bytes_live += stored.nbytes
+                migrated += 1
+                self.migrated_bytes += stored.nbytes
+            else:
+                dropped += 1
+            self._drop_for_drain(ref_id, stored, node_name)
+        self.migrations += migrated
+        tracer = self.cluster.env.tracer
+        if tracer.enabled and (migrated or dropped):
+            tracer.metrics.counter(
+                "objectstore.migrated", node=node_name
+            ).add(migrated)
+        return (migrated, dropped)
+
+    def _drop_for_drain(
+        self, ref_id: str, stored: _StoredObject, node_name: str
+    ) -> None:
+        # _evict minus the replicas_lost accounting: a drained replica
+        # was relocated or redundant, not lost.
+        stored.replicas.discard(node_name)
+        mem = self.cluster.memory
+        if mem.active:
+            mem.release(node_name, ref_id)
+        else:
+            self.cluster.node(node_name).free_ram(stored.nbytes)
+        self.bytes_live -= stored.nbytes
+        if stored.owner_node == node_name and stored.replicas:
+            stored.owner_node = sorted(stored.replicas)[0]
 
     def _evict(self, ref_id: str, stored: _StoredObject, node_name: str) -> None:
         stored.replicas.discard(node_name)

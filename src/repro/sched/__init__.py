@@ -1,10 +1,12 @@
 """Pluggable scheduling & placement, shared by both engines.
 
 Until this package existed, every placement decision in the repo was a
-hard-coded ``cluster.worker_round_robin(counter)`` call — the script
-runtime's task submission, its retry/lineage-reconstruction paths, its
-actor placement, and the workflow engine's operator-instance layout.
-``repro.sched`` extracts those decisions into one swappable layer:
+hard-coded round-robin call on the cluster — the script runtime's task
+submission, its retry/lineage-reconstruction paths, its actor
+placement, and the workflow engine's operator-instance layout.
+``repro.sched`` extracts those decisions into one swappable layer (the
+old ``Cluster`` shim is gone; the arithmetic lives only in the
+``round_robin`` policy):
 
 * :class:`PlacementPolicy` — the strategy interface, with a catalogue
   of implementations (``round_robin``, ``least_loaded``, ``locality``,

@@ -106,6 +106,25 @@ class Scheduler:
         #: count makes recovery placement observable per run.
         self.placements = 0
         self.replacements = 0
+        # Elastic membership (repro.elastic): join/leave events keep
+        # the candidate list and the accounts current mid-run.
+        cluster.add_membership_listener(self._membership_changed)
+
+    # -- membership (repro.elastic) -----------------------------------------
+
+    def _membership_changed(self, action: str, node: "Node") -> None:
+        if action == "add":
+            if node.name not in self._positions:
+                self.workers.append(node)
+                self._positions[node.name] = len(self.workers) - 1
+            self.accounts.setdefault(node.name, NodeAccount(node.name))
+            return
+        self.workers = [w for w in self.workers if w.name != node.name]
+        self._positions = {
+            worker.name: position for position, worker in enumerate(self.workers)
+        }
+        # The account stays: in-flight work placed before the drain
+        # still calls release(node_name) when it completes.
 
     # -- views consulted by policies ---------------------------------------
 
@@ -121,22 +140,27 @@ class Scheduler:
         the work placed there.
         """
         faults = self.env.faults
-        if not faults.active:
+        draining = self.cluster.draining
+        if not faults.active and not draining:
             return self.workers
         now = self.env.now
         healthy = [
             worker
             for worker in self.workers
-            if not faults.node_down(worker.name, now)
+            if worker.name not in draining
+            and not faults.node_down(worker.name, now)
         ]
         return healthy or self.workers
 
     def first_healthy_worker(self) -> "Node":
         """The seed's ``_healthy_worker``: first worker not in an outage."""
         faults = self.env.faults
+        draining = self.cluster.draining
         now = self.env.now
         for worker in self.workers:
-            if not faults.node_down(worker.name, now):
+            if worker.name not in draining and not faults.node_down(
+                worker.name, now
+            ):
                 return worker
         return self.workers[0]
 

@@ -67,26 +67,49 @@ def test_unknown_node_lookup_raises():
         cluster.node("worker-9")
 
 
-def test_worker_round_robin_is_cyclic():
-    env = Environment()
-    cluster = build_cluster(env)
-    names = [cluster.worker_round_robin(i).name for i in range(6)]
-    assert names == [
-        "worker-0",
-        "worker-1",
-        "worker-2",
-        "worker-3",
-        "worker-0",
-        "worker-1",
-    ]
-
-
 def test_broadcast_time_scales_with_destinations():
     env = Environment()
     cluster = build_cluster(env)
     one = cluster.network.broadcast_time("controller", 1, 10**6)
     four = cluster.network.broadcast_time("controller", 4, 10**6)
     assert four == pytest.approx(4 * one)
+
+
+def test_broadcast_time_applies_link_degradation():
+    """Regression: broadcasts must slow down inside a link window."""
+    from repro.faults import FaultEvent, FaultInjector, FaultSchedule
+
+    schedule = FaultSchedule(
+        events=(FaultEvent(5.0, "link", duration_s=10.0, factor=3.0),)
+    )
+    env = Environment()
+    cluster = build_cluster(env, faults=FaultInjector(schedule))
+    clean = cluster.network.broadcast_time("controller", 4, 10**6)
+
+    def proc():
+        yield env.timeout(6.0)  # inside the window
+
+    env.run(until=env.process(proc()))
+    degraded = cluster.network.broadcast_time("controller", 4, 10**6)
+    assert degraded == pytest.approx(3.0 * clean)
+
+
+def test_compute_killed_mid_timeout_charges_elapsed_busy_seconds():
+    """Regression: a kill mid-compute must bill the slice it burned."""
+    env = Environment()
+    cluster = build_cluster(env)
+    node = cluster.node("worker-0")
+    gen = node.compute(5.0, cores=2)
+    env.process(gen)
+
+    def killer():
+        yield env.timeout(2.0)
+        gen.close()
+
+    env.run(until=env.process(killer()))
+    # 2 s of wall time on 2 vCPUs before the kill landed.
+    assert node.busy_seconds == pytest.approx(4.0)
+    assert node.cpus.in_use == 0  # the vCPUs were still released
 
 
 def test_total_busy_seconds_aggregates_nodes():

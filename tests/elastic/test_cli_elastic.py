@@ -1,0 +1,78 @@
+"""CLI surface of elasticity: ``repro elastic`` and ``--elastic SPEC``."""
+
+import pytest
+
+from repro.cli import ELASTIC_SPEC_HELP, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_bare_elastic_prints_dormant_default_and_grammar(capsys):
+    code, out, err = run_cli(capsys, "elastic")
+    assert code == 0
+    assert "dormant" in out
+    assert ELASTIC_SPEC_HELP in out
+    assert err == ""
+
+
+def test_elastic_spec_describes_the_policy(capsys):
+    code, out, err = run_cli(capsys, "elastic", "on,min=2,max=6,shape=fast")
+    assert code == 0
+    assert "autoscaler ON" in out
+    assert "2..6 workers" in out
+    assert "fast" in out
+
+
+@pytest.mark.parametrize(
+    "spec",
+    ["banana", "min=lots", "bogus=1", "shape=warp9", "", "on,,off"],
+)
+def test_bad_elastic_spec_exits_2_with_grammar(capsys, spec):
+    code, out, err = run_cli(capsys, "elastic", spec)
+    assert code == 2
+    assert "repro: elastic:" in err
+    assert ELASTIC_SPEC_HELP in err
+    assert "Traceback" not in err
+
+
+def test_elastic_option_composes_with_jobs(capsys):
+    code, out, err = run_cli(
+        capsys,
+        "jobs",
+        "on,rate=30,horizon=3,cpus=2,duration=0.5",
+        "--elastic",
+        "on,min=1,max=6,provision=0.5,interval=0.25,idle=0.5,cooldown=0.5",
+    )
+    assert code == 0
+    assert "elastic" in out
+    assert "node-seconds" in out
+    assert err == ""
+
+
+def test_bad_elastic_option_exits_2_before_running(capsys):
+    code, out, err = run_cli(
+        capsys, "--elastic", "banana", "fig12a", "--quick"
+    )
+    assert code == 2
+    assert "--elastic" in err
+    assert ELASTIC_SPEC_HELP in err
+
+
+def test_elastic_option_off_is_inert(capsys):
+    code, out, err = run_cli(
+        capsys, "jobs", "on,rate=20,horizon=2", "--elastic", "off"
+    )
+    assert code == 0
+    assert "elastic " not in out  # no autoscaler summary line
+
+
+def test_elasticity_experiment_runs_quick(capsys):
+    code, out, err = run_cli(capsys, "elasticity", "--quick")
+    assert code == 0
+    assert "node-seconds" in out
+    assert "static-4" in out and "elastic" in out
+    assert "scale-ups" in out

@@ -1,0 +1,196 @@
+"""Dynamic cluster membership: add, provision, drain, migrate, retire."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.elastic import machine_shape
+from repro.errors import DrainError, UnknownNode
+from repro.rayx import ObjectRef, RayxRuntime
+from repro.sim import Environment
+
+
+def make_cluster():
+    return build_cluster(Environment())
+
+
+# -- add / provision ---------------------------------------------------------------
+
+
+def test_add_node_joins_immediately():
+    cluster = make_cluster()
+    node = cluster.add_node("elastic-0")
+    assert node.name == "elastic-0"
+    assert cluster.num_workers == 5
+    assert cluster.node("elastic-0") is node
+    assert cluster.joined_at("elastic-0") == 0.0
+    assert cluster.peak_workers == 5
+
+
+def test_add_node_rejects_duplicates():
+    cluster = make_cluster()
+    with pytest.raises(ValueError):
+        cluster.add_node("worker-0")
+
+
+def test_add_node_heterogeneous_shape():
+    cluster = make_cluster()
+    node = cluster.add_node("big", machine=machine_shape("highmem"))
+    assert node.num_cpus == 8
+    assert node.ram_bytes == 256 * 2**30
+    # Default shape matches the topology's homogeneous machines.
+    assert cluster.add_node("plain").num_cpus == cluster.workers[0].num_cpus
+
+
+def test_provision_node_pays_boot_latency():
+    cluster = make_cluster()
+    env = cluster.env
+
+    def proc():
+        node = yield from cluster.provision_node("elastic-0", latency_s=7.5)
+        return node
+
+    node = env.run(until=env.process(proc()))
+    assert env.now == 7.5
+    assert node.name == "elastic-0"
+    assert cluster.joined_at("elastic-0") == 7.5
+
+
+def test_membership_listeners_see_joins_and_leaves():
+    cluster = make_cluster()
+    env = cluster.env
+    events = []
+    cluster.add_membership_listener(
+        lambda action, node: events.append((action, node.name))
+    )
+    cluster.add_node("elastic-0")
+
+    def proc():
+        yield from cluster.remove_node("elastic-0", drain=True)
+
+    env.run(until=env.process(proc()))
+    assert events == [("add", "elastic-0"), ("remove", "elastic-0")]
+
+
+# -- remove / drain ----------------------------------------------------------------
+
+
+def test_remove_node_validation():
+    cluster = make_cluster()
+    with pytest.raises(UnknownNode):
+        cluster.remove_node("worker-9")
+    with pytest.raises(ValueError):
+        cluster.remove_node("controller")
+
+
+def test_cannot_remove_last_active_worker():
+    env = Environment()
+    from dataclasses import replace
+
+    from repro.config import default_config
+
+    base = default_config()
+    cluster = build_cluster(
+        env, config=replace(base, topology=replace(base.topology, num_workers=1))
+    )
+    with pytest.raises(DrainError):
+        cluster.remove_node("worker-0")
+
+
+def test_draining_is_marked_synchronously():
+    cluster = make_cluster()
+    gen = cluster.remove_node("worker-3", drain=True)
+    assert "worker-3" in cluster.draining  # before the process ever runs
+    with pytest.raises(ValueError):
+        cluster.remove_node("worker-3")  # already draining
+    cluster.env.run(until=cluster.env.process(gen))
+    assert not cluster.draining
+    assert "worker-3" not in cluster.node_names()
+
+
+def test_drain_waits_for_outstanding_compute():
+    cluster = make_cluster()
+    env = cluster.env
+    node = cluster.node("worker-3")
+
+    def work():
+        yield from node.compute(2.0, cores=2)
+
+    env.process(work())
+
+    def drainer():
+        yield env.timeout(0.5)
+        yield from cluster.remove_node("worker-3", drain=True)
+
+    env.run(until=env.process(drainer()))
+    assert env.now >= 2.0  # the drain outlived the compute
+    assert node.busy_seconds == pytest.approx(4.0)
+    # Busy time of the retired node stays on the cluster's bill.
+    assert cluster.total_busy_seconds() == pytest.approx(4.0)
+
+
+def test_drain_migrates_sole_replicas_and_drops_redundant_ones():
+    cluster = make_cluster()
+    env = cluster.env
+    runtime = RayxRuntime(cluster)
+    store = runtime.store
+
+    def scenario():
+        sole = ObjectRef(env, label="sole")
+        yield from store.put(sole, list(range(4_000)), "worker-3")
+        extra = ObjectRef(env, label="extra")
+        yield from store.put(extra, list(range(2_000)), "worker-3")
+        yield env.process(store.get(extra, "worker-0"))  # second replica
+        before = store.bytes_live
+        start = env.now
+        yield from cluster.remove_node("worker-3", drain=True)
+        return sole, extra, before, start
+
+    sole, extra, before, start = env.run(until=env.process(scenario()))
+    # The sole replica moved to a survivor; the redundant one was
+    # dropped for free.
+    assert store.migrations == 1
+    assert store.migrated_bytes == store.nbytes_of(sole)
+    assert store.replicas_of(sole) == {"worker-0"}
+    assert store.replicas_of(extra) == {"worker-0"}
+    # One copy of each object stays live; the redundant copy is gone.
+    assert store.bytes_live == before - store.nbytes_of(extra)
+    assert env.now > start  # the migration transfer charged virtual time
+    # The drained node's RAM reservations moved with the replicas.
+    assert cluster.node("worker-0").ram_used == store.nbytes_of(
+        sole
+    ) + store.nbytes_of(extra)
+
+
+def test_crash_evict_skips_migration():
+    cluster = make_cluster()
+    env = cluster.env
+    runtime = RayxRuntime(cluster)
+    store = runtime.store
+
+    def scenario():
+        ref = ObjectRef(env, label="doomed")
+        yield from store.put(ref, list(range(2_000)), "worker-3")
+        start = env.now
+        yield from cluster.remove_node("worker-3", drain=False)
+        return start
+
+    start = env.run(until=env.process(scenario()))
+    assert store.migrations == 0
+    assert env.now == start  # no transfers, no waiting
+    assert "worker-3" not in cluster.node_names()
+
+
+def test_node_seconds_bills_join_to_retirement():
+    cluster = make_cluster()
+    env = cluster.env
+
+    def scenario():
+        yield env.timeout(2.0)
+        cluster.add_node("elastic-0")
+        yield env.timeout(3.0)
+        yield from cluster.remove_node("elastic-0", drain=True)
+        yield env.timeout(5.0)
+
+    env.run(until=env.process(scenario()))
+    # Four seed workers for 10s each, plus 3s of elastic-0.
+    assert cluster.node_seconds() == pytest.approx(4 * 10.0 + 3.0)

@@ -1,0 +1,26 @@
+"""Elasticity must be invisible until an autoscaler is attached.
+
+Two dormancy guarantees:
+
+* **dormant layer**: installing an elastic config (``elastic_enabled``)
+  changes nothing about direct engine runs — every pinned task timing
+  stays bit-identical to the seed (direct runs have no job service, so
+  no autoscaler ever attaches);
+* **membership machinery is free**: the bookkeeping added to
+  ``Cluster`` (listeners, join times, draining set) costs no virtual
+  time and changes no placement until someone actually calls
+  ``add_node``/``remove_node``.
+"""
+
+from repro.elastic import elastic_enabled
+from tests.obs.test_timing_regression import SEED_TIMINGS, _run_all
+
+
+def test_installed_elastic_config_does_not_perturb_direct_runs():
+    with elastic_enabled("on,min=1,max=8,provision=3,interval=0.5"):
+        timings = _run_all()
+    assert timings == SEED_TIMINGS
+
+
+def test_default_run_all_still_matches_seed():
+    assert _run_all() == SEED_TIMINGS

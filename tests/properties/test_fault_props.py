@@ -7,6 +7,8 @@ failover, reconstruction, checkpoint restores) must account for every
 byte and core it touches.
 """
 
+import random
+
 from unittest import mock
 
 from hypothesis import given, settings
@@ -16,6 +18,7 @@ import repro.workflow.engine as wf_engine
 
 from repro.cluster import build_cluster
 from repro.faults import FaultSchedule, faults_injected
+from repro.obs import tracing
 from repro.rayx import run_script
 from repro.relational import FieldType, Schema, Table, column_greater
 from repro.sim import Environment
@@ -123,3 +126,73 @@ def test_workflow_run_releases_all_resources(schedule):
     with faults_injected(schedule):
         cluster, stores = workflow_run()
     assert_resources_released(cluster, stores)
+
+
+@settings(max_examples=15, deadline=None)
+@given(schedule=schedules, runner=st.sampled_from(["script", "workflow"]))
+def test_busy_seconds_matches_traced_counter(schedule, runner):
+    """The ``node.busy_s`` counter and ``Node.busy_seconds`` agree exactly.
+
+    Both accumulate the same float increments in the same order, so the
+    equality is bit-exact — under any fault schedule, on either engine.
+    A kill mid-compute that billed only one of the two would break this
+    (the regression the partial-slice accounting fix closed).
+    """
+    run = script_run if runner == "script" else (lambda: workflow_run()[0])
+    if schedule is None:
+        with tracing() as tracer:
+            cluster = run()
+    else:
+        with faults_injected(schedule), tracing() as tracer:
+            cluster = run()
+    for node in [cluster.controller, *cluster.workers]:
+        counted = tracer.metrics.value("node.busy_s", node=node.name)
+        assert counted == node.busy_seconds, (
+            f"{node.name}: counter {counted} != busy_seconds "
+            f"{node.busy_seconds}"
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**16))
+def test_drained_node_leaves_no_leaks(seed):
+    """``remove_node(drain=True)`` leaks no vCPUs, RAM or waiters.
+
+    A node joins, random compute lands across the fleet, and a drain
+    races the work.  Afterwards the worker set has shrunk back and every
+    surviving node is at baseline.
+    """
+    rng = random.Random(seed)
+    env = Environment()
+    cluster = build_cluster(env)
+    cluster.add_node("elastic-0")
+
+    def work(node, duration_s, cores):
+        yield from node.compute(duration_s, cores=cores)
+
+    procs = [
+        env.process(
+            work(
+                rng.choice(cluster.workers),
+                rng.uniform(0.05, 0.8),
+                rng.randint(1, 2),
+            )
+        )
+        for _ in range(6)
+    ]
+
+    def drainer():
+        yield env.timeout(rng.uniform(0.0, 0.4))
+        yield from cluster.remove_node("elastic-0", drain=True)
+
+    drain = env.process(drainer())
+
+    def barrier():
+        for proc in procs:
+            yield proc
+        yield drain
+
+    env.run(until=env.process(barrier()))
+    assert "elastic-0" not in cluster.node_names()
+    assert not cluster.draining
+    assert_resources_released(cluster)

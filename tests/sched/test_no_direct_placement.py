@@ -1,10 +1,9 @@
 """Repo-wide guard: all placement decisions go through repro.sched.
 
 The refactor's contract is that no engine code picks a node by itself.
-``Cluster.worker_round_robin`` survives only as a deprecated delegate
-(defined in ``cluster/cluster.py``), so any other reference to it —
-or any resurrected private placement counter — inside ``src/`` is a
-placement decision bypassing the scheduler.
+The deprecated ``Cluster.worker_round_robin`` shim is gone, so *any*
+reference to it — or any resurrected private placement counter —
+inside ``src/`` is a placement decision bypassing the scheduler.
 """
 
 import pathlib
@@ -12,10 +11,8 @@ import pathlib
 SRC = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
 
 def allowed(path):
-    """The definition site, and the scheduler package itself."""
-    return path == SRC / "cluster" / "cluster.py" or path.is_relative_to(
-        SRC / "sched"
-    )
+    """The scheduler package itself."""
+    return path.is_relative_to(SRC / "sched")
 
 
 BANNED_TOKENS = ("worker_round_robin", "_placement_counter", "_task_counter")
@@ -38,9 +35,3 @@ def test_no_placement_outside_the_scheduler():
         "placement decisions bypassing repro.sched.Scheduler:\n"
         + "\n".join(offenders)
     )
-
-
-def test_deprecated_shim_delegates_to_policy_arithmetic():
-    text = (SRC / "cluster" / "cluster.py").read_text(encoding="utf-8")
-    assert "round_robin_index" in text
-    assert "deprecated" in text
