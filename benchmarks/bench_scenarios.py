@@ -1,0 +1,221 @@
+"""Benchmark: generated-workload scenarios across both paradigms.
+
+Runs the three generated task families (``stream``, ``smallsteps``,
+``raster`` — :mod:`repro.gen.families`) under the pipelined workflow
+engine and the Ray-like script runtime, from the *same* spec document,
+and records per family:
+
+* virtual elapsed time under each paradigm and their ratio (the
+  paradigm gap this repo exists to measure);
+* the collected row count, with the row-multiset identity asserted —
+  a gap number is meaningless if the answers differ;
+* wall-clock seconds per run (the control-plane overhead an analyst
+  pays to simulate the family).
+
+A random-DAG sweep rides along: ``RANDOM_SEEDS`` seeded specs from
+:func:`repro.gen.random_spec` must each validate, compile to both
+paradigms and produce identical row multisets.
+
+Results go to ``BENCH_scenarios.json`` at the repository root in the
+stable ``benchmark`` / ``schema`` / ``config`` / ``results`` shape the
+other ``BENCH_*.json`` documents use.
+
+Uses plain pytest so CI can smoke it, or directly:
+
+    PYTHONPATH=src python benchmarks/bench_scenarios.py --quick
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+#: Repository root: where BENCH_scenarios.json lands (tracked by git).
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Schema version of BENCH_scenarios.json; bump on incompatible changes.
+BENCH_SCHEMA = 1
+
+#: Family scale for the recorded document.
+SCALE = 1.0
+
+#: Random-DAG sweep width (the acceptance bar: all must row-agree).
+RANDOM_SEEDS = 25
+
+#: Reduced scale for CI smoke (--quick): skips writing the document.
+SCALE_QUICK = 0.5
+RANDOM_SEEDS_QUICK = 5
+
+FAMILY_NAMES = ("stream", "smallsteps", "raster")
+
+
+def run_families(scale: float) -> dict:
+    """Both paradigms per family; asserts row identity."""
+    from repro.gen import run_family
+
+    cells = {}
+    for family in FAMILY_NAMES:
+        cell = {}
+        rows = {}
+        for paradigm in ("workflow", "script"):
+            started = time.perf_counter()
+            run = run_family(family, seed=0, scale=scale, paradigm=paradigm)
+            cell[f"{paradigm}_s"] = run.elapsed_s
+            cell[f"{paradigm}_wall_s"] = time.perf_counter() - started
+            rows[paradigm] = run.rows
+        cell["rows"] = len(rows["workflow"])
+        cell["rows_identical"] = rows["workflow"] == rows["script"]
+        cell["gap_ratio"] = cell["workflow_s"] / cell["script_s"]
+        cells[family] = cell
+    return cells
+
+
+def run_random_sweep(seeds: int) -> dict:
+    """Validate + compile + row-diff ``seeds`` random specs."""
+    import repro.gen.operators  # noqa: F401  (registers custom types)
+    from repro.cluster import build_cluster
+    from repro.gen import random_spec
+    from repro.rayx.compile import compile_script_plan
+    from repro.sim import Environment
+    from repro.workflow import run_workflow
+    from repro.workflow.spec import WorkflowSpec, build_workflow
+
+    def multiset(table):
+        return sorted(tuple(map(str, row.values)) for row in table)
+
+    agreed = 0
+    operators = 0
+    for seed in range(seeds):
+        spec = WorkflowSpec.from_json(random_spec(seed))
+        operators += len(spec.operators)
+        result = run_workflow(build_cluster(Environment()), build_workflow(spec))
+        tables = compile_script_plan(build_workflow(spec)).run(
+            cluster=build_cluster(Environment())
+        )
+        if all(
+            multiset(result.results[sink_id]) == multiset(table)
+            for sink_id, table in tables.items()
+        ):
+            agreed += 1
+    return {
+        "seeds": seeds,
+        "agreed": agreed,
+        "all_identical": agreed == seeds,
+        "mean_operators": operators / seeds,
+    }
+
+
+def bench_document(scale: float, cells: dict, sweep: dict) -> dict:
+    """The stable BENCH_scenarios.json document."""
+    return {
+        "benchmark": "scenarios",
+        "schema": BENCH_SCHEMA,
+        "config": {"scale": scale, "seed": 0, "random_seeds": sweep["seeds"]},
+        "results": {"families": cells, "random": sweep},
+    }
+
+
+def validate_document(doc: dict) -> None:
+    """Schema check for BENCH_scenarios.json (used by the CI smoke job)."""
+    assert doc["benchmark"] == "scenarios"
+    assert doc["schema"] == BENCH_SCHEMA
+    families = doc["results"]["families"]
+    assert set(families) == set(FAMILY_NAMES)
+    for name, cell in families.items():
+        for key in (
+            "workflow_s", "script_s", "gap_ratio", "rows", "rows_identical",
+        ):
+            assert key in cell, f"{name} missing {key}"
+        assert cell["rows_identical"] is True, f"{name}: paradigms disagree"
+        assert cell["workflow_s"] > 0 and cell["script_s"] > 0
+        assert cell["rows"] > 0, f"{name}: empty result"
+    sweep = doc["results"]["random"]
+    assert sweep["all_identical"] is True, "random sweep found a mismatch"
+    assert sweep["agreed"] == sweep["seeds"]
+
+
+def bench_table(doc: dict) -> str:
+    lines = ["generated workloads: paradigm gap per family (virtual seconds)"]
+    for name, cell in doc["results"]["families"].items():
+        lines.append(
+            f"  {name:<12} workflow {cell['workflow_s']:.3f}s, "
+            f"script {cell['script_s']:.3f}s, gap "
+            f"{cell['gap_ratio']:.2f}x, {cell['rows']} rows "
+            f"{'identical' if cell['rows_identical'] else 'MISMATCH'}"
+        )
+    sweep = doc["results"]["random"]
+    lines.append(
+        f"  random sweep {sweep['agreed']}/{sweep['seeds']} seeds "
+        f"row-identical (mean {sweep['mean_operators']:.1f} operators)"
+    )
+    return "\n".join(lines)
+
+
+# -- pytest entry points -----------------------------------------------------
+
+
+def test_families_agree_and_record_bench(results_dir):
+    """The acceptance bar: every family row-identical across paradigms,
+    the 25-seed random sweep clean, and BENCH_scenarios.json recorded."""
+    cells = run_families(SCALE)
+    sweep = run_random_sweep(RANDOM_SEEDS)
+    doc = bench_document(SCALE, cells, sweep)
+    validate_document(doc)
+    (REPO_ROOT / "BENCH_scenarios.json").write_text(
+        json.dumps(doc, indent=2) + "\n", encoding="utf-8"
+    )
+    (results_dir / "scenarios.txt").write_text(
+        bench_table(doc) + "\n", encoding="utf-8"
+    )
+    print()
+    print(bench_table(doc))
+
+
+def test_families_are_deterministic():
+    """Same scale, same virtual timings and rows — bit for bit."""
+    first = run_families(SCALE_QUICK)
+    second = run_families(SCALE_QUICK)
+    for family in FAMILY_NAMES:
+        assert first[family]["workflow_s"] == second[family]["workflow_s"]
+        assert first[family]["script_s"] == second[family]["script_s"]
+        assert first[family]["rows"] == second[family]["rows"]
+
+
+def test_quick_document_passes_schema_validation():
+    cells = run_families(SCALE_QUICK)
+    sweep = run_random_sweep(RANDOM_SEEDS_QUICK)
+    validate_document(bench_document(SCALE_QUICK, cells, sweep))
+
+
+def main(argv=None):
+    """CI smoke entry: ``python benchmarks/bench_scenarios.py --quick``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced scale and sweep; skips writing BENCH_scenarios.json",
+    )
+    args = parser.parse_args(argv)
+    scale = SCALE_QUICK if args.quick else SCALE
+    seeds = RANDOM_SEEDS_QUICK if args.quick else RANDOM_SEEDS
+    cells = run_families(scale)
+    sweep = run_random_sweep(seeds)
+    doc = bench_document(scale, cells, sweep)
+    print(bench_table(doc))
+    try:
+        validate_document(doc)
+    except AssertionError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    if not args.quick:
+        (REPO_ROOT / "BENCH_scenarios.json").write_text(
+            json.dumps(doc, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"\nwrote {REPO_ROOT / 'BENCH_scenarios.json'}")
+    print("scenarios smoke OK: every family and seed row-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,62 @@ __all__ = [
 
 _DIGEST_BYTES = 16
 
+#: Everything ``pickle.dumps`` raises for *unpicklable input* — as
+#: opposed to programming errors, which should surface.  PicklingError
+#: covers unregistered/local types, TypeError unpicklable primitives
+#: (locks, generators), AttributeError missing ``__reduce__`` lookups,
+#: ValueError mid-pickle state errors, RecursionError deep object
+#: graphs.  Anything outside this set propagates instead of being
+#: silently swallowed into a shared "opaque" digest.
+_PICKLE_FAILURES = (
+    pickle.PicklingError,
+    TypeError,
+    AttributeError,
+    ValueError,
+    RecursionError,
+)
+
+
+def _note_fallback(kind: str) -> None:
+    """Count a structural-fallback event on the installed tracer.
+
+    The fallback digest is weaker than a pickle digest (it sees only
+    attribute state), so traced runs record how often caching had to
+    rely on it — a spike in ``cache.fingerprint.fallback`` is the cue
+    to make the offending type picklable.
+    """
+    from repro.obs import current_tracer
+
+    tracer = current_tracer()
+    if tracer.enabled:
+        tracer.metrics.counter("cache.fingerprint.fallback", kind=kind).inc()
+
+
+def _instance_state(value: Any) -> Any:
+    """Observable attribute state: ``__dict__`` plus ``__slots__``.
+
+    ``__slots__`` classes have no ``__dict__``, so a fallback that only
+    looked there digested every instance to the same opaque value —
+    distinct states collided, and the cache could serve a stale result.
+    Walking the MRO collects slot descriptors from every base class.
+    """
+    state: dict = {}
+    plain = getattr(value, "__dict__", None)
+    if plain:
+        state.update(plain)
+    for klass in type(value).__mro__:
+        slots = klass.__dict__.get("__slots__", ())
+        if isinstance(slots, str):
+            slots = (slots,)
+        for name in slots:
+            if name in ("__dict__", "__weakref__") or name in state:
+                continue
+            try:
+                state[name] = getattr(value, name)
+            except AttributeError:  # slot declared but never assigned
+                state[name] = "<unset-slot>"
+    return state
+
 
 def _digest(parts: Iterable[bytes]) -> str:
     h = hashlib.blake2b(digest_size=_DIGEST_BYTES)
@@ -56,7 +112,9 @@ def fingerprint_value(value: Any, _depth: int = 0) -> str:
     lambda's code, not its identity); plain data takes a pickle
     round-trip (stable for the simulation's lists, dataclasses and
     tables); unpicklable objects fall back to a structural digest of
-    their ``__dict__``.  ``repr`` is never trusted for objects — it
+    their attribute state (``__dict__`` plus ``__slots__`` across the
+    MRO), counted as ``cache.fingerprint.fallback`` on traced runs.
+    ``repr`` is never trusted for objects — it
     embeds memory addresses, which would silently break cross-run
     determinism.
     """
@@ -86,8 +144,9 @@ def fingerprint_value(value: Any, _depth: int = 0) -> str:
         )
     try:
         payload = pickle.dumps(value, protocol=4)
-    except Exception:
-        state = getattr(value, "__dict__", None)
+    except _PICKLE_FAILURES:
+        _note_fallback("value")
+        state = _instance_state(value)
         if state:
             return combine(
                 "obj",
@@ -148,8 +207,9 @@ def fingerprint_function(fn: Any) -> str:
             )
         try:
             payload = pickle.dumps(fn, protocol=4)
-        except Exception:
-            state = getattr(fn, "__dict__", None)
+        except _PICKLE_FAILURES:
+            _note_fallback("callable")
+            state = _instance_state(fn)
             return combine(
                 "callable",
                 type(fn).__module__,

@@ -78,6 +78,23 @@ compilation targets (pipelined workflow plan and Ray-like script plan).
 rows.  Bad specs exit 2 with the grammar on stderr, like every other
 spec surface.
 
+Workload generation (``repro.gen``)::
+
+    python -m repro gen                                  # family catalogue + grammar
+    python -m repro gen count=5,depth=6                  # 5 random DAGs, run + diff
+    python -m repro gen family=raster,scale=2            # one generated family
+    python -m repro gen seed=3,emit=/tmp/spec.json       # write the document
+
+The ``gen`` subcommand expands a seeded workload spec: each document
+is validated, compiled to both paradigms and (by default) executed
+under both with the collected rows diffed — the same contract the
+property suites enforce.  ``family=`` selects one of the three curated
+task families (``stream``, ``smallsteps``, ``raster``); without it the
+random DAG generator runs with the ``depth``/``fanout``/... knobs.
+``emit=PATH`` writes strict JSON that ``repro compile`` and
+``--workflow`` read back.  Corpus traffic: ``--jobs on,body=gen``
+draws each arrival's body from the family catalogue.
+
 Multi-tenant job service (``repro.jobs``)::
 
     python -m repro jobs                                 # spec grammar + defaults
@@ -134,6 +151,7 @@ from repro.experiments.exp_elastic import run_elasticity
 from repro.experiments.exp_fairshare import run_fairshare
 from repro.experiments.exp_memory import run_memory
 from repro.experiments.exp_recovery import run_recovery
+from repro.experiments.exp_scenarios import run_scenarios
 from repro.experiments.exp_scheduling import run_scheduling
 from repro.experiments.exp_workers import run_fig14a, run_fig14b, run_fig14c
 from repro.cache import ResultCache, cached, describe_cache, parse_cache_spec
@@ -143,6 +161,7 @@ from repro.errors import (
     CacheSpecError,
     ElasticSpecError,
     FaultSpecError,
+    GenSpecError,
     InvalidWorkflow,
     JobsSpecError,
     MemSpecError,
@@ -186,6 +205,7 @@ QUICK_EXPERIMENTS = {
     "elasticity": lambda: run_elasticity(
         flood_s=6.0, tail_s=25.0, heavy_rate=12.0, light_rate=2.0
     ),
+    "scenarios": lambda: run_scenarios(scale=0.5, seeds=(0,)),
 }
 
 #: Shown by the bare ``mem`` subcommand alongside the default policy.
@@ -256,6 +276,23 @@ spec grammar: comma-separated flags and key=value pairs
   body=NAME         job body, see repro.jobs.bodies (default profile)
   admit=FRACTION    RAM backpressure watermark (default: memory policy's)
 example: --jobs on,rate=50,tenants=8,policy=drf,quota_running=4"""
+
+
+#: Shown by the bare ``gen`` subcommand alongside the family catalogue.
+GEN_SPEC_HELP = """\
+spec grammar: comma-separated key=value pairs
+  seed=N            first seed (default 0)
+  count=N           consecutive seeds to generate (default 1)
+  family=NAME       stream, smallsteps or raster (default: random DAG)
+  scale=F           family scale factor (default 1.0)
+  depth=N           random DAG: stages per chain (default 4)
+  sources=N         random DAG: max source operators (default 3)
+  fanout=F          random DAG: merge probability in [0,1] (default 0.35)
+  selectivity=F     random DAG: filter keep-fraction in [0,1] (default 0.5)
+  rows=N            random DAG: rows per source (default 12)
+  run=on|off        execute under both paradigms and diff rows (default on)
+  emit=PATH         write the spec JSON to PATH (count>1 appends -SEED)
+examples: repro gen family=raster,scale=2 / repro gen count=5,depth=6,run=off"""
 
 
 #: Shown by the bare ``elastic`` subcommand alongside the default config.
@@ -468,10 +505,108 @@ def _register_task_operator_types() -> None:
 
     ``repro.tasks`` deliberately avoids importing its subpackages, so
     the CLI pulls in the two modules whose operators
-    (``kge_stage``, ``wef_ensemble_train``) task specs reference.
+    (``kge_stage``, ``wef_ensemble_train``) task specs reference, plus
+    the generated-family operators (``micro_batch_source``,
+    ``raster_source``) so emitted ``repro gen`` documents compile.
     """
+    import repro.gen.operators  # noqa: F401
     import repro.tasks.kge.workflow  # noqa: F401
     import repro.tasks.wef.workflow  # noqa: F401
+
+
+def _gen_emit_path(base: str, seed: int, multiple: bool) -> str:
+    if not multiple:
+        return base
+    from pathlib import Path
+
+    p = Path(base)
+    return str(p.with_name(f"{p.stem}-{seed}{p.suffix or '.json'}"))
+
+
+def _handle_gen(spec: Optional[str]) -> int:
+    """Generate seeded workloads; validate, compile, run, diff, emit."""
+    _register_task_operator_types()
+    from dataclasses import replace
+
+    from repro.gen import (
+        describe_gen,
+        family_catalogue,
+        family_spec,
+        generate_spec,
+        parse_gen_spec,
+    )
+    from repro.rayx.compile import compile_script_plan
+    from repro.workflow.spec import WorkflowSpec, build_workflow, dump_spec_doc
+
+    if spec is None:
+        print(family_catalogue())
+        print()
+        print(GEN_SPEC_HELP)
+        return 0
+    request = parse_gen_spec(spec)
+    print(describe_gen(request))
+    mismatches = 0
+    for seed in range(request.seed, request.seed + request.count):
+        if request.family is not None:
+            doc = family_spec(request.family, seed=seed, scale=request.scale)
+        else:
+            doc = generate_spec(replace(request.config, seed=seed))
+        parsed = WorkflowSpec.from_json(doc)
+        if request.emit:
+            from pathlib import Path
+
+            path = _gen_emit_path(request.emit, seed, request.count > 1)
+            try:
+                Path(path).write_text(
+                    dump_spec_doc(parsed.to_json()) + "\n", encoding="utf-8"
+                )
+            except OSError as exc:
+                raise GenSpecError(f"emit: cannot write {path}: {exc}") from exc
+            print(f"  seed {seed}: wrote {path}")
+        plan = compile_script_plan(build_workflow(parsed))
+        head = (
+            f"  seed {seed}: {parsed.name!r} "
+            f"{len(parsed.operators)} operators"
+        )
+        if not request.run:
+            print(
+                f"{head} -- validated, both paradigms compile "
+                f"({plan.num_tasks} script tasks)"
+            )
+            continue
+        from repro.cluster import build_cluster
+        from repro.sim import Environment
+        from repro.workflow import run_workflow
+
+        cluster = build_cluster(Environment())
+        result = run_workflow(cluster, build_workflow(parsed))
+        script_cluster = build_cluster(Environment())
+        script_tables = plan.run(cluster=script_cluster)
+
+        def multiset(table):
+            return sorted(tuple(map(str, row.values)) for row in table)
+
+        rows = 0
+        identical = True
+        for sink_id, table in sorted(script_tables.items()):
+            engine_rows = multiset(result.results[sink_id])
+            identical = identical and engine_rows == multiset(table)
+            rows += len(engine_rows)
+        verdict = "identical" if identical else "MISMATCH"
+        mismatches += 0 if identical else 1
+        print(
+            f"{head} -- workflow {result.elapsed_s:.3f}s, "
+            f"script {script_cluster.env.now:.3f}s, "
+            f"{rows} rows {verdict}"
+        )
+    if mismatches:
+        print(
+            f"repro: gen: paradigms disagree on {mismatches} of "
+            f"{request.count} seeds",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _handle_compile(source: Optional[str]) -> int:
@@ -619,6 +754,11 @@ SUBCOMMANDS = {
             "compile", "repro compile FILE", "required", None,
             _handle_compile, (WorkflowSpecError, InvalidWorkflow),
             WORKFLOW_SPEC_HELP,
+        ),
+        Subcommand(
+            "gen", "repro gen [SPEC]", "optional", None,
+            _handle_gen, (GenSpecError, WorkflowSpecError, InvalidWorkflow),
+            GEN_SPEC_HELP,
         ),
     )
 }

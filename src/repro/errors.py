@@ -184,6 +184,24 @@ class JobBodyError(JobsError):
     """A job body raised; the job moves to the ``failed`` state."""
 
 
+class GenError(ReproError):
+    """Base class for the workload generator (``repro.gen``)."""
+
+
+class GenSpecError(GenError):
+    """A ``repro gen`` spec string or generator knob was malformed."""
+
+
+class TrafficInvariantError(JobsError):
+    """The traffic generator's thinning majorant was violated.
+
+    Raised defensively: the Lewis-Shedler envelope must dominate the
+    instantaneous rate everywhere, or arrivals are silently
+    under-sampled.  Seeing this error means a rate-shape change broke
+    the ``peak_rate`` bound.
+    """
+
+
 class ElasticError(ReproError):
     """Base class for the elastic-membership subsystem (``repro.elastic``)."""
 

@@ -14,6 +14,7 @@ E7          Memory pressure: spill vs die (extension)   :func:`run_memory`
 E8          Result caching: cold vs warm (extension)    :func:`run_caching`
 E9          Fair-share admission: FIFO vs DRF (ext.)    :func:`run_fairshare`
 E10         Elastic autoscaling: cost vs latency (ext.) :func:`run_elasticity`
+E11         Generated-workload scenarios (extension)    :func:`run_scenarios`
 ==========  ==========================================  ======================
 
 Each returns an :class:`repro.metrics.ExperimentReport` holding the
@@ -28,6 +29,7 @@ from repro.experiments.exp_language import run_table1
 from repro.experiments.exp_memory import run_memory
 from repro.experiments.exp_modularity import run_fig12a, run_fig12b
 from repro.experiments.exp_recovery import run_recovery
+from repro.experiments.exp_scenarios import run_scenarios
 from repro.experiments.exp_scheduling import run_scheduling
 from repro.experiments.exp_scaling import (
     run_fig13a,
@@ -54,6 +56,7 @@ __all__ = [
     "run_caching",
     "run_fairshare",
     "run_elasticity",
+    "run_scenarios",
 ]
 
 ALL_EXPERIMENTS = {
@@ -73,4 +76,5 @@ ALL_EXPERIMENTS = {
     "caching": run_caching,
     "fairshare": run_fairshare,
     "elasticity": run_elasticity,
+    "scenarios": run_scenarios,
 }

@@ -1,0 +1,105 @@
+"""Generated-workload scenarios: the paradigm gap per task family.
+
+The paper measures four hand-written tasks; this extension asks how
+the script-vs-workflow gap behaves on *generated* workloads whose
+shapes the paper tasks don't reach: a streaming micro-batch variant
+(``stream``), a Snakemake-style deep chain of >=30 tiny operators
+(``smallsteps``) and a raster-tiling job hauling large pixel blobs
+(``raster``).  Each family is a ``repro/workflow-spec@1`` document
+from :mod:`repro.gen.families`, compiled to both paradigms from the
+same bytes.
+
+For every family the experiment runs both paradigms, asserts the
+collected row multisets are identical (the correctness contract the
+property suites enforce) and reports the two virtual elapsed times
+plus their ratio.  The interesting structure is *where* the gap comes
+from: at these scales the pipelined engine pays its larger startup
+(4.5s + per-operator deploys vs the script runtime's 2s), so the
+script paradigm wins overall — but the engine's compute phase overlaps
+micro-batch arrival gaps that the script plan serializes, which is why
+``stream``'s gap narrows as scale grows.  A handful of random DAGs
+from :func:`repro.gen.generator.random_spec` ride along as a validity
+canary: every seed must produce identical rows too.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.errors import ExperimentError
+from repro.metrics import ExperimentReport
+
+__all__ = ["run_scenarios"]
+
+
+def run_scenarios(
+    scale: float = 1.0, seeds: Sequence[int] = (0, 1, 2)
+) -> ExperimentReport:
+    """Per-family paradigm gap on generated workloads (E11)."""
+    # Local import keeps repro.gen dormant for every other experiment.
+    from repro.gen import FAMILIES, run_family
+
+    report = ExperimentReport(
+        "scenarios",
+        "generated workloads (repro.gen): virtual elapsed per paradigm "
+        f"across the three task families (scale {scale:g})",
+        x_label="family",
+    )
+    for family in FAMILIES:
+        runs = {
+            paradigm: run_family(family, seed=0, scale=scale, paradigm=paradigm)
+            for paradigm in ("workflow", "script")
+        }
+        if runs["workflow"].rows != runs["script"].rows:
+            raise ExperimentError(
+                f"{family}: paradigms disagree on the result rows "
+                f"({len(runs['workflow'].rows)} workflow vs "
+                f"{len(runs['script'].rows)} script)"
+            )
+        for paradigm, run in runs.items():
+            report.add(paradigm, family, run.elapsed_s)
+        gap = runs["workflow"].elapsed_s / runs["script"].elapsed_s
+        report.add("workflow/script ratio", family, gap, unit="x")
+        report.notes.append(
+            f"{family}: {len(runs['workflow'].rows)} rows identical across "
+            f"paradigms; gap {gap:.2f}x"
+        )
+    report.notes.append(
+        "the workflow paradigm pays a larger fixed start (engine startup "
+        "+ per-operator deploys) at these scales; the gap narrows as "
+        "data volume amortizes it"
+    )
+    report.notes.append(_random_canary(seeds))
+    return report
+
+
+def _random_canary(seeds: Sequence[int]) -> str:
+    """Run a few random DAGs through both paradigms; all must agree."""
+    from repro.cluster import build_cluster
+    from repro.gen import random_spec
+    from repro.rayx.compile import compile_script_plan
+    from repro.sim import Environment
+    from repro.workflow import run_workflow
+    from repro.workflow.spec import WorkflowSpec, build_workflow
+
+    import repro.gen.operators  # noqa: F401  (registers custom types)
+
+    def multiset(table) -> Tuple[Tuple[str, ...], ...]:
+        return tuple(sorted(tuple(map(str, row.values)) for row in table))
+
+    for seed in seeds:
+        spec = WorkflowSpec.from_json(random_spec(seed))
+        result = run_workflow(build_cluster(Environment()), build_workflow(spec))
+        tables = compile_script_plan(build_workflow(spec)).run(
+            cluster=build_cluster(Environment())
+        )
+        for sink_id, table in tables.items():
+            if multiset(result.results[sink_id]) != multiset(table):
+                raise ExperimentError(
+                    f"random spec seed={seed}: paradigms disagree at "
+                    f"sink {sink_id!r}"
+                )
+    return (
+        f"random-DAG canary: {len(list(seeds))} seeded specs produced "
+        "identical row multisets under both paradigms"
+    )

@@ -32,6 +32,7 @@ from repro.errors import JobBodyError, UnknownJobBody
 from repro.jobs.model import JobSpec
 
 __all__ = [
+    "GEN_BODIES",
     "JobResult",
     "register_body",
     "resolve_body",
@@ -164,3 +165,33 @@ def _make_task_body(task: str, paradigm: str, scale):
 
 for _name, (_task, _paradigm, _scale) in _TASK_BODIES.items():
     register_body(_name, _make_task_body(_task, _paradigm, _scale))
+
+
+# -- generated-family bodies (repro.gen) ------------------------------------
+
+#: The generated task families (:mod:`repro.gen.families`) under both
+#: paradigms.  Like the paper-task bodies, each runs on its own fresh
+#: cluster and occupies the service cluster for its measured elapsed
+#: time.  ``repro.gen`` is imported lazily inside the body, so traffic
+#: runs that never draw a gen body never load the generator.
+GEN_BODIES = tuple(
+    f"gen/{family}/{paradigm}"
+    for family in ("stream", "smallsteps", "raster")
+    for paradigm in ("workflow", "script")
+)
+
+
+def _make_gen_body(family: str, paradigm: str):
+    def body(spec: JobSpec) -> JobResult:
+        from repro.gen import run_family
+
+        run = run_family(family, paradigm=paradigm)
+        return JobResult(duration_s=run.elapsed_s, value=run)
+
+    body.__name__ = f"body_gen_{family}_{paradigm}"
+    return body
+
+
+for _gen_name in GEN_BODIES:
+    _, _gen_family, _gen_paradigm = _gen_name.split("/")
+    register_body(_gen_name, _make_gen_body(_gen_family, _gen_paradigm))

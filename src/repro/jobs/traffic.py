@@ -15,9 +15,22 @@ process at the peak rate, then each candidate is kept with probability
 x (1 + burst  if t is inside a burst window else 1)``
 
 where a burst window is the first ``burst_duty`` fraction of every
-``burst_period_s``.  Everything is driven by one ``random.Random(seed)``
-so the same config always yields the same traffic — the determinism
-contract every layer of this repo keeps.
+``burst_period_s``.  Each :meth:`TrafficGenerator.arrivals` call is
+driven by a *fresh* ``random.Random(seed)`` so the same config always
+yields the same traffic — the determinism contract every layer of this
+repo keeps — including on *repeated* calls (an earlier revision reused
+one instance-level RNG, so a second call continued the stream and
+silently produced different arrivals).
+
+Majorant audit: thinning is only correct when the candidate rate
+dominates ``rate_at(t)`` everywhere; otherwise arrivals in the exceeded
+windows are silently under-sampled.  :attr:`TrafficGenerator.peak_rate`
+is exact — ``sin <= 1`` bounds the diurnal factor by ``1 + diurnal``,
+and the burst factor ``1 + burst`` is applied to the envelope whenever
+``burst > 0`` (burst windows always exist for a positive duty cycle) —
+and the sampling loop *checks* the bound on every candidate, raising
+:class:`repro.errors.TrafficInvariantError` rather than degrading
+silently if a future rate-shape change breaks it.
 """
 
 from __future__ import annotations
@@ -28,6 +41,8 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.config import JobsConfig
+from repro.errors import TrafficInvariantError
+from repro.jobs.bodies import GEN_BODIES
 from repro.jobs.model import JobSpec
 
 __all__ = ["Arrival", "TrafficGenerator", "merge_arrivals"]
@@ -46,7 +61,6 @@ class TrafficGenerator:
 
     def __init__(self, config: JobsConfig) -> None:
         self.config = config
-        self._rng = random.Random(config.seed)
 
     # -- rate shape --------------------------------------------------------
 
@@ -80,9 +94,14 @@ class TrafficGenerator:
     # -- sampling ----------------------------------------------------------
 
     def arrivals(self) -> List[Arrival]:
-        """The full arrival list over ``horizon_s``, time-ordered."""
+        """The full arrival list over ``horizon_s``, time-ordered.
+
+        Deterministic per config *and per call*: every invocation
+        reseeds from ``config.seed``, so calling this twice (or on two
+        generators built from equal configs) yields identical lists.
+        """
         config = self.config
-        rng = self._rng
+        rng = random.Random(config.seed)
         peak = self.peak_rate
         out: List[Arrival] = []
         t = 0.0
@@ -92,7 +111,14 @@ class TrafficGenerator:
             if t >= config.horizon_s:
                 break
             # ... thinned down to the instantaneous rate.
-            if rng.random() * peak > self.rate_at(t):
+            rate = self.rate_at(t)
+            if rate > peak:
+                raise TrafficInvariantError(
+                    f"thinning majorant violated at t={t:.3f}s: "
+                    f"rate_at={rate:.6f} > peak_rate={peak:.6f} "
+                    f"(arrivals would be under-sampled)"
+                )
+            if rng.random() * peak > rate:
                 continue
             out.append(Arrival(time_s=t, spec=self._draw_spec(rng)))
         return out
@@ -103,9 +129,15 @@ class TrafficGenerator:
         # Exponential duration jitter around the configured mean keeps
         # per-job service times varied but strictly positive.
         duration = max(1e-3, rng.expovariate(1.0 / config.duration_s))
+        body = config.body
+        if body == "gen":
+            # Corpus mode: each arrival draws one generated family ×
+            # paradigm body uniformly.  The extra RNG draw happens only
+            # here, so every other body name keeps its exact stream.
+            body = GEN_BODIES[rng.randrange(len(GEN_BODIES))]
         return JobSpec(
             tenant=tenant,
-            body=config.body,
+            body=body,
             cpus=config.cpus,
             ram_bytes=config.ram_bytes,
             duration_s=duration,

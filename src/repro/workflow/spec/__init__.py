@@ -36,6 +36,7 @@ from repro.workflow.spec.model import (
     LinkSpec,
     OperatorSpec,
     WorkflowSpec,
+    dump_spec_doc,
 )
 from repro.workflow.spec.registry import (
     operator_factory,
@@ -50,6 +51,7 @@ __all__ = [
     "WorkflowSpec",
     "build_workflow",
     "callable_form",
+    "dump_spec_doc",
     "import_callable",
     "param_form",
     "schema_form",

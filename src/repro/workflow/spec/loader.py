@@ -68,6 +68,25 @@ __all__ = [
 Bindings = Mapping[str, Any]
 
 
+def _reject_constant(token: str) -> Any:
+    # Python's json module *accepts* the non-standard NaN/Infinity
+    # tokens by default, which would let a broken document round-trip
+    # silently; the spec grammar is strict JSON.
+    raise WorkflowSpecError(
+        f"non-standard JSON token {token!r}: non-finite floats have no "
+        f"JSON representation in a workflow spec"
+    )
+
+
+def _parse_spec_text(text: str, where: str) -> Any:
+    try:
+        return json.loads(text, parse_constant=_reject_constant)
+    except json.JSONDecodeError as exc:
+        raise WorkflowSpecError(
+            f"workflow spec {where}is not valid JSON: {exc}"
+        ) from exc
+
+
 def read_spec(source: Union[str, Path]) -> WorkflowSpec:
     """Read and parse a spec from a JSON file path."""
     path = Path(source)
@@ -75,13 +94,7 @@ def read_spec(source: Union[str, Path]) -> WorkflowSpec:
         text = path.read_text(encoding="utf-8")
     except OSError as exc:
         raise WorkflowSpecError(f"cannot read workflow spec {path}: {exc}") from exc
-    try:
-        doc = json.loads(text)
-    except json.JSONDecodeError as exc:
-        raise WorkflowSpecError(
-            f"workflow spec {path} is not valid JSON: {exc}"
-        ) from exc
-    return WorkflowSpec.from_json(doc)
+    return WorkflowSpec.from_json(_parse_spec_text(text, f"{path} "))
 
 
 def load_workflow_json(
@@ -89,12 +102,7 @@ def load_workflow_json(
 ) -> Workflow:
     """Build a workflow from a JSON document (dict or text)."""
     if isinstance(doc, str):
-        try:
-            doc = json.loads(doc)
-        except json.JSONDecodeError as exc:
-            raise WorkflowSpecError(
-                f"workflow spec is not valid JSON: {exc}"
-            ) from exc
+        doc = _parse_spec_text(doc, "")
     return build_workflow(WorkflowSpec.from_json(doc), bindings)
 
 

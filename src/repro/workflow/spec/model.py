@@ -34,18 +34,49 @@ the bit-identical virtual timings) of the hand-assembled builders.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Tuple
 
 from repro.errors import WorkflowSpecError
 
-__all__ = ["SPEC_VERSION", "LinkSpec", "OperatorSpec", "WorkflowSpec"]
+__all__ = [
+    "SPEC_VERSION",
+    "LinkSpec",
+    "OperatorSpec",
+    "WorkflowSpec",
+    "dump_spec_doc",
+]
 
 #: The one grammar version this build reads and writes.
 SPEC_VERSION = "repro/workflow-spec@1"
 
 _OPERATOR_KEYS = {"id", "type", "config"}
 _LINK_KEYS = {"from", "to", "out", "in"}
+
+
+def dump_spec_doc(doc: Any, indent: int = 2) -> str:
+    """Serialize a spec document to JSON text, *strictly*.
+
+    ``json.dumps`` would otherwise emit the non-standard ``NaN`` /
+    ``Infinity`` tokens for non-finite float config values — invalid
+    JSON that other parsers (and this module's own :func:`read_spec`)
+    reject.  Serialization errors surface as scoped
+    :class:`WorkflowSpecError`\\ s so the CLI exits 2 with the grammar
+    instead of a traceback.  ``ensure_ascii=False`` keeps non-ASCII
+    operator ids byte-for-byte intact (the round-trip contract).
+    """
+    try:
+        return json.dumps(doc, indent=indent, allow_nan=False, ensure_ascii=False)
+    except ValueError as exc:
+        raise WorkflowSpecError(
+            "workflow spec contains non-finite float values (NaN/Infinity), "
+            f"which have no JSON representation: {exc}"
+        ) from exc
+    except TypeError as exc:
+        raise WorkflowSpecError(
+            f"workflow spec contains values with no JSON representation: {exc}"
+        ) from exc
 
 
 def _require(condition: bool, message: str) -> None:
@@ -155,6 +186,15 @@ class WorkflowSpec:
             "operators": [op.to_json() for op in self.operators],
             "links": [link.to_json() for link in self.links],
         }
+
+    def to_json_text(self, indent: int = 2) -> str:
+        """The canonical document as strict JSON text.
+
+        Non-finite floats raise a scoped :class:`WorkflowSpecError`
+        (see :func:`dump_spec_doc`); non-ASCII operator ids round-trip
+        losslessly.
+        """
+        return dump_spec_doc(self.to_json(), indent=indent)
 
     @classmethod
     def from_json(cls, doc: Any) -> "WorkflowSpec":

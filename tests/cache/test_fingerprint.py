@@ -11,6 +11,7 @@ key.
 import functools
 
 from repro.cache.fingerprint import combine, fingerprint_function, fingerprint_value
+from repro.obs import tracing
 
 
 def test_combine_is_deterministic_and_order_sensitive():
@@ -115,6 +116,73 @@ def test_fingerprint_never_embeds_memory_addresses():
     fp = fingerprint_value(value)
     assert hex(id(value))[2:] not in fp
     assert fp == fingerprint_value(value)
+
+
+class _SlottedUnpicklable:
+    __slots__ = ("n", "tag")
+
+    def __init__(self, n, tag="x"):
+        self.n = n
+        self.tag = tag
+
+    def __reduce__(self):
+        raise TypeError("nope")
+
+
+class _SlottedChild(_SlottedUnpicklable):
+    __slots__ = ("extra",)
+
+    def __init__(self, n, extra):
+        super().__init__(n)
+        self.extra = extra
+
+
+def test_slotted_unpicklable_objects_do_not_collide():
+    """Regression: the fallback only read ``__dict__``, so every
+    ``__slots__`` instance digested to the same "opaque" value and two
+    objects with *different* state collided — the cache could then
+    serve one submission's result for the other."""
+    assert fingerprint_value(_SlottedUnpicklable(1)) != fingerprint_value(
+        _SlottedUnpicklable(2)
+    )
+    assert fingerprint_value(_SlottedUnpicklable(1)) == fingerprint_value(
+        _SlottedUnpicklable(1)
+    )
+
+
+def test_slot_state_is_collected_across_the_mro():
+    assert fingerprint_value(_SlottedChild(1, "a")) != fingerprint_value(
+        _SlottedChild(1, "b")
+    )
+    assert fingerprint_value(_SlottedChild(1, "a")) != fingerprint_value(
+        _SlottedChild(2, "a")
+    )
+    assert fingerprint_value(_SlottedChild(1, "a")) == fingerprint_value(
+        _SlottedChild(1, "a")
+    )
+
+
+def test_unassigned_slot_does_not_break_fingerprinting():
+    obj = _SlottedUnpicklable.__new__(_SlottedUnpicklable)
+    obj.n = 1  # tag deliberately left unset
+    full = _SlottedUnpicklable(1)
+    assert fingerprint_value(obj) == fingerprint_value(obj)
+    assert fingerprint_value(obj) != fingerprint_value(full)
+
+
+def test_fallback_counter_emitted_when_traced():
+    with tracing() as tracer:
+        fingerprint_value(_Unpicklable(1))
+        fingerprint_value(_SlottedUnpicklable(1))
+    counters = tracer.metrics.counters("cache.fingerprint.fallback")
+    assert sum(c.value for c in counters) == 2
+
+
+def test_no_fallback_counter_for_picklable_values():
+    with tracing() as tracer:
+        fingerprint_value([1, 2, {"a": 3}])
+        fingerprint_function(lambda x: x + 1)
+    assert tracer.metrics.counters("cache.fingerprint.fallback") == []
 
 
 def test_cyclic_structures_terminate():

@@ -1,0 +1,59 @@
+"""Families under the orthogonal subsystems: faults, memory, cache, jobs.
+
+Each generated family must compose with the installed-context
+subsystems exactly like the four paper tasks do: same rows as the
+plain run, every context restored afterwards, nothing left over on
+the cluster (no waiters, no spilled partitions, no cache state leaking
+into the next test).
+"""
+
+import pytest
+
+from repro.cache import ResultCache, cached, current_cache, parse_cache_spec
+from repro.config import JobsConfig
+from repro.faults import FaultSchedule, current_injector, faults_injected
+from repro.gen import FAMILIES, run_family
+from repro.jobs import JobService, JobSpec
+from repro.mem import current_memory_config, memory_managed
+
+BASELINES = {
+    family: run_family(family, paradigm="workflow") for family in FAMILIES
+}
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_families_survive_fault_injection(family):
+    schedule = FaultSchedule.from_spec("seed=5,tasks=2,horizon=30")
+    with faults_injected(schedule) as injector:
+        run = run_family(family, paradigm="workflow")
+    assert run.rows == BASELINES[family].rows
+    assert injector.injected >= 0  # schedule consumed without error
+    assert current_injector() is not injector  # context restored
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_families_survive_memory_pressure(family):
+    with memory_managed("on,ram=1gib,spill=0.6"):
+        run = run_family(family, paradigm="workflow")
+    assert run.rows == BASELINES[family].rows
+    assert current_memory_config() is None  # context restored
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_families_hit_the_cache_on_reruns(family):
+    cache = ResultCache(parse_cache_spec("on"))
+    with cached(cache):
+        first = run_family(family, paradigm="workflow")
+        second = run_family(family, paradigm="workflow")
+    assert first.rows == second.rows == BASELINES[family].rows
+    assert cache.hits > 0, "warm rerun never hit the cache"
+    assert current_cache() is None  # nothing leaks into later tests
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_families_run_as_jobs(family):
+    service = JobService(JobsConfig(enabled=True))
+    job = service.run_job(JobSpec(tenant="t", body=f"gen/{family}/script"))
+    assert job.state == "completed", job.error
+    assert job.result.value.rows == run_family(family, paradigm="script").rows
+    assert service.queue.drained

@@ -81,6 +81,54 @@ def test_bursty_config_still_deterministic_and_denser():
     assert len(first) > len(TrafficGenerator(BASE).arrivals())
 
 
+def test_repeated_calls_on_one_generator_are_identical():
+    # Regression: arrivals() used to draw from a shared instance RNG, so
+    # a second call on the same generator continued the stream and
+    # silently produced a different (shorter or longer) arrival list.
+    gen = TrafficGenerator(replace(BASE, burst=3.0, burst_period_s=5.0, burst_duty=0.5))
+    first = gen.arrivals()
+    assert gen.arrivals() == first
+    assert gen.arrivals() == first  # and a third time
+
+
+def test_bursty_arrival_counts_are_pinned():
+    # Pinned counts guard the whole sampling path: candidate draws,
+    # thinning decisions and spec draws all consume the same RNG stream,
+    # so any change to the drawing order shows up here immediately.
+    bursty = replace(BASE, burst=3.0, burst_period_s=5.0, burst_duty=0.5)
+    assert len(TrafficGenerator(bursty).arrivals()) == 539
+    assert len(TrafficGenerator(BASE).arrivals()) == 213
+    rich = replace(
+        BASE, burst=1.5, burst_period_s=6.0, burst_duty=0.25,
+        diurnal=0.6, diurnal_period_s=8.0,
+    )
+    assert len(TrafficGenerator(rich).arrivals()) == 335
+
+
+def test_thinning_keeps_burst_windows_denser():
+    # The Lewis-Shedler majorant must dominate rate_at(t) everywhere or
+    # burst windows get silently under-sampled; with a correct envelope
+    # the in-window density tracks the 1 + burst factor.
+    config = replace(BASE, burst=3.0, burst_period_s=5.0, burst_duty=0.5)
+    gen = TrafficGenerator(config)
+    arrivals = gen.arrivals()
+    inside = sum(1 for a in arrivals if gen.in_burst(a.time_s))
+    outside = len(arrivals) - inside
+    # Expected ratio 4:1 (burst=3.0); Poisson noise stays well clear of 2:1.
+    assert inside > 2 * outside
+
+
+def test_gen_corpus_mode_spreads_over_family_bodies():
+    from repro.jobs.bodies import GEN_BODIES
+
+    arrivals = TrafficGenerator(replace(BASE, body="gen")).arrivals()
+    bodies = {a.spec.body for a in arrivals}
+    assert bodies <= set(GEN_BODIES)
+    assert len(bodies) == len(GEN_BODIES)  # ~200 draws cover all six
+    # Corpus mode is deterministic like everything else.
+    assert arrivals == TrafficGenerator(replace(BASE, body="gen")).arrivals()
+
+
 # -- merging ------------------------------------------------------------------
 
 

@@ -77,6 +77,50 @@ def test_round_trip_is_exact():
     assert WorkflowSpec.from_json(json.loads(json.dumps(spec.to_json()))) == spec
 
 
+def test_nan_config_value_fails_serialization_with_grammar_error():
+    # Regression: json.dumps emits the non-standard NaN/Infinity tokens
+    # by default, producing a document strict parsers reject — a spec
+    # that "saved fine" but could never be loaded back.
+    doc = minimal_doc()
+    doc["operators"][1]["config"]["threshold"] = float("nan")
+    spec = WorkflowSpec.from_json(doc)
+    with pytest.raises(WorkflowSpecError, match="non-finite"):
+        spec.to_json_text()
+
+
+@pytest.mark.parametrize("bad", [float("inf"), float("-inf")])
+def test_infinities_fail_serialization_too(bad):
+    doc = minimal_doc()
+    doc["operators"][1]["config"]["limit"] = bad
+    with pytest.raises(WorkflowSpecError, match="non-finite"):
+        WorkflowSpec.from_json(doc).to_json_text()
+
+
+@pytest.mark.parametrize("token", ["NaN", "Infinity", "-Infinity"])
+def test_nan_tokens_are_rejected_at_parse_time(token):
+    # The parse side of the same contract: Python's json module accepts
+    # these non-standard tokens by default, which would let a broken
+    # document round-trip silently.
+    text = json.dumps(minimal_doc())
+    text = text.replace('"config": {}', f'"config": {{"x": {token}}}')
+    assert token in text
+    with pytest.raises(WorkflowSpecError, match="non-standard JSON token"):
+        load_workflow_json(text)
+
+
+def test_non_ascii_operator_ids_round_trip_losslessly():
+    doc = minimal_doc()
+    doc["operators"][1]["id"] = "garde-café-π"
+    doc["links"] = [
+        {"from": "scan", "to": "garde-café-π"},
+        {"from": "garde-café-π", "to": "view"},
+    ]
+    spec = WorkflowSpec.from_json(doc)
+    text = spec.to_json_text()
+    assert "garde-café-π" in text  # not \u-escaped
+    assert WorkflowSpec.from_json(json.loads(text)) == spec
+
+
 def test_params_are_discovered_recursively():
     doc = minimal_doc()
     doc["operators"][1]["config"]["extra"] = [{"nested": {"$param": "knob"}}]
